@@ -1,0 +1,101 @@
+//! B2/B3 — algorithm costs: full-run cost of one register operation
+//! workload (ABD over Σ vs majority) and of one consensus decision
+//! ((Ω, Σ) quorum route vs Chandra–Toueg).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfd_consensus::chandra_toueg::ChandraToueg;
+use wfd_consensus::OmegaSigmaConsensus;
+use wfd_detectors::oracles::{
+    EventuallyStrongOracle, OmegaOracle, PairOracle, SigmaOracle,
+};
+use wfd_registers::abd::{AbdOp, AbdRegister, QuorumRule};
+use wfd_sim::{FailurePattern, ProcessId, RandomFair, Sim, SimConfig};
+
+fn abd_workload(n: usize, rule: QuorumRule) -> u64 {
+    let pattern = FailurePattern::failure_free(n);
+    let sigma = SigmaOracle::new(&pattern, 0, 1);
+    let mut sim = Sim::new(
+        SimConfig::new(n).with_horizon(50_000),
+        (0..n).map(|_| AbdRegister::new(rule, 0u64)).collect(),
+        pattern,
+        sigma,
+        RandomFair::new(2),
+    );
+    for p in 0..n {
+        sim.schedule_invoke(ProcessId(p), 0, AbdOp::Write(p as u64 + 1));
+        sim.schedule_invoke(ProcessId(p), 0, AbdOp::Read);
+    }
+    let target = 2 * n;
+    let out = sim.run_until(move |trace, _| {
+        trace
+            .outputs()
+            .filter(|(_, _, o)| matches!(o, wfd_registers::abd::AbdOutput::Completed { .. }))
+            .count()
+            >= target
+    });
+    out.steps
+}
+
+fn consensus_decision(n: usize) -> u64 {
+    let pattern = FailurePattern::failure_free(n);
+    let fd = PairOracle::new(
+        OmegaOracle::new(&pattern, 0, 1),
+        SigmaOracle::new(&pattern, 0, 1),
+    );
+    let mut sim = Sim::new(
+        SimConfig::new(n).with_horizon(100_000),
+        (0..n).map(|_| OmegaSigmaConsensus::<u64>::new()).collect(),
+        pattern,
+        fd,
+        RandomFair::new(2),
+    );
+    for p in 0..n {
+        sim.schedule_invoke(ProcessId(p), 0, p as u64);
+    }
+    let out = sim.run_until(|_, procs| procs.iter().all(|p| p.decision().is_some()));
+    out.steps
+}
+
+fn ct_decision(n: usize) -> u64 {
+    let pattern = FailurePattern::failure_free(n);
+    let fd = EventuallyStrongOracle::new(&pattern, 0, 1);
+    let mut sim = Sim::new(
+        SimConfig::new(n).with_horizon(100_000),
+        (0..n).map(|_| ChandraToueg::<u64>::new()).collect(),
+        pattern,
+        fd,
+        RandomFair::new(2),
+    );
+    for p in 0..n {
+        sim.schedule_invoke(ProcessId(p), 0, p as u64);
+    }
+    let out = sim.run_until(|_, procs| procs.iter().all(|p| p.decision().is_some()));
+    out.steps
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("register_workload");
+    for n in [3usize, 5] {
+        group.bench_with_input(BenchmarkId::new("abd_sigma", n), &n, |b, &n| {
+            b.iter(|| abd_workload(n, QuorumRule::Detector))
+        });
+        group.bench_with_input(BenchmarkId::new("abd_majority", n), &n, |b, &n| {
+            b.iter(|| abd_workload(n, QuorumRule::Majority))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("consensus_decision");
+    for n in [3usize, 5] {
+        group.bench_with_input(BenchmarkId::new("omega_sigma", n), &n, |b, &n| {
+            b.iter(|| consensus_decision(n))
+        });
+        group.bench_with_input(BenchmarkId::new("chandra_toueg", n), &n, |b, &n| {
+            b.iter(|| ct_decision(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

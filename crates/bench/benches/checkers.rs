@@ -1,0 +1,76 @@
+//! B4 — checker costs: the linearizability search and the detector spec
+//! validators on realistic history sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfd_detectors::check::{check_omega, check_sigma};
+use wfd_detectors::oracles::{OmegaOracle, SigmaOracle};
+use wfd_detectors::History;
+use wfd_registers::check_linearizable;
+use wfd_registers::spec::{OpHistory, OpRecord, RegOp, RegResp};
+use wfd_sim::{FailurePattern, FdOracle, ProcessId, ProcessSet};
+
+/// A history of `pairs` sequential write/read pairs plus one concurrent
+/// tail, the shape register runs produce.
+fn history(pairs: u64) -> OpHistory {
+    let mut h = OpHistory::new(0);
+    let mut t = 0;
+    for k in 0..pairs {
+        h.ops.push(OpRecord {
+            id: (ProcessId(0), 2 * k),
+            op: RegOp::Write(k + 1),
+            invoked_at: t,
+            response: Some((t + 3, RegResp::WriteOk)),
+            participants: ProcessSet::new(),
+        });
+        h.ops.push(OpRecord {
+            id: (ProcessId(1), 2 * k + 1),
+            op: RegOp::Read,
+            invoked_at: t + 1,
+            response: Some((t + 5, RegResp::ReadOk(if k == 0 { 0 } else { k }))),
+            participants: ProcessSet::new(),
+        });
+        t += 6;
+    }
+    h
+}
+
+fn detector_history(n: usize, samples: usize) -> (History<ProcessId>, History<ProcessSet>, FailurePattern) {
+    let pattern = FailurePattern::with_crashes(n, &[(ProcessId(0), 40)]);
+    let mut omega = OmegaOracle::new(&pattern, 100, 1).with_jitter(50);
+    let mut sigma = SigmaOracle::new(&pattern, 100, 1).with_jitter(50);
+    let mut oh = History::new(n);
+    let mut sh = History::new(n);
+    for k in 0..samples {
+        let t = k as u64;
+        let p = ProcessId(k % n);
+        oh.record(p, t, omega.query(p, t));
+        sh.record(p, t, sigma.query(p, t));
+    }
+    (oh, sh, pattern)
+}
+
+fn bench_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linearizability");
+    for pairs in [8u64, 32, 64] {
+        let h = history(pairs);
+        group.bench_with_input(BenchmarkId::from_parameter(pairs), &h, |b, h| {
+            b.iter(|| check_linearizable(h).expect("linearizable"))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("detector_checkers");
+    for samples in [500usize, 2_000] {
+        let (oh, sh, pattern) = detector_history(4, samples);
+        group.bench_with_input(BenchmarkId::new("omega", samples), &samples, |b, _| {
+            b.iter(|| check_omega(&oh, &pattern).expect("conforms"))
+        });
+        group.bench_with_input(BenchmarkId::new("sigma", samples), &samples, |b, _| {
+            b.iter(|| check_sigma(&sh, &pattern).expect("conforms"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkers);
+criterion_main!(benches);

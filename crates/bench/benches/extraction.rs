@@ -1,0 +1,50 @@
+//! B5 — extraction machinery costs: the canonical-run simulation forest
+//! of Figure 3 (the dominant cost of the Ψ extraction) as a function of
+//! window length and system size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfd_detectors::oracles::{PsiMode, PsiOracle};
+use wfd_detectors::PsiValue;
+use wfd_extraction::forest::evaluate_forest;
+use wfd_extraction::{PsiQcFamily, Sample};
+use wfd_sim::{FailurePattern, FdOracle, ProcessId, Time};
+
+fn window(n: usize, len: usize) -> Vec<Sample<PsiValue>> {
+    let pattern = FailurePattern::failure_free(n);
+    let mut psi = PsiOracle::new(&pattern, PsiMode::OmegaSigma, 0, 0, 1);
+    (0..len)
+        .map(|k| {
+            let q = ProcessId(k % n);
+            let t = k as Time;
+            Sample {
+                q,
+                t,
+                val: psi.query(q, t),
+            }
+        })
+        .collect()
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_forest_eval");
+    for n in [3usize, 4] {
+        for len in [300usize, 1_000] {
+            let w = window(n, len);
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), len),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        let runs = evaluate_forest(&PsiQcFamily, n, w);
+                        assert_eq!(runs.len(), n + 1);
+                        runs
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forest);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! B1 — simulator microbenchmarks: raw step throughput of the
+//! discrete-event engine under the three scheduling policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfd_sim::{
+    Adversarial, Ctx, FailurePattern, NoDetector, ProcessId, Protocol, RandomFair, RoundRobin,
+    Scheduler, Sim, SimConfig,
+};
+
+/// Minimal gossip protocol: every 4th step, broadcast a counter.
+#[derive(Debug, Default)]
+struct Gossip {
+    steps: u64,
+    seen: u64,
+}
+
+impl Protocol for Gossip {
+    type Msg = u64;
+    type Output = u64;
+    type Inv = ();
+    type Fd = ();
+
+    fn on_tick(&mut self, ctx: &mut Ctx<Self>) {
+        self.steps += 1;
+        if self.steps.is_multiple_of(4) {
+            ctx.broadcast_others(self.steps);
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<Self>, _from: ProcessId, msg: u64) {
+        self.seen = self.seen.max(msg);
+    }
+}
+
+fn run_steps<S: Scheduler>(n: usize, steps: u64, sched: S) -> u64 {
+    let mut sim = Sim::new(
+        SimConfig::new(n).with_horizon(steps),
+        (0..n).map(|_| Gossip::default()).collect(),
+        FailurePattern::failure_free(n),
+        NoDetector,
+        sched,
+    );
+    sim.run().steps
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine_steps");
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("round_robin", n), &n, |b, &n| {
+            b.iter(|| run_steps(n, 10_000, RoundRobin::new()))
+        });
+        group.bench_with_input(BenchmarkId::new("random_fair", n), &n, |b, &n| {
+            b.iter(|| run_steps(n, 10_000, RandomFair::new(1)))
+        });
+        group.bench_with_input(BenchmarkId::new("adversarial", n), &n, |b, &n| {
+            b.iter(|| run_steps(n, 10_000, Adversarial::new(1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

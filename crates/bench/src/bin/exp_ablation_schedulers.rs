@@ -1,0 +1,102 @@
+//! **A2 — ablation: scheduling adversity.**
+//!
+//! The model quantifies over *all* fair schedules; the engine's policies
+//! span the spectrum from round-robin (most synchronous-looking) through
+//! seeded-random to adversarial (starves low ids, delays and reorders
+//! messages to the fairness bound). Sweep the policy for (Ω, Σ) consensus
+//! and Σ-ABD and report latency — safety holds everywhere, only latency
+//! moves.
+
+use wfd_bench::Table;
+use wfd_consensus::spec::check_consensus;
+use wfd_consensus::OmegaSigmaConsensus;
+use wfd_detectors::oracles::{OmegaOracle, PairOracle, SigmaOracle};
+use wfd_registers::abd::{op_history_from_trace, AbdOp, AbdRegister, QuorumRule};
+use wfd_registers::check_linearizable;
+use wfd_sim::{
+    Adversarial, FailurePattern, ProcessId, RandomFair, RoundRobin, Scheduler, Sim, SimConfig,
+};
+
+fn consensus_latency<S: Scheduler>(n: usize, sched: S) -> String {
+    let pattern = FailurePattern::with_crashes(n, &[(ProcessId(0), 60)]);
+    let fd = PairOracle::new(
+        OmegaOracle::new(&pattern, 200, 1),
+        SigmaOracle::new(&pattern, 200, 1),
+    );
+    let mut sim = Sim::new(
+        SimConfig::new(n).with_horizon(200_000),
+        (0..n).map(|_| OmegaSigmaConsensus::<u64>::new()).collect(),
+        pattern.clone(),
+        fd,
+        sched,
+    );
+    for p in 0..n {
+        sim.schedule_invoke(ProcessId(p), 0, p as u64);
+    }
+    let correct = pattern.correct();
+    sim.run_until(move |_, procs| {
+        procs
+            .iter()
+            .enumerate()
+            .all(|(i, p)| !correct.contains(ProcessId(i)) || p.decision().is_some())
+    });
+    let props: Vec<Option<u64>> = (0..n).map(|p| Some(p as u64)).collect();
+    match check_consensus(sim.trace(), &props, &pattern) {
+        Ok(stats) => format!("{:?}", stats.latency),
+        Err(v) => format!("failed: {v}"),
+    }
+}
+
+fn register_result<S: Scheduler>(n: usize, sched: S) -> String {
+    let pattern = FailurePattern::with_crashes(n, &[(ProcessId(0), 60)]);
+    let sigma = SigmaOracle::new(&pattern, 200, 1);
+    let mut sim = Sim::new(
+        SimConfig::new(n).with_horizon(60_000),
+        (0..n)
+            .map(|_| AbdRegister::new(QuorumRule::Detector, 0u64))
+            .collect(),
+        pattern,
+        sigma,
+        sched,
+    );
+    for p in 0..n {
+        sim.schedule_invoke(ProcessId(p), 0, AbdOp::Write(p as u64 + 1));
+        sim.schedule_invoke(ProcessId(p), 300, AbdOp::Read);
+    }
+    sim.run();
+    let h = op_history_from_trace(sim.trace(), 0);
+    match check_linearizable(&h) {
+        Ok(_) => format!("linearizable, {} completed", h.completed().count()),
+        Err(e) => format!("VIOLATION: {e}"),
+    }
+}
+
+fn main() {
+    let n = 4;
+    let mut table = Table::new(
+        "A2-ablation-schedulers",
+        "Scheduling adversity vs latency (n = 4, one crash): safety is schedule-independent",
+        &["scheduler", "consensus_latency", "register_verdict"],
+    );
+    table.row(&[
+        &"round-robin",
+        &consensus_latency(n, RoundRobin::new()),
+        &register_result(n, RoundRobin::new()),
+    ]);
+    table.row(&[
+        &"random-fair",
+        &consensus_latency(n, RandomFair::new(5)),
+        &register_result(n, RandomFair::new(5)),
+    ]);
+    table.row(&[
+        &"adversarial",
+        &consensus_latency(n, Adversarial::new(5)),
+        &register_result(n, Adversarial::new(5)),
+    ]);
+    table.finish();
+    println!(
+        "\nExpected shape: all rows safe; latency roughly doubles to \
+         quadruples from round-robin to adversarial as messages are delayed \
+         to the fairness bound."
+    );
+}

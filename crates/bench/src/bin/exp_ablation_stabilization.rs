@@ -1,0 +1,45 @@
+//! **A1 — ablation: detector quality vs decision latency.**
+//!
+//! The paper's detectors are defined by *eventual* properties; how long
+//! the "eventually" takes is the practical cost knob. Sweep the oracle
+//! stabilisation time (the length of the garbage-output phase) and
+//! measure (Ω, Σ) consensus latency and ABD operation completion times.
+//! The expected shape — latency tracks stabilisation roughly 1:1 once the
+//! noise phase dominates — quantifies how much of each algorithm's cost
+//! is the detector's fault rather than the algorithm's.
+
+use wfd_bench::Table;
+use wfd_core::theorems::{self, RunSetup};
+use wfd_sim::{FailurePattern, ProcessId};
+
+fn main() {
+    let n = 5;
+    let pattern = FailurePattern::with_crashes(n, &[(ProcessId(0), 50)]);
+    let mut table = Table::new(
+        "A1-ablation-stabilization",
+        "Oracle stabilisation time vs consensus latency and register liveness (n = 5, one crash)",
+        &["stabilize_at", "consensus_latency", "register_ops_completed"],
+    );
+    for stabilize in [0u64, 100, 400, 1_600, 6_400] {
+        let setup = RunSetup::new(pattern.clone())
+            .with_seed(3)
+            .with_stabilize(stabilize)
+            .with_horizon(120_000);
+        let latency = match theorems::omega_sigma_solves_consensus(&setup, &[1, 2, 3, 4, 5]) {
+            Ok(stats) => format!("{:?}", stats.latency),
+            Err(v) => format!("failed: {v}"),
+        };
+        let ops = match theorems::sigma_implements_registers(&setup) {
+            Ok(ev) => ev.completed_ops.to_string(),
+            Err(v) => format!("failed: {v}"),
+        };
+        table.row(&[&stabilize, &latency, &ops]);
+    }
+    table.finish();
+    println!(
+        "\nExpected shape: consensus latency ≈ max(algorithm cost, stabilisation \
+         time): flat at first, then growing ~1:1 with stabilize_at. Register \
+         workloads complete throughout (ABD needs no leader), but late \
+         stabilisation defers completions past the workload window."
+    );
+}

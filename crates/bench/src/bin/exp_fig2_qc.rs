@@ -1,0 +1,67 @@
+//! **E4 — Figure 2**: Ψ-based quittable consensus. Sweep Ψ's mode and
+//! switch time against failure timing; report the decision and its
+//! latency. Consensus-mode runs must decide a proposed value, FS-mode
+//! runs must decide Q — and Q must only ever appear after a real crash.
+
+use wfd_bench::Table;
+use wfd_core::theorems::{self, RunSetup};
+use wfd_detectors::oracles::PsiMode;
+use wfd_sim::{FailurePattern, ProcessId};
+
+fn main() {
+    let n = 3;
+    let mut table = Table::new(
+        "E4-fig2-psi-qc",
+        "Figure 2: Ψ-QC decisions vs Ψ mode, switch time and crash time (n = 3)",
+        &["mode", "switch_at", "crash_at", "ok", "decision", "latency_steps"],
+    );
+    let crash_opts: [Option<u64>; 3] = [None, Some(50), Some(400)];
+    for crash in crash_opts {
+        let pattern = match crash {
+            None => FailurePattern::failure_free(n),
+            Some(t) => FailurePattern::failure_free(n).with_crash(ProcessId(2), t),
+        };
+        let crash_str = crash.map(|t| t.to_string()).unwrap_or_else(|| "-".into());
+        for (mode, name) in [(PsiMode::OmegaSigma, "omega-sigma"), (PsiMode::Fs, "fs")] {
+            if mode == PsiMode::Fs && crash.is_none() {
+                // FS mode is inadmissible without a failure: Ψ's spec
+                // itself rules the combination out.
+                table.row(&[&name, &"-", &crash_str, &"inadmissible", &"-", &"-"]);
+                continue;
+            }
+            for switch in [30u64, 200] {
+                let setup = RunSetup::new(pattern.clone())
+                    .with_seed(5)
+                    .with_stabilize(switch)
+                    .with_horizon(80_000);
+                match theorems::psi_solves_qc(&setup, mode, &[1, 0, 1]) {
+                    Ok(stats) => {
+                        let latency = stats.decision_times.values().max().copied();
+                        table.row(&[
+                            &name,
+                            &switch,
+                            &crash_str,
+                            &"yes",
+                            &format!("{:?}", stats.decision),
+                            &format!("{:?}", latency),
+                        ]);
+                    }
+                    Err(v) => table.row(&[
+                        &name,
+                        &switch,
+                        &crash_str,
+                        &format!("VIOLATION: {v}"),
+                        &"-",
+                        &"-",
+                    ]),
+                }
+            }
+        }
+    }
+    table.finish();
+    println!(
+        "\nExpected shape: omega-sigma rows decide Value(_) whether or not a \
+         crash happens (failures do not force Q); fs rows decide Quit, and \
+         only exist when a crash exists."
+    );
+}

@@ -1,0 +1,112 @@
+//! # wfd-bench — the experiment harness
+//!
+//! One binary per experiment of the per-experiment index in DESIGN.md
+//! (`cargo run -p wfd-bench --bin exp_…`), plus criterion microbenches
+//! (`cargo bench -p wfd-bench`). Each binary prints a human-readable
+//! table and writes the same rows as JSON under `target/experiments/`,
+//! which is what EXPERIMENTS.md records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple experiment table: named columns, stringly-printed rows, and a
+/// JSON artifact for reproducibility.
+#[derive(Debug, Serialize)]
+pub struct Table {
+    /// Experiment id (e.g. "E1-fig1-sigma-extraction").
+    pub id: String,
+    /// What the experiment shows.
+    pub caption: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row data (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: &str, caption: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            caption: caption.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (anything `Display` works).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Print the table and write `target/experiments/<id>.json`.
+    pub fn finish(&self) {
+        println!("\n== {} ==", self.id);
+        println!("{}", self.caption);
+        let widths: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(c.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", line(&self.columns));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for r in &self.rows {
+            println!("{}", line(r));
+        }
+        if let Err(e) = self.save() {
+            eprintln!("(could not save JSON artifact: {e})");
+        }
+    }
+
+    fn save(&self) -> std::io::Result<()> {
+        let dir = PathBuf::from("target/experiments");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        fs::write(&path, serde_json::to_string_pretty(self).expect("serializable"))?;
+        println!("(saved {})", path.display());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formats_rows() {
+        let mut t = Table::new("T0", "caption", &["a", "bb"]);
+        t.row(&[&1, &"x"]);
+        t.row(&[&22, &"yy"]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[1], vec!["22", "yy"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_is_checked() {
+        let mut t = Table::new("T0", "caption", &["a", "b"]);
+        t.row(&[&1]);
+    }
+}

@@ -1,0 +1,271 @@
+//! The consensus problem and its trace checker.
+//!
+//! Paper §4.1 — each process invokes `PROPOSE(v)`; it is required that:
+//!
+//! * **Termination**: if every correct process proposes, every correct
+//!   process eventually returns a value.
+//! * **Uniform Agreement**: no two processes (correct *or faulty*) return
+//!   different values.
+//! * **Validity**: a returned value was proposed by some process.
+//!
+//! The checker is generic in the decision value type because the Figure 3
+//! extraction runs consensus over initial-configuration/schedule tuples,
+//! not just bits.
+
+use std::collections::BTreeMap;
+use std::fmt::{self, Debug};
+use wfd_sim::{FailurePattern, ProcessId, Time, Trace};
+
+/// Observable output of a consensus protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConsensusOutput<V> {
+    /// The process returned (decided) `v`.
+    Decided(V),
+}
+
+/// A violation of the consensus specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConsensusViolation<V> {
+    /// Two processes decided differently.
+    Agreement {
+        /// First decider and value.
+        p: (ProcessId, V),
+        /// Conflicting decider and value.
+        q: (ProcessId, V),
+    },
+    /// A decided value was never proposed.
+    Validity {
+        /// The decider.
+        p: ProcessId,
+        /// The unproposed value it decided.
+        value: V,
+    },
+    /// A process decided more than once.
+    Integrity {
+        /// The repeat offender.
+        p: ProcessId,
+    },
+    /// A correct process that proposed never decided (within the run).
+    Termination {
+        /// The starved process.
+        p: ProcessId,
+    },
+}
+
+impl<V: Debug> fmt::Display for ConsensusViolation<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsensusViolation::Agreement { p, q } => write!(
+                f,
+                "agreement violated: {} decided {:?} but {} decided {:?}",
+                p.0, p.1, q.0, q.1
+            ),
+            ConsensusViolation::Validity { p, value } => {
+                write!(f, "validity violated: {p} decided unproposed value {value:?}")
+            }
+            ConsensusViolation::Integrity { p } => {
+                write!(f, "integrity violated: {p} decided more than once")
+            }
+            ConsensusViolation::Termination { p } => write!(
+                f,
+                "termination violated: correct {p} proposed but never decided"
+            ),
+        }
+    }
+}
+
+impl<V: Debug> std::error::Error for ConsensusViolation<V> {}
+
+/// Diagnostics from a successful consensus check.
+#[derive(Clone, Debug)]
+pub struct ConsensusStats<V> {
+    /// The common decision (if anyone decided).
+    pub decision: Option<V>,
+    /// Per process: decision time.
+    pub decision_times: BTreeMap<ProcessId, Time>,
+    /// The latest decision time among correct processes — the run's
+    /// decision latency.
+    pub latency: Option<Time>,
+}
+
+/// Check a run of a consensus protocol.
+///
+/// `proposals[p]` is what process `p` proposed (`None` if it never
+/// proposed). Termination is enforced for every *correct* process that
+/// proposed; runs must therefore be long enough for the algorithm to have
+/// settled — a termination error on a too-short run means "increase the
+/// horizon", which the caller can distinguish via the stats of a longer
+/// retry.
+///
+/// # Errors
+///
+/// Returns the first violation found (agreement and validity are checked
+/// before termination).
+pub fn check_consensus<M, V>(
+    trace: &Trace<M, ConsensusOutput<V>>,
+    proposals: &[Option<V>],
+    pattern: &FailurePattern,
+) -> Result<ConsensusStats<V>, ConsensusViolation<V>>
+where
+    M: Clone + Debug,
+    V: Clone + Debug + PartialEq,
+{
+    let mut decision_times: BTreeMap<ProcessId, Time> = BTreeMap::new();
+    let mut first: Option<(ProcessId, V)> = None;
+
+    for (t, p, out) in trace.outputs() {
+        let ConsensusOutput::Decided(v) = out;
+        if decision_times.contains_key(&p) {
+            return Err(ConsensusViolation::Integrity { p });
+        }
+        decision_times.insert(p, t);
+        if !proposals.iter().flatten().any(|prop| prop == v) {
+            return Err(ConsensusViolation::Validity {
+                p,
+                value: v.clone(),
+            });
+        }
+        match &first {
+            None => first = Some((p, v.clone())),
+            Some((fp, fv)) => {
+                if fv != v {
+                    return Err(ConsensusViolation::Agreement {
+                        p: (*fp, fv.clone()),
+                        q: (p, v.clone()),
+                    });
+                }
+            }
+        }
+    }
+
+    for p in pattern.correct().iter() {
+        if proposals[p.index()].is_some() && !decision_times.contains_key(&p) {
+            return Err(ConsensusViolation::Termination { p });
+        }
+    }
+
+    let latency = pattern
+        .correct()
+        .iter()
+        .filter_map(|p| decision_times.get(&p).copied())
+        .max();
+
+    Ok(ConsensusStats {
+        decision: first.map(|(_, v)| v),
+        decision_times,
+        latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfd_sim::EventKind;
+
+    fn trace_with(
+        n: usize,
+        decisions: &[(Time, usize, u64)],
+    ) -> Trace<(), ConsensusOutput<u64>> {
+        let mut t = Trace::new(n);
+        for &(time, pid, v) in decisions {
+            t.push(
+                time,
+                ProcessId(pid),
+                EventKind::Output(ConsensusOutput::Decided(v)),
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn unanimous_decisions_pass() {
+        let trace = trace_with(3, &[(5, 0, 1), (7, 1, 1), (9, 2, 1)]);
+        let props = vec![Some(1), Some(0), Some(1)];
+        let stats =
+            check_consensus(&trace, &props, &FailurePattern::failure_free(3)).expect("valid");
+        assert_eq!(stats.decision, Some(1));
+        assert_eq!(stats.latency, Some(9));
+        assert_eq!(stats.decision_times.len(), 3);
+    }
+
+    #[test]
+    fn disagreement_is_caught() {
+        let trace = trace_with(2, &[(1, 0, 0), (2, 1, 1)]);
+        let props = vec![Some(0), Some(1)];
+        assert!(matches!(
+            check_consensus(&trace, &props, &FailurePattern::failure_free(2)),
+            Err(ConsensusViolation::Agreement { .. })
+        ));
+    }
+
+    #[test]
+    fn agreement_is_uniform_faulty_processes_count() {
+        // p0 decides 0 then crashes; survivors decide 1: still a violation.
+        let pattern = FailurePattern::failure_free(2).with_crash(ProcessId(0), 3);
+        let trace = trace_with(2, &[(1, 0, 0), (10, 1, 1)]);
+        let props = vec![Some(0), Some(1)];
+        assert!(matches!(
+            check_consensus(&trace, &props, &pattern),
+            Err(ConsensusViolation::Agreement { .. })
+        ));
+    }
+
+    #[test]
+    fn unproposed_decision_is_caught() {
+        let trace = trace_with(2, &[(1, 0, 9)]);
+        let props = vec![Some(0), Some(1)];
+        assert!(matches!(
+            check_consensus(&trace, &props, &FailurePattern::failure_free(2)),
+            Err(ConsensusViolation::Validity {
+                p: ProcessId(0),
+                value: 9
+            })
+        ));
+    }
+
+    #[test]
+    fn double_decision_is_caught() {
+        let trace = trace_with(1, &[(1, 0, 0), (2, 0, 0)]);
+        let props = vec![Some(0)];
+        assert!(matches!(
+            check_consensus(&trace, &props, &FailurePattern::failure_free(1)),
+            Err(ConsensusViolation::Integrity { p: ProcessId(0) })
+        ));
+    }
+
+    #[test]
+    fn missing_correct_decider_is_caught() {
+        let trace = trace_with(2, &[(1, 0, 1)]);
+        let props = vec![Some(1), Some(1)];
+        assert!(matches!(
+            check_consensus(&trace, &props, &FailurePattern::failure_free(2)),
+            Err(ConsensusViolation::Termination { p: ProcessId(1) })
+        ));
+    }
+
+    #[test]
+    fn faulty_non_decider_is_fine() {
+        let pattern = FailurePattern::failure_free(2).with_crash(ProcessId(1), 5);
+        let trace = trace_with(2, &[(1, 0, 1)]);
+        let props = vec![Some(1), Some(1)];
+        check_consensus(&trace, &props, &pattern).expect("faulty p1 need not decide");
+    }
+
+    #[test]
+    fn non_proposer_need_not_decide() {
+        let trace = trace_with(2, &[(1, 0, 1)]);
+        let props = vec![Some(1), None];
+        check_consensus(&trace, &props, &FailurePattern::failure_free(2))
+            .expect("p1 never proposed");
+    }
+
+    #[test]
+    fn empty_run_with_no_proposals_is_vacuous() {
+        let trace = trace_with(2, &[]);
+        let props: Vec<Option<u64>> = vec![None, None];
+        let stats =
+            check_consensus(&trace, &props, &FailurePattern::failure_free(2)).expect("vacuous");
+        assert_eq!(stats.decision, None);
+        assert_eq!(stats.latency, None);
+    }
+}

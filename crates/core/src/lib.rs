@@ -1,0 +1,68 @@
+//! # wfd-core — the paper's results as an executable API
+//!
+//! This umbrella crate ties the workspace together: it re-exports the
+//! building blocks and packages each of the paper's four weakest-failure-
+//! detector results as a pair of runnable *theorem harnesses* (one per
+//! direction) in [`theorems`]. Each harness assembles the full stack —
+//! oracle detectors, algorithms, simulator, property checkers — runs one
+//! deterministic experiment, and returns the checker's verdict:
+//!
+//! | Result (paper) | Sufficiency harness | Necessity harness |
+//! |---|---|---|
+//! | Theorem 1: Σ ⇔ registers | [`theorems::sigma_implements_registers`] | [`theorems::registers_yield_sigma`] (Fig 1) |
+//! | Corollary 4: (Ω, Σ) ⇔ consensus | [`theorems::omega_sigma_solves_consensus`], [`theorems::consensus_via_registers`] | via Theorem 1 + CHT (see DESIGN.md) |
+//! | Corollary 7: Ψ ⇔ QC | [`theorems::psi_solves_qc`] (Fig 2) | [`theorems::qc_yields_psi`] (Fig 3) |
+//! | Theorem 8 / Corollary 10: (Ψ, FS) ⇔ NBAC | [`theorems::qc_fs_solve_nbac`] (Fig 4) | [`theorems::nbac_yields_qc`] (Fig 5), [`theorems::nbac_yields_fs`] |
+//!
+//! ```
+//! use wfd_core::theorems::{self, RunSetup};
+//! use wfd_sim::{FailurePattern, ProcessId};
+//!
+//! // Σ keeps registers linearizable even with a crashed majority:
+//! let pattern = FailurePattern::with_crashes(
+//!     5,
+//!     &[(ProcessId(0), 200), (ProcessId(1), 300), (ProcessId(2), 400)],
+//! );
+//! let setup = RunSetup::new(pattern).with_seed(7);
+//! let evidence = theorems::sigma_implements_registers(&setup)?;
+//! assert!(evidence.completed_ops > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod theorems;
+
+/// Convenience re-exports of the most common workspace types.
+pub mod prelude {
+    pub use wfd_consensus::{
+        chandra_toueg::ChandraToueg, check_consensus, ConsensusOutput, ConsensusStats,
+        ConsensusViolation, OmegaSigmaConsensus,
+    };
+    pub use wfd_detectors::check::{
+        check_fs, check_omega, check_psi, check_sigma, PsiPhase,
+    };
+    pub use wfd_detectors::history::history_from_outputs;
+    pub use wfd_detectors::impls::{HeartbeatOmega, MajoritySigma, TimeoutFs};
+    pub use wfd_detectors::oracles::{
+        FsOracle, OmegaOracle, PairOracle, PsiMode, PsiOracle, SigmaOracle,
+    };
+    pub use wfd_detectors::{History, OmegaSigma, PsiValue, Recorder, Signal};
+    pub use wfd_detectors::reductions::{
+        FsFromPerfect, OmegaFromEventuallyPerfect, PsiFromOmegaSigma,
+    };
+    pub use wfd_extraction::{OmegaSigmaQcFamily, PsiExtraction, PsiQcFamily};
+    pub use wfd_nbac::{
+        check_nbac, Decision, NbacFromQc, NbacOutput, NbacStats, NbacViolation, QcFromNbac,
+        Vote,
+    };
+    pub use wfd_quittable::{check_qc, ConsensusAsQc, PsiQc, QcDecision, QcStats, QcViolation};
+    pub use wfd_registers::sigma_extraction::SigmaExtraction;
+    pub use wfd_registers::transformations::{MwmrFromSwmr, SwmrRegister};
+    pub use wfd_registers::{check_linearizable, AbdRegister, OpHistory, QuorumRule};
+    pub use wfd_sim::{
+        Adversarial, Ctx, Environment, FailurePattern, FdOracle, PatternSampler, ProcessId,
+        ProcessSet, Protocol, RandomFair, RoundRobin, Sim, SimConfig, Time, Trace,
+    };
+}

@@ -1,0 +1,267 @@
+//! Failure detector histories `H : Π × T → R`, recorded sample by sample.
+//!
+//! A run only ever *samples* a history at the `(p, t)` points where `p`
+//! takes a step, so checkers work on sampled histories: a time-ordered list
+//! of `(process, time, value)` triples.
+
+use std::fmt::Debug;
+use wfd_sim::{FdOracle, ProcessId, Time};
+
+/// A sampled failure detector history.
+///
+/// ```
+/// use wfd_detectors::History;
+/// use wfd_sim::ProcessId;
+/// let mut h: History<u32> = History::new(2);
+/// h.record(ProcessId(0), 0, 10);
+/// h.record(ProcessId(1), 3, 20);
+/// assert_eq!(h.len(), 2);
+/// assert_eq!(h.last_of(ProcessId(1)), Some((3, &20)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct History<V> {
+    n: usize,
+    samples: Vec<(ProcessId, Time, V)>,
+}
+
+impl<V: Clone + Debug> History<V> {
+    /// An empty history for a system of `n` processes.
+    pub fn new(n: usize) -> Self {
+        History {
+            n,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Build a history from pre-collected samples (must be in
+    /// nondecreasing time order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the samples are not sorted by time.
+    pub fn from_samples(n: usize, samples: Vec<(ProcessId, Time, V)>) -> Self {
+        assert!(
+            samples.windows(2).all(|w| w[0].1 <= w[1].1),
+            "samples must be in nondecreasing time order"
+        );
+        History { n, samples }
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Append a sample (times must be nondecreasing).
+    pub fn record(&mut self, p: ProcessId, t: Time, v: V) {
+        debug_assert!(
+            self.samples.last().is_none_or(|(_, lt, _)| *lt <= t),
+            "history samples must be recorded in time order"
+        );
+        self.samples.push((p, t, v));
+    }
+
+    /// All samples in time order.
+    pub fn samples(&self) -> &[(ProcessId, Time, V)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples of one process, in time order.
+    pub fn samples_of(&self, p: ProcessId) -> impl Iterator<Item = (Time, &V)> {
+        self.samples
+            .iter()
+            .filter(move |(q, _, _)| *q == p)
+            .map(|(_, t, v)| (*t, v))
+    }
+
+    /// The last sample of one process.
+    pub fn last_of(&self, p: ProcessId) -> Option<(Time, &V)> {
+        self.samples_of(p).last()
+    }
+
+    /// Samples taken at or after `t0`.
+    pub fn since(&self, t0: Time) -> impl Iterator<Item = (ProcessId, Time, &V)> {
+        self.samples
+            .iter()
+            .filter(move |(_, t, _)| *t >= t0)
+            .map(|(p, t, v)| (*p, *t, v))
+    }
+
+    /// Map sample values, keeping process/time structure — e.g. project the
+    /// Σ component out of an (Ω, Σ) history.
+    pub fn map<W: Clone + Debug>(&self, mut f: impl FnMut(&V) -> W) -> History<W> {
+        History {
+            n: self.n,
+            samples: self
+                .samples
+                .iter()
+                .map(|(p, t, v)| (*p, *t, f(v)))
+                .collect(),
+        }
+    }
+
+    /// Keep only samples satisfying a predicate (times stay ordered).
+    pub fn filter(&self, mut keep: impl FnMut(ProcessId, Time, &V) -> bool) -> History<V> {
+        History {
+            n: self.n,
+            samples: self
+                .samples
+                .iter()
+                .filter(|(p, t, v)| keep(*p, *t, v))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+/// An oracle wrapper that records every queried sample.
+///
+/// ```
+/// use wfd_detectors::Recorder;
+/// use wfd_sim::{ConstDetector, FdOracle, ProcessId};
+/// let mut rec = Recorder::new(ConstDetector::new(5u8), 3);
+/// rec.query(ProcessId(0), 0);
+/// rec.query(ProcessId(2), 4);
+/// let history = rec.into_history();
+/// assert_eq!(history.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Recorder<O: FdOracle> {
+    inner: O,
+    history: History<O::Value>,
+}
+
+impl<O: FdOracle> Recorder<O> {
+    /// Wrap `inner`, recording into a fresh history for `n` processes.
+    pub fn new(inner: O, n: usize) -> Self {
+        Recorder {
+            inner,
+            history: History::new(n),
+        }
+    }
+
+    /// The history recorded so far.
+    pub fn history(&self) -> &History<O::Value> {
+        &self.history
+    }
+
+    /// Consume the recorder, returning the history.
+    pub fn into_history(self) -> History<O::Value> {
+        self.history
+    }
+
+    /// Access the wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl<O: FdOracle> FdOracle for Recorder<O> {
+    type Value = O::Value;
+
+    fn query(&mut self, p: ProcessId, t: Time) -> Self::Value {
+        let v = self.inner.query(p, t);
+        self.history.record(p, t, v.clone());
+        v
+    }
+}
+
+/// Build a sampled history from the outputs of a run trace.
+///
+/// `extract` projects each protocol output to a detector value (returning
+/// `None` for outputs that are not detector samples) — this is how the
+/// emissions of detector *implementations* and *extraction algorithms* are
+/// funnelled into the [`crate::check`] validators.
+///
+/// ```
+/// use wfd_detectors::history::history_from_outputs;
+/// use wfd_sim::{EventKind, ProcessId, Trace};
+/// let mut trace: Trace<(), u32> = Trace::new(2);
+/// trace.push(3, ProcessId(1), EventKind::Output(7));
+/// let h = history_from_outputs(&trace, |o| Some(*o));
+/// assert_eq!(h.samples(), &[(ProcessId(1), 3, 7)]);
+/// ```
+pub fn history_from_outputs<M, O, V>(
+    trace: &wfd_sim::Trace<M, O>,
+    mut extract: impl FnMut(&O) -> Option<V>,
+) -> History<V>
+where
+    M: Clone + Debug,
+    O: Clone + Debug,
+    V: Clone + Debug,
+{
+    let mut h = History::new(trace.n());
+    for (t, p, o) in trace.outputs() {
+        if let Some(v) = extract(o) {
+            h.record(p, t, v);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfd_sim::ConstDetector;
+
+    #[test]
+    fn record_and_query() {
+        let mut h = History::new(2);
+        h.record(ProcessId(0), 0, 'a');
+        h.record(ProcessId(1), 1, 'b');
+        h.record(ProcessId(0), 2, 'c');
+        assert_eq!(h.n(), 2);
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+        assert_eq!(
+            h.samples_of(ProcessId(0)).collect::<Vec<_>>(),
+            vec![(0, &'a'), (2, &'c')]
+        );
+        assert_eq!(h.last_of(ProcessId(0)), Some((2, &'c')));
+        assert_eq!(h.last_of(ProcessId(1)), Some((1, &'b')));
+        assert_eq!(h.since(1).count(), 2);
+    }
+
+    #[test]
+    fn map_and_filter() {
+        let mut h = History::new(1);
+        h.record(ProcessId(0), 0, 1u32);
+        h.record(ProcessId(0), 1, 2u32);
+        let doubled = h.map(|v| v * 2);
+        assert_eq!(doubled.samples()[1].2, 4);
+        let only_even_times = h.filter(|_, t, _| t % 2 == 0);
+        assert_eq!(only_even_times.len(), 1);
+    }
+
+    #[test]
+    fn from_samples_checks_order() {
+        let ok = History::from_samples(1, vec![(ProcessId(0), 0, ()), (ProcessId(0), 5, ())]);
+        assert_eq!(ok.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn from_samples_rejects_unsorted() {
+        let _ = History::from_samples(1, vec![(ProcessId(0), 5, ()), (ProcessId(0), 0, ())]);
+    }
+
+    #[test]
+    fn recorder_captures_queries() {
+        let mut rec = Recorder::new(ConstDetector::new(9u8), 2);
+        assert_eq!(rec.query(ProcessId(1), 3), 9);
+        assert_eq!(rec.history().len(), 1);
+        let _inner: &ConstDetector<u8> = rec.inner();
+        let h = rec.into_history();
+        assert_eq!(h.samples()[0], (ProcessId(1), 3, 9));
+    }
+}

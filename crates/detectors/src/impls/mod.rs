@@ -1,0 +1,24 @@
+//! Message-passing *implementations* of failure detectors.
+//!
+//! Unlike the oracles of [`crate::oracles`], these run *inside* the system
+//! as ordinary protocols and only see messages — they cannot consult the
+//! failure pattern. Each is correct under an extra assumption, stated in
+//! its docs:
+//!
+//! * [`MajoritySigma`] — Σ "ex nihilo" when a majority of processes are
+//!   correct (paper §1: *"to implement registers in environments with a
+//!   majority of correct processes we 'need' something that we can get for
+//!   free"*).
+//! * [`HeartbeatOmega`] — Ω via adaptive-timeout heartbeats; converges in
+//!   every fair run because the engine's fairness bounds make the system
+//!   eventually-timely.
+//! * [`TimeoutFs`] — FS via conservative timeouts; accurate when its
+//!   threshold exceeds the run's real step-gap + delay bound.
+
+mod heartbeat_omega;
+mod majority_sigma;
+mod timeout_fs;
+
+pub use heartbeat_omega::HeartbeatOmega;
+pub use majority_sigma::MajoritySigma;
+pub use timeout_fs::TimeoutFs;

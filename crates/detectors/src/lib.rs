@@ -1,0 +1,44 @@
+//! # wfd-detectors — failure detectors of the PODC 2004 paper, executable
+//!
+//! The paper's results revolve around four failure detectors:
+//!
+//! * **Ω** (leader): outputs a process id at each process; eventually all
+//!   correct processes forever output the id of the same correct process.
+//! * **Σ** (quorum): outputs a set of processes; any two outputs (at any
+//!   processes and times) intersect, and eventually outputs at correct
+//!   processes contain only correct processes.
+//! * **FS** (failure signal): outputs `green`/`red`; red only after a
+//!   failure; if a failure occurs, eventually permanently red at all
+//!   correct processes.
+//! * **Ψ**: outputs ⊥ for a while, then globally either behaves like
+//!   (Ω, Σ) or — only if a failure occurred — like FS.
+//!
+//! This crate provides, for each of them (plus the classical P, ◇P, ◇S):
+//!
+//! 1. **Oracles** ([`oracles`]) — valid-by-construction history generators
+//!    parameterised by a failure pattern, used to drive algorithms that
+//!    *use* a detector (the sufficiency halves of the paper's theorems).
+//! 2. **Message-passing implementations** ([`impls`]) — protocols that
+//!    *implement* a detector under extra assumptions, e.g. Σ "ex nihilo"
+//!    from a correct majority (paper, §1) and a heartbeat Ω.
+//! 3. **Checkers** ([`check`]) — validators that decide whether a recorded
+//!    history conforms to a detector's defining predicate; these are what
+//!    the extraction experiments (Figures 1 and 3) are judged by.
+//!
+//! History recording is transparent: wrap any oracle in a
+//! [`Recorder`] and every value the algorithm saw is
+//! available for post-hoc checking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod history;
+pub mod impls;
+pub mod oracles;
+pub mod reductions;
+mod rngmix;
+pub mod value;
+
+pub use history::{History, Recorder};
+pub use value::{OmegaSigma, PsiValue, Signal};

@@ -1,0 +1,120 @@
+//! The failure-signal detector FS.
+//!
+//! Spec (paper §2): `H ∈ FS(F)` iff
+//! 1. red at `(p, t)` implies `F(t) ≠ ∅` (red signals are truthful), and
+//! 2. if some process is faulty, then every correct process eventually
+//!    outputs red permanently.
+
+use crate::oracles::assert_pattern_nonempty;
+use crate::rngmix::mix_range;
+use crate::value::Signal;
+use wfd_sim::{FailurePattern, FdOracle, ProcessId, Time};
+
+/// An FS history generator for a given failure pattern.
+///
+/// Each process turns red at its own instant in
+/// `[first_crash, first_crash + max_detection_delay]` (drawn per process
+/// from the seed) — FS does not require simultaneous detection. In a
+/// failure-free pattern the output is green everywhere forever.
+///
+/// ```
+/// use wfd_detectors::oracles::FsOracle;
+/// use wfd_detectors::Signal;
+/// use wfd_sim::{FailurePattern, FdOracle, ProcessId};
+/// let f = FailurePattern::failure_free(3).with_crash(ProcessId(0), 10);
+/// let mut fs = FsOracle::new(&f, 5, 1);
+/// assert_eq!(fs.query(ProcessId(1), 0), Signal::Green);
+/// assert_eq!(fs.query(ProcessId(1), 100), Signal::Red);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FsOracle {
+    first_crash: Option<Time>,
+    max_detection_delay: Time,
+    seed: u64,
+}
+
+impl FsOracle {
+    /// Create an FS oracle with per-process detection delays in
+    /// `[0, max_detection_delay]`.
+    pub fn new(pattern: &FailurePattern, max_detection_delay: Time, seed: u64) -> Self {
+        assert_pattern_nonempty(pattern);
+        FsOracle {
+            first_crash: pattern.first_crash_time(),
+            max_detection_delay,
+            seed,
+        }
+    }
+
+    /// The instant at which process `p` switches to red, if the pattern
+    /// has any failure.
+    pub fn red_time_of(&self, p: ProcessId) -> Option<Time> {
+        self.first_crash.map(|t| {
+            t + mix_range(
+                self.seed,
+                p.index() as u64,
+                0xF5,
+                self.max_detection_delay + 1,
+            )
+        })
+    }
+}
+
+impl FdOracle for FsOracle {
+    type Value = Signal;
+
+    fn query(&mut self, p: ProcessId, t: Time) -> Signal {
+        match self.red_time_of(p) {
+            Some(rt) if t >= rt => Signal::Red,
+            _ => Signal::Green,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_free_is_always_green() {
+        let f = FailurePattern::failure_free(3);
+        let mut fs = FsOracle::new(&f, 10, 2);
+        for p in 0..3 {
+            for t in (0..1_000).step_by(37) {
+                assert_eq!(fs.query(ProcessId(p), t), Signal::Green);
+            }
+        }
+        assert_eq!(fs.red_time_of(ProcessId(0)), None);
+    }
+
+    #[test]
+    fn red_only_after_first_crash() {
+        let f = FailurePattern::with_crashes(4, &[(ProcessId(2), 20), (ProcessId(3), 5)]);
+        let mut fs = FsOracle::new(&f, 7, 3);
+        for p in 0..4 {
+            for t in 0..5 {
+                assert_eq!(fs.query(ProcessId(p), t), Signal::Green, "red before any crash");
+            }
+        }
+    }
+
+    #[test]
+    fn eventually_permanently_red_everywhere() {
+        let f = FailurePattern::with_crashes(3, &[(ProcessId(0), 4)]);
+        let mut fs = FsOracle::new(&f, 6, 9);
+        for p in 0..3 {
+            let rt = fs.red_time_of(ProcessId(p)).unwrap();
+            assert!((4..=10).contains(&rt));
+            for t in rt..rt + 50 {
+                assert_eq!(fs.query(ProcessId(p), t), Signal::Red);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_delay_detects_at_crash_instant() {
+        let f = FailurePattern::with_crashes(2, &[(ProcessId(1), 8)]);
+        let mut fs = FsOracle::new(&f, 0, 0);
+        assert_eq!(fs.query(ProcessId(0), 7), Signal::Green);
+        assert_eq!(fs.query(ProcessId(0), 8), Signal::Red);
+    }
+}

@@ -1,0 +1,126 @@
+//! Valid-by-construction failure detector oracles.
+//!
+//! Each oracle is parameterised by the run's [`FailurePattern`] — this is
+//! the executable analogue of drawing a history `H ∈ D(F)`. Oracles are
+//! *not* implementations of detectors inside the system (those live in
+//! [`crate::impls`]); they are the model-level objects the paper
+//! quantifies over, and they are allowed to "know" the failure pattern.
+//!
+//! All oracles are deterministic functions of `(seed, p, t)`, so runs that
+//! use them are reproducible, and every oracle admits an adversarial
+//! *noise phase* before its stabilisation time to exercise algorithms under
+//! the worst histories its specification allows.
+
+mod fs;
+mod omega;
+mod psi;
+mod sigma;
+mod suspect;
+
+pub use fs::FsOracle;
+pub use omega::OmegaOracle;
+pub use psi::{PsiMode, PsiOracle};
+pub use sigma::SigmaOracle;
+pub use suspect::{EventuallyPerfectOracle, EventuallyStrongOracle, PerfectOracle};
+
+use wfd_sim::{FailurePattern, FdOracle, ProcessId, Time};
+
+/// The composite detector `(D, D′)` whose output is the vector of both
+/// components — e.g. (Ω, Σ), the weakest detector for consensus.
+///
+/// ```
+/// use wfd_detectors::oracles::{OmegaOracle, PairOracle, SigmaOracle};
+/// use wfd_sim::{FailurePattern, FdOracle, ProcessId};
+/// let f = FailurePattern::failure_free(3);
+/// let mut d = PairOracle::new(OmegaOracle::new(&f, 0, 0), SigmaOracle::new(&f, 0, 0));
+/// let (leader, quorum) = d.query(ProcessId(0), 10);
+/// assert!(quorum.contains(leader));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PairOracle<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: FdOracle, B: FdOracle> PairOracle<A, B> {
+    /// Combine two oracles into their product detector.
+    pub fn new(first: A, second: B) -> Self {
+        PairOracle { first, second }
+    }
+
+    /// The first component oracle.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// The second component oracle.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+}
+
+impl<A: FdOracle, B: FdOracle> FdOracle for PairOracle<A, B> {
+    type Value = (A::Value, B::Value);
+
+    fn query(&mut self, p: ProcessId, t: Time) -> Self::Value {
+        (self.first.query(p, t), self.second.query(p, t))
+    }
+}
+
+/// An oracle adapter applying a pure function to another oracle's output —
+/// used e.g. to view an (Ω, Σ) oracle as an [`crate::OmegaSigma`]-valued
+/// one.
+#[derive(Clone, Debug)]
+pub struct MapOracle<O, F> {
+    inner: O,
+    f: F,
+}
+
+impl<O, F, W> MapOracle<O, F>
+where
+    O: FdOracle,
+    F: FnMut(O::Value) -> W,
+    W: Clone + std::fmt::Debug,
+{
+    /// Wrap `inner`, transforming each output with `f`.
+    pub fn new(inner: O, f: F) -> Self {
+        MapOracle { inner, f }
+    }
+}
+
+impl<O, F, W> FdOracle for MapOracle<O, F>
+where
+    O: FdOracle,
+    F: FnMut(O::Value) -> W,
+    W: Clone + std::fmt::Debug,
+{
+    type Value = W;
+
+    fn query(&mut self, p: ProcessId, t: Time) -> W {
+        (self.f)(self.inner.query(p, t))
+    }
+}
+
+pub(crate) fn assert_pattern_nonempty(pattern: &FailurePattern) {
+    assert!(pattern.n() > 0, "failure pattern over an empty system");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfd_sim::ConstDetector;
+
+    #[test]
+    fn pair_oracle_pairs_components() {
+        let mut d = PairOracle::new(ConstDetector::new(1u8), ConstDetector::new("x"));
+        assert_eq!(d.query(ProcessId(0), 0), (1, "x"));
+        let _first: &ConstDetector<u8> = d.first();
+        let _second: &ConstDetector<&str> = d.second();
+    }
+
+    #[test]
+    fn map_oracle_transforms() {
+        let mut d = MapOracle::new(ConstDetector::new(21u32), |v| v * 2);
+        assert_eq!(d.query(ProcessId(0), 0), 42);
+    }
+}

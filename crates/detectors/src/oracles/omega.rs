@@ -1,0 +1,149 @@
+//! The leader failure detector Ω.
+//!
+//! Spec (paper §2): `H ∈ Ω(F)` iff there is a correct process `p` such that
+//! every correct process eventually forever outputs `p`.
+
+use crate::oracles::assert_pattern_nonempty;
+use crate::rngmix::mix_range;
+use wfd_sim::{FailurePattern, FdOracle, ProcessId, Time};
+
+/// An Ω history generator for a given failure pattern.
+///
+/// * Before each process's stabilisation instant (drawn per process in
+///   `[stabilize_at, stabilize_at + jitter]`), the output is an arbitrary
+///   seed-driven process id — possibly crashed, possibly different at every
+///   query, exactly the garbage Ω permits early on.
+/// * From the stabilisation instant on, the output is the **smallest-id
+///   correct process**, the same at everyone, forever.
+///
+/// ```
+/// use wfd_detectors::oracles::OmegaOracle;
+/// use wfd_sim::{FailurePattern, FdOracle, ProcessId};
+/// let f = FailurePattern::failure_free(3).with_crash(ProcessId(0), 5);
+/// let mut omega = OmegaOracle::new(&f, 100, 42).with_jitter(10);
+/// // Long after stabilisation everyone gets the same correct leader.
+/// assert_eq!(omega.query(ProcessId(1), 500), ProcessId(1));
+/// assert_eq!(omega.query(ProcessId(2), 777), ProcessId(1));
+/// ```
+///
+/// # Panics
+///
+/// [`OmegaOracle::new`] panics if the pattern has no correct process —
+/// `Ω(F)` is empty for such patterns (the defining predicate
+/// existentially quantifies over correct processes).
+#[derive(Clone, Debug)]
+pub struct OmegaOracle {
+    pattern: FailurePattern,
+    stabilize_at: Time,
+    jitter: Time,
+    seed: u64,
+    leader: ProcessId,
+}
+
+impl OmegaOracle {
+    /// Create an Ω oracle that stabilises at `stabilize_at` (plus optional
+    /// per-process jitter; see [`with_jitter`](Self::with_jitter)).
+    pub fn new(pattern: &FailurePattern, stabilize_at: Time, seed: u64) -> Self {
+        assert_pattern_nonempty(pattern);
+        let leader = pattern
+            .correct()
+            .first()
+            .expect("Ω(F) is empty when every process crashes: no valid history exists");
+        OmegaOracle {
+            pattern: pattern.clone(),
+            stabilize_at,
+            jitter: 0,
+            seed,
+            leader,
+        }
+    }
+
+    /// Spread each process's stabilisation instant over
+    /// `[stabilize_at, stabilize_at + jitter]` — Ω's spec does not require
+    /// simultaneous stabilisation.
+    pub fn with_jitter(mut self, jitter: Time) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// The eventual common leader for this pattern.
+    pub fn eventual_leader(&self) -> ProcessId {
+        self.leader
+    }
+
+    fn stabilisation_of(&self, p: ProcessId) -> Time {
+        if self.jitter == 0 {
+            self.stabilize_at
+        } else {
+            self.stabilize_at + mix_range(self.seed, p.index() as u64, 0xB00, self.jitter + 1)
+        }
+    }
+}
+
+impl FdOracle for OmegaOracle {
+    type Value = ProcessId;
+
+    fn query(&mut self, p: ProcessId, t: Time) -> ProcessId {
+        if t >= self.stabilisation_of(p) {
+            self.leader
+        } else {
+            // Arbitrary pre-stabilisation output: any process id at all.
+            ProcessId(mix_range(self.seed, p.index() as u64, t, self.pattern.n() as u64) as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eventual_leader_is_smallest_correct() {
+        let f = FailurePattern::failure_free(4)
+            .with_crash(ProcessId(0), 1)
+            .with_crash(ProcessId(1), 2);
+        let omega = OmegaOracle::new(&f, 0, 0);
+        assert_eq!(omega.eventual_leader(), ProcessId(2));
+    }
+
+    #[test]
+    fn stable_after_stabilisation_everywhere() {
+        let f = FailurePattern::failure_free(5).with_crash(ProcessId(0), 3);
+        let mut omega = OmegaOracle::new(&f, 50, 7).with_jitter(20);
+        for p in 0..5 {
+            for t in 80..120 {
+                assert_eq!(omega.query(ProcessId(p), t), ProcessId(1));
+            }
+        }
+    }
+
+    #[test]
+    fn pre_stabilisation_output_is_arbitrary_but_deterministic() {
+        let f = FailurePattern::failure_free(4);
+        let mut a = OmegaOracle::new(&f, 1_000, 3);
+        let mut b = OmegaOracle::new(&f, 1_000, 3);
+        let mut saw_non_leader = false;
+        for t in 0..200 {
+            let va = a.query(ProcessId(2), t);
+            assert_eq!(va, b.query(ProcessId(2), t), "determinism");
+            if va != ProcessId(0) {
+                saw_non_leader = true;
+            }
+        }
+        assert!(saw_non_leader, "noise phase should emit non-leader ids");
+    }
+
+    #[test]
+    fn zero_stabilisation_is_perfect_from_the_start() {
+        let f = FailurePattern::failure_free(3);
+        let mut omega = OmegaOracle::new(&f, 0, 0);
+        assert_eq!(omega.query(ProcessId(2), 0), ProcessId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "every process crashes")]
+    fn all_crash_pattern_is_rejected() {
+        let f = FailurePattern::with_crashes(2, &[(ProcessId(0), 0), (ProcessId(1), 0)]);
+        let _ = OmegaOracle::new(&f, 0, 0);
+    }
+}

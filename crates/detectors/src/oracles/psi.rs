@@ -1,0 +1,194 @@
+//! The detector Ψ — the weakest failure detector for quittable consensus.
+//!
+//! Spec (paper §6.1): `H ∈ Ψ(F)` iff either
+//!
+//! * there is `H′ ∈ (Ω, Σ)(F)` such that every process outputs ⊥ up to
+//!   some (per-process) time and `H′(p, t)` afterwards, or
+//! * there is a time `t*` with `F(t*) ≠ ∅` and `H′ ∈ FS(F)` such that
+//!   every process outputs ⊥ up to some time `≥ t*` and `H′(p, t)`
+//!   afterwards.
+//!
+//! The switch need not be simultaneous, but the *choice* (consensus mode
+//! vs failure-signal mode) is global.
+
+use crate::oracles::{FsOracle, OmegaOracle, SigmaOracle};
+use crate::rngmix::mix_range;
+use crate::value::{OmegaSigma, PsiValue};
+use wfd_sim::{FailurePattern, FdOracle, ProcessId, Time};
+
+/// Which behaviour Ψ switches to after its ⊥ phase.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum PsiMode {
+    /// Switch to (Ω, Σ): processes will be able to solve consensus.
+    OmegaSigma,
+    /// Switch to FS: processes learn (truthfully) that a failure occurred.
+    /// Only admissible for patterns with at least one crash.
+    Fs,
+}
+
+/// A Ψ history generator.
+///
+/// ```
+/// use wfd_detectors::oracles::{PsiMode, PsiOracle};
+/// use wfd_detectors::PsiValue;
+/// use wfd_sim::{FailurePattern, FdOracle, ProcessId};
+/// let f = FailurePattern::failure_free(3);
+/// let mut psi = PsiOracle::new(&f, PsiMode::OmegaSigma, 20, 0, 7);
+/// assert!(psi.query(ProcessId(0), 0).is_bot());
+/// assert!(psi.query(ProcessId(0), 50).as_omega_sigma().is_some());
+/// ```
+///
+/// # Panics
+///
+/// [`PsiOracle::new`] panics if `mode == PsiMode::Fs` on a failure-free
+/// pattern (the spec forbids the FS choice then), or if
+/// `mode == PsiMode::OmegaSigma` on an all-crash pattern (Ω has no valid
+/// history there).
+#[derive(Clone, Debug)]
+pub struct PsiOracle {
+    mode: PsiMode,
+    switch_base: Time,
+    jitter: Time,
+    seed: u64,
+    omega: Option<OmegaOracle>,
+    sigma: Option<SigmaOracle>,
+    fs: Option<FsOracle>,
+}
+
+impl PsiOracle {
+    /// Create a Ψ oracle that switches out of ⊥ around `switch_at`
+    /// (per-process instants in `[switch_at, switch_at + jitter]`).
+    ///
+    /// For `PsiMode::Fs` the effective switch time is clamped to be no
+    /// earlier than the first crash, as the spec requires (`t ≥ t*`).
+    pub fn new(
+        pattern: &FailurePattern,
+        mode: PsiMode,
+        switch_at: Time,
+        jitter: Time,
+        seed: u64,
+    ) -> Self {
+        let (omega, sigma, fs) = match mode {
+            PsiMode::OmegaSigma => (
+                Some(OmegaOracle::new(pattern, switch_at, seed).with_jitter(jitter)),
+                Some(SigmaOracle::new(pattern, switch_at, seed).with_jitter(jitter)),
+                None,
+            ),
+            PsiMode::Fs => {
+                assert!(
+                    pattern.first_crash_time().is_some(),
+                    "Ψ may switch to FS only if a failure occurs in the pattern"
+                );
+                (None, None, Some(FsOracle::new(pattern, jitter, seed)))
+            }
+        };
+        let switch_base = match mode {
+            PsiMode::OmegaSigma => switch_at,
+            // FS mode: not before the first crash.
+            PsiMode::Fs => switch_at.max(pattern.first_crash_time().expect("checked above")),
+        };
+        PsiOracle {
+            mode,
+            switch_base,
+            jitter,
+            seed,
+            omega,
+            sigma,
+            fs,
+        }
+    }
+
+    /// The mode this history committed to.
+    pub fn mode(&self) -> PsiMode {
+        self.mode
+    }
+
+    /// The instant at which process `p` leaves ⊥.
+    pub fn switch_time_of(&self, p: ProcessId) -> Time {
+        if self.jitter == 0 {
+            self.switch_base
+        } else {
+            self.switch_base + mix_range(self.seed, p.index() as u64, 0x151, self.jitter + 1)
+        }
+    }
+}
+
+impl FdOracle for PsiOracle {
+    type Value = PsiValue;
+
+    fn query(&mut self, p: ProcessId, t: Time) -> PsiValue {
+        if t < self.switch_time_of(p) {
+            return PsiValue::Bot;
+        }
+        match self.mode {
+            PsiMode::OmegaSigma => {
+                let leader = self.omega.as_mut().expect("consensus mode").query(p, t);
+                let quorum = self.sigma.as_mut().expect("consensus mode").query(p, t);
+                PsiValue::OmegaSigma(OmegaSigma { leader, quorum })
+            }
+            PsiMode::Fs => PsiValue::Fs(self.fs.as_mut().expect("fs mode").query(p, t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Signal;
+
+    #[test]
+    fn bot_prefix_then_omega_sigma() {
+        let f = FailurePattern::failure_free(3);
+        let mut psi = PsiOracle::new(&f, PsiMode::OmegaSigma, 10, 5, 3);
+        for p in 0..3 {
+            let sw = psi.switch_time_of(ProcessId(p));
+            assert!((10..=15).contains(&sw));
+            assert!(psi.query(ProcessId(p), sw - 1).is_bot());
+            let v = psi.query(ProcessId(p), sw + 100);
+            let os = v.as_omega_sigma().expect("consensus mode after switch");
+            assert_eq!(os.leader, ProcessId(0));
+            assert_eq!(os.quorum, f.correct());
+        }
+        assert_eq!(psi.mode(), PsiMode::OmegaSigma);
+    }
+
+    #[test]
+    fn fs_mode_switches_only_after_first_crash() {
+        let f = FailurePattern::failure_free(3).with_crash(ProcessId(2), 40);
+        // Requested switch at 5, but the first crash is at 40: clamped.
+        let mut psi = PsiOracle::new(&f, PsiMode::Fs, 5, 3, 1);
+        for p in 0..3 {
+            assert!(psi.switch_time_of(ProcessId(p)) >= 40);
+            assert!(psi.query(ProcessId(p), 39).is_bot());
+            let late = psi.query(ProcessId(p), 200);
+            assert_eq!(late.as_fs(), Some(Signal::Red));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only if a failure occurs")]
+    fn fs_mode_rejected_for_failure_free_pattern() {
+        let f = FailurePattern::failure_free(2);
+        let _ = PsiOracle::new(&f, PsiMode::Fs, 0, 0, 0);
+    }
+
+    #[test]
+    fn mode_choice_is_global() {
+        let f = FailurePattern::failure_free(4).with_crash(ProcessId(1), 2);
+        let mut psi = PsiOracle::new(&f, PsiMode::Fs, 0, 10, 5);
+        for p in 0..4 {
+            let v = psi.query(ProcessId(p), 1_000);
+            assert!(v.as_fs().is_some(), "all processes must see the same mode");
+        }
+    }
+
+    #[test]
+    fn failure_pattern_with_crash_can_still_choose_consensus_mode() {
+        // The spec says processes are *not required* to switch to FS on
+        // failure; (Ω, Σ) mode must remain admissible.
+        let f = FailurePattern::failure_free(3).with_crash(ProcessId(2), 1);
+        let mut psi = PsiOracle::new(&f, PsiMode::OmegaSigma, 5, 0, 2);
+        let v = psi.query(ProcessId(0), 50);
+        assert!(v.as_omega_sigma().is_some());
+    }
+}

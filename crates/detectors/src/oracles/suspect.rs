@@ -1,0 +1,166 @@
+//! Suspicion-list detectors of the Chandra–Toueg hierarchy: the perfect
+//! detector P, the eventually-perfect ◇P, and the eventually-strong ◇S.
+//!
+//! These are not the paper's protagonists, but they are needed as
+//! baselines (the Chandra–Toueg ◇S consensus algorithm of experiment E9)
+//! and as historical context (Fromentin et al. showed pairwise NBAC needs
+//! P).
+
+use crate::oracles::assert_pattern_nonempty;
+use crate::rngmix::mix;
+use wfd_sim::{FailurePattern, FdOracle, ProcessId, ProcessSet, Time};
+
+/// The perfect failure detector P: never suspects a process before it
+/// crashes (strong accuracy) and eventually suspects every crashed process
+/// (strong completeness).
+///
+/// Output at `(p, t)`: the set of processes whose crash is at least
+/// `detection_delay` old at `t`.
+///
+/// ```
+/// use wfd_detectors::oracles::PerfectOracle;
+/// use wfd_sim::{FailurePattern, FdOracle, ProcessId};
+/// let f = FailurePattern::failure_free(3).with_crash(ProcessId(1), 10);
+/// let mut p = PerfectOracle::new(&f, 5);
+/// assert!(p.query(ProcessId(0), 12).is_empty());
+/// assert!(p.query(ProcessId(0), 15).contains(ProcessId(1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PerfectOracle {
+    pattern: FailurePattern,
+    detection_delay: Time,
+}
+
+impl PerfectOracle {
+    /// Create a P oracle with the given detection delay.
+    pub fn new(pattern: &FailurePattern, detection_delay: Time) -> Self {
+        assert_pattern_nonempty(pattern);
+        PerfectOracle {
+            pattern: pattern.clone(),
+            detection_delay,
+        }
+    }
+}
+
+impl FdOracle for PerfectOracle {
+    type Value = ProcessSet;
+
+    fn query(&mut self, _p: ProcessId, t: Time) -> ProcessSet {
+        self.pattern
+            .crashed_at(t.saturating_sub(self.detection_delay))
+    }
+}
+
+/// The eventually-perfect failure detector ◇P: like P but allowed
+/// arbitrary false suspicions before a stabilisation time.
+#[derive(Clone, Debug)]
+pub struct EventuallyPerfectOracle {
+    pattern: FailurePattern,
+    stabilize_at: Time,
+    seed: u64,
+}
+
+impl EventuallyPerfectOracle {
+    /// Create a ◇P oracle that behaves perfectly from `stabilize_at` on.
+    pub fn new(pattern: &FailurePattern, stabilize_at: Time, seed: u64) -> Self {
+        assert_pattern_nonempty(pattern);
+        EventuallyPerfectOracle {
+            pattern: pattern.clone(),
+            stabilize_at,
+            seed,
+        }
+    }
+}
+
+impl FdOracle for EventuallyPerfectOracle {
+    type Value = ProcessSet;
+
+    fn query(&mut self, p: ProcessId, t: Time) -> ProcessSet {
+        if t >= self.stabilize_at {
+            return self.pattern.crashed_at(t);
+        }
+        // Noise phase: suspect an arbitrary deterministic subset.
+        ProcessId::all(self.pattern.n())
+            .filter(|q| mix(self.seed, (p.index() as u64) << 20 | q.index() as u64, t).is_multiple_of(3))
+            .collect()
+    }
+}
+
+/// The eventually-strong failure detector ◇S: strong completeness +
+/// *eventual weak accuracy* (eventually some correct process is never
+/// suspected by any correct process).
+///
+/// This realisation also satisfies ◇P after stabilisation, which is fine —
+/// ◇P histories are ◇S histories.
+#[derive(Clone, Debug)]
+pub struct EventuallyStrongOracle {
+    inner: EventuallyPerfectOracle,
+}
+
+impl EventuallyStrongOracle {
+    /// Create a ◇S oracle that stabilises at `stabilize_at`.
+    pub fn new(pattern: &FailurePattern, stabilize_at: Time, seed: u64) -> Self {
+        EventuallyStrongOracle {
+            inner: EventuallyPerfectOracle::new(pattern, stabilize_at, seed),
+        }
+    }
+}
+
+impl FdOracle for EventuallyStrongOracle {
+    type Value = ProcessSet;
+
+    fn query(&mut self, p: ProcessId, t: Time) -> ProcessSet {
+        self.inner.query(p, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_never_suspects_alive_processes() {
+        let f = FailurePattern::with_crashes(4, &[(ProcessId(2), 30)]);
+        let mut p = PerfectOracle::new(&f, 3);
+        for t in 0..100 {
+            let suspects = p.query(ProcessId(0), t);
+            for q in suspects.iter() {
+                assert!(f.is_crashed(q, t), "P suspected alive {q} at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_eventually_suspects_all_crashed() {
+        let f = FailurePattern::with_crashes(3, &[(ProcessId(0), 5), (ProcessId(1), 9)]);
+        let mut p = PerfectOracle::new(&f, 2);
+        assert_eq!(p.query(ProcessId(2), 100), f.faulty());
+    }
+
+    #[test]
+    fn eventually_perfect_noise_then_accuracy() {
+        let f = FailurePattern::with_crashes(4, &[(ProcessId(3), 10)]);
+        let mut dp = EventuallyPerfectOracle::new(&f, 50, 8);
+        let noisy = (0..40).any(|t| {
+            dp.query(ProcessId(0), t)
+                .iter()
+                .any(|q| !f.is_crashed(q, t))
+        });
+        assert!(noisy, "◇P should make false suspicions early");
+        for t in 50..80 {
+            assert_eq!(dp.query(ProcessId(1), t), f.crashed_at(t));
+        }
+    }
+
+    #[test]
+    fn eventually_strong_has_eventual_weak_accuracy() {
+        let f = FailurePattern::with_crashes(4, &[(ProcessId(1), 5)]);
+        let mut ds = EventuallyStrongOracle::new(&f, 20, 2);
+        // After stabilisation, no correct process is ever suspected.
+        for p in f.correct().iter() {
+            for t in 20..60 {
+                assert!(!ds.query(p, t).contains(ProcessId(0)));
+            }
+        }
+    }
+}

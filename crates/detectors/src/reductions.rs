@@ -1,0 +1,181 @@
+//! Detector-to-detector reductions — the paper's "`D` can be transformed
+//! into `D′`" relation, executable at the oracle level.
+//!
+//! A reduction wraps an oracle for one detector and presents the
+//! interface of a weaker one, computing each output *locally* from the
+//! wrapped module's output (these particular classical reductions need no
+//! communication). They complement the heavyweight algorithmic
+//! extractions (Figures 1 and 3), which are reductions that *do* need to
+//! run algorithms:
+//!
+//! * P ⪰ ◇P ⪰ ◇S — suspicion lists weaken monotonically (identity).
+//! * P ⪰ FS — [`FsFromPerfect`]: signal red as soon as anyone is
+//!   (accurately) suspected.
+//! * ◇P ⪰ Ω — [`OmegaFromEventuallyPerfect`]: trust the smallest
+//!   unsuspected process.
+//! * (Ω, Σ) ⪰ Ψ-in-consensus-mode — [`PsiFromOmegaSigma`]: output ⊥
+//!   until an arbitrary local instant, then mirror (Ω, Σ) (one admissible
+//!   Ψ history; the paper's Ψ is *weaker* because it may instead choose
+//!   FS after a failure).
+
+use crate::value::{OmegaSigma, PsiValue, Signal};
+use wfd_sim::{FdOracle, ProcessId, ProcessSet, Time};
+
+/// FS from the perfect detector P: red iff P suspects someone. P's strong
+/// accuracy makes the red truthful; its strong completeness makes it
+/// eventually permanent after a crash.
+#[derive(Clone, Debug)]
+pub struct FsFromPerfect<O> {
+    inner: O,
+}
+
+impl<O: FdOracle<Value = ProcessSet>> FsFromPerfect<O> {
+    /// Wrap a P oracle.
+    pub fn new(inner: O) -> Self {
+        FsFromPerfect { inner }
+    }
+}
+
+impl<O: FdOracle<Value = ProcessSet>> FdOracle for FsFromPerfect<O> {
+    type Value = Signal;
+
+    fn query(&mut self, p: ProcessId, t: Time) -> Signal {
+        if self.inner.query(p, t).is_empty() {
+            Signal::Green
+        } else {
+            Signal::Red
+        }
+    }
+}
+
+/// Ω from ◇P: the smallest currently-unsuspected process. Once ◇P is
+/// accurate and complete, this is the smallest correct process at
+/// everyone, forever.
+#[derive(Clone, Debug)]
+pub struct OmegaFromEventuallyPerfect<O> {
+    inner: O,
+    n: usize,
+}
+
+impl<O: FdOracle<Value = ProcessSet>> OmegaFromEventuallyPerfect<O> {
+    /// Wrap a ◇P oracle for a system of `n` processes.
+    pub fn new(inner: O, n: usize) -> Self {
+        assert!(n > 0, "system must be non-empty");
+        OmegaFromEventuallyPerfect { inner, n }
+    }
+}
+
+impl<O: FdOracle<Value = ProcessSet>> FdOracle for OmegaFromEventuallyPerfect<O> {
+    type Value = ProcessId;
+
+    fn query(&mut self, p: ProcessId, t: Time) -> ProcessId {
+        let suspected = self.inner.query(p, t);
+        ProcessId::all(self.n)
+            .find(|q| !suspected.contains(*q))
+            // All suspected (transient ◇P noise): fall back to self.
+            .unwrap_or(p)
+    }
+}
+
+/// One admissible Ψ history from an (Ω, Σ) oracle: ⊥ before `switch_at`,
+/// the (Ω, Σ) output afterwards. Witnesses the trivial direction
+/// (Ω, Σ) ⪰ Ψ of the weakest-QC-detector result.
+#[derive(Clone, Debug)]
+pub struct PsiFromOmegaSigma<O> {
+    inner: O,
+    switch_at: Time,
+}
+
+impl<O: FdOracle<Value = (ProcessId, ProcessSet)>> PsiFromOmegaSigma<O> {
+    /// Wrap an (Ω, Σ) oracle; Ψ leaves ⊥ at `switch_at`.
+    pub fn new(inner: O, switch_at: Time) -> Self {
+        PsiFromOmegaSigma { inner, switch_at }
+    }
+}
+
+impl<O: FdOracle<Value = (ProcessId, ProcessSet)>> FdOracle for PsiFromOmegaSigma<O> {
+    type Value = PsiValue;
+
+    fn query(&mut self, p: ProcessId, t: Time) -> PsiValue {
+        if t < self.switch_at {
+            PsiValue::Bot
+        } else {
+            let (leader, quorum) = self.inner.query(p, t);
+            PsiValue::OmegaSigma(OmegaSigma { leader, quorum })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{check_fs, check_omega, check_psi};
+    use crate::history::History;
+    use crate::oracles::{
+        EventuallyPerfectOracle, OmegaOracle, PairOracle, PerfectOracle, SigmaOracle,
+    };
+    use wfd_sim::FailurePattern;
+
+    fn sample<O: FdOracle>(oracle: &mut O, n: usize, horizon: Time) -> History<O::Value> {
+        let mut h = History::new(n);
+        for t in 0..horizon {
+            for p in ProcessId::all(n) {
+                h.record(p, t, oracle.query(p, t));
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn fs_from_perfect_conforms_to_fs() {
+        let f = FailurePattern::with_crashes(3, &[(ProcessId(1), 40)]);
+        let mut fs = FsFromPerfect::new(PerfectOracle::new(&f, 5));
+        let h = sample(&mut fs, 3, 200);
+        let stats = check_fs(&h, &f).expect("P-derived FS conforms");
+        assert_eq!(stats.first_red, Some(45));
+    }
+
+    #[test]
+    fn fs_from_perfect_failure_free_stays_green() {
+        let f = FailurePattern::failure_free(3);
+        let mut fs = FsFromPerfect::new(PerfectOracle::new(&f, 5));
+        let h = sample(&mut fs, 3, 100);
+        assert_eq!(check_fs(&h, &f).expect("conforms").first_red, None);
+    }
+
+    #[test]
+    fn omega_from_eventually_perfect_conforms_to_omega() {
+        let f = FailurePattern::with_crashes(4, &[(ProcessId(0), 30)]);
+        let mut omega =
+            OmegaFromEventuallyPerfect::new(EventuallyPerfectOracle::new(&f, 100, 7), 4);
+        let h = sample(&mut omega, 4, 400);
+        let stats = check_omega(&h, &f).expect("◇P-derived Ω conforms");
+        assert_eq!(stats.leader, Some(ProcessId(1)));
+    }
+
+    #[test]
+    fn psi_from_omega_sigma_conforms_to_psi() {
+        let f = FailurePattern::with_crashes(3, &[(ProcessId(2), 60)]);
+        let inner = PairOracle::new(
+            OmegaOracle::new(&f, 100, 3),
+            SigmaOracle::new(&f, 100, 3),
+        );
+        let mut psi = PsiFromOmegaSigma::new(inner, 50);
+        let h = sample(&mut psi, 3, 400);
+        let stats = check_psi(&h, &f).expect("(Ω,Σ)-derived Ψ conforms");
+        assert_eq!(stats.phase, crate::check::PsiPhase::OmegaSigma);
+    }
+
+    #[test]
+    fn omega_fallback_when_everyone_suspected() {
+        struct AllSuspects(usize);
+        impl FdOracle for AllSuspects {
+            type Value = ProcessSet;
+            fn query(&mut self, _p: ProcessId, _t: Time) -> ProcessSet {
+                ProcessSet::full(self.0)
+            }
+        }
+        let mut omega = OmegaFromEventuallyPerfect::new(AllSuspects(3), 3);
+        assert_eq!(omega.query(ProcessId(2), 0), ProcessId(2));
+    }
+}

@@ -1,0 +1,69 @@
+//! Deterministic per-`(seed, p, t)` pseudo-randomness.
+//!
+//! Oracles must be *functions* of `(p, t)` — re-querying the same point
+//! must yield the same value — while still exhibiting varied, seed-driven
+//! behaviour. A stateless splitmix64-style hash of `(seed, p, t)` gives
+//! exactly that without any caching.
+
+/// splitmix64 finaliser.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic 64-bit hash of `(seed, a, b)`.
+pub(crate) fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    splitmix64(splitmix64(seed ^ a.wrapping_mul(0xA24B_AED4_963E_E407)) ^ b)
+}
+
+/// A deterministic value in `0..bound` derived from `(seed, a, b)`.
+///
+/// # Panics
+///
+/// Panics if `bound == 0`.
+pub(crate) fn mix_range(seed: u64, a: u64, b: u64, bound: u64) -> u64 {
+    assert!(bound > 0, "bound must be positive");
+    mix(seed, a, b) % bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic() {
+        assert_eq!(mix(1, 2, 3), mix(1, 2, 3));
+    }
+
+    #[test]
+    fn mix_varies_with_each_argument() {
+        let base = mix(1, 2, 3);
+        assert_ne!(base, mix(2, 2, 3));
+        assert_ne!(base, mix(1, 3, 3));
+        assert_ne!(base, mix(1, 2, 4));
+    }
+
+    #[test]
+    fn mix_range_respects_bound() {
+        for t in 0..1000 {
+            assert!(mix_range(7, 3, t, 5) < 5);
+        }
+    }
+
+    #[test]
+    fn mix_range_covers_values() {
+        let mut seen = [false; 5];
+        for t in 0..200 {
+            seen[mix_range(9, 0, t, 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should occur");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn mix_range_zero_bound_panics() {
+        mix_range(0, 0, 0, 0);
+    }
+}

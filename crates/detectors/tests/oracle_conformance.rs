@@ -1,0 +1,107 @@
+//! Property tests: every oracle's histories must satisfy its own
+//! specification checker, for arbitrary admissible failure patterns,
+//! seeds, stabilisation parameters and sampling grids. This is the
+//! soundness contract between `oracles` and `check` that everything else
+//! in the workspace relies on.
+
+use proptest::prelude::*;
+use wfd_detectors::check::{check_fs, check_omega, check_psi, check_sigma};
+use wfd_detectors::oracles::{FsOracle, OmegaOracle, PsiMode, PsiOracle, SigmaOracle};
+use wfd_detectors::History;
+use wfd_sim::{FailurePattern, FdOracle, ProcessId, Time};
+
+fn pattern_strategy(n: usize, max_t: u64) -> impl Strategy<Value = FailurePattern> {
+    proptest::collection::vec(proptest::option::of(0..max_t), n).prop_filter_map(
+        "at least one correct process",
+        move |crashes| {
+            if crashes.iter().all(|c| c.is_some()) {
+                return None;
+            }
+            let mut f = FailurePattern::failure_free(crashes.len());
+            for (i, c) in crashes.iter().enumerate() {
+                if let Some(t) = c {
+                    f = f.with_crash(ProcessId(i), *t);
+                }
+            }
+            Some(f)
+        },
+    )
+}
+
+/// Sample an oracle on a regular grid well past stabilisation.
+fn sample<O: FdOracle>(oracle: &mut O, n: usize, horizon: Time, stride: u64) -> History<O::Value> {
+    let mut h = History::new(n);
+    for t in (0..horizon).step_by(stride as usize) {
+        for p in ProcessId::all(n) {
+            h.record(p, t, oracle.query(p, t));
+        }
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn omega_oracle_conforms(
+        pattern in pattern_strategy(5, 200),
+        seed in 0u64..10_000,
+        stabilize in 0u64..300,
+        jitter in 0u64..100,
+        stride in 1u64..7,
+    ) {
+        let mut o = OmegaOracle::new(&pattern, stabilize, seed).with_jitter(jitter);
+        let h = sample(&mut o, 5, stabilize + jitter + 500, stride);
+        prop_assert!(check_omega(&h, &pattern).is_ok());
+    }
+
+    #[test]
+    fn sigma_oracle_conforms(
+        pattern in pattern_strategy(5, 200),
+        seed in 0u64..10_000,
+        stabilize in 0u64..300,
+        jitter in 0u64..100,
+        stride in 1u64..7,
+    ) {
+        let mut o = SigmaOracle::new(&pattern, stabilize, seed).with_jitter(jitter);
+        let h = sample(&mut o, 5, stabilize + jitter + 500, stride);
+        prop_assert!(check_sigma(&h, &pattern).is_ok());
+    }
+
+    #[test]
+    fn fs_oracle_conforms(
+        pattern in pattern_strategy(4, 200),
+        seed in 0u64..10_000,
+        delay in 0u64..100,
+        stride in 1u64..7,
+    ) {
+        let mut o = FsOracle::new(&pattern, delay, seed);
+        let h = sample(&mut o, 4, 600, stride);
+        prop_assert!(check_fs(&h, &pattern).is_ok());
+    }
+
+    #[test]
+    fn psi_oracle_conforms_consensus_mode(
+        pattern in pattern_strategy(4, 200),
+        seed in 0u64..10_000,
+        switch in 0u64..300,
+        jitter in 0u64..100,
+    ) {
+        let mut o = PsiOracle::new(&pattern, PsiMode::OmegaSigma, switch, jitter, seed);
+        let h = sample(&mut o, 4, switch + jitter + 500, 3);
+        prop_assert!(check_psi(&h, &pattern).is_ok());
+    }
+
+    #[test]
+    fn psi_oracle_conforms_fs_mode(
+        pattern in pattern_strategy(4, 200)
+            .prop_filter("needs a failure", |f| f.first_crash_time().is_some()),
+        seed in 0u64..10_000,
+        switch in 0u64..300,
+        jitter in 0u64..100,
+    ) {
+        let mut o = PsiOracle::new(&pattern, PsiMode::Fs, switch, jitter, seed);
+        let h = sample(&mut o, 4, switch + jitter + 700, 3);
+        prop_assert!(check_psi(&h, &pattern).is_ok());
+    }
+}

@@ -1,0 +1,199 @@
+//! The simulation forest Υ: canonical runs of `A` for the `n+1` initial
+//! configurations, driven by recorded detector samples.
+//!
+//! Tree `i`'s initial configuration `I_i` has processes `p_0 … p_{i−1}`
+//! propose 1 and the rest propose 0. The canonical run of a tree over a
+//! sample window applies the samples in time order (each sample is one
+//! step of the sampled process) and stops at the first decision — one
+//! admissible branch of the CHT tree, deterministic in the window, hence
+//! identical at every extractor that holds the same samples.
+
+use crate::family::QcFamily;
+use crate::runner::Runner;
+use crate::sampling::Sample;
+use wfd_consensus::ConsensusOutput;
+use wfd_quittable::QcDecision;
+use wfd_sim::ProcessId;
+
+/// Result of evaluating one tree over a window.
+#[derive(Clone, Debug)]
+pub struct TreeRun<Fd> {
+    /// Which tree (number of leading 1-proposers in `I_i`).
+    pub ones: usize,
+    /// The first decision reached in the canonical run, if any.
+    pub decision: Option<QcDecision<u8>>,
+    /// The executed schedule up to (and including) the deciding step.
+    pub schedule: Vec<(ProcessId, Fd)>,
+}
+
+/// The proposals of initial configuration `I_i` for a system of `n`
+/// processes: `p_j` proposes 1 iff `j < i`.
+pub fn initial_proposals(n: usize, ones: usize) -> Vec<Option<u8>> {
+    (0..n).map(|j| Some(u8::from(j < ones))).collect()
+}
+
+/// Evaluate tree `ones` over a sample window: run the canonical
+/// simulation until the first decision or window exhaustion.
+pub fn evaluate_tree<F: QcFamily>(
+    family: &F,
+    n: usize,
+    ones: usize,
+    window: impl Iterator<Item = Sample<F::Fd>>,
+) -> TreeRun<F::Fd> {
+    let procs: Vec<F::Binary> = (0..n).map(|_| family.binary()).collect();
+    let mut runner = Runner::new(procs, initial_proposals(n, ones));
+    let mut decision = None;
+    for s in window {
+        runner.step(s.q, s.val);
+        if let Some((_, ConsensusOutput::Decided(d))) = runner.outputs().first() {
+            decision = Some(d.clone());
+            break;
+        }
+    }
+    TreeRun {
+        ones,
+        decision,
+        schedule: runner.schedule().to_vec(),
+    }
+}
+
+/// Evaluate all `n + 1` trees over (clones of) one window.
+pub fn evaluate_forest<F: QcFamily>(
+    family: &F,
+    n: usize,
+    window: &[Sample<F::Fd>],
+) -> Vec<TreeRun<F::Fd>> {
+    (0..=n)
+        .map(|ones| evaluate_tree(family, n, ones, window.iter().cloned()))
+        .collect()
+}
+
+/// Locate a *critical pair* in fully-decided forest results: adjacent
+/// trees `i`, `i+1` (initial configurations differing only in `p_i`'s
+/// proposal) whose canonical runs decided 0 and 1 (in either order).
+/// Returns `(zero_tree, one_tree)` — the tree deciding 0 first.
+pub fn critical_pair<Fd>(runs: &[TreeRun<Fd>]) -> Option<(usize, usize)> {
+    for w in runs.windows(2) {
+        match (&w[0].decision, &w[1].decision) {
+            (Some(QcDecision::Value(0)), Some(QcDecision::Value(1))) => {
+                return Some((w[0].ones, w[1].ones))
+            }
+            (Some(QcDecision::Value(1)), Some(QcDecision::Value(0))) => {
+                return Some((w[1].ones, w[0].ones))
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::PsiQcFamily;
+    use wfd_detectors::oracles::{PsiMode, PsiOracle};
+    use wfd_detectors::PsiValue;
+    use wfd_sim::{FailurePattern, FdOracle, Time};
+
+    /// A window of Ψ samples in which every process samples round-robin.
+    fn psi_window(
+        pattern: &FailurePattern,
+        mode: PsiMode,
+        switch: Time,
+        len: usize,
+    ) -> Vec<Sample<PsiValue>> {
+        let n = pattern.n();
+        let mut psi = PsiOracle::new(pattern, mode, switch, 0, 3);
+        let mut out = Vec::new();
+        for k in 0..len {
+            let q = ProcessId(k % n);
+            let t = k as Time;
+            // Skip samples of crashed processes: a crashed process takes
+            // no steps, hence no samples.
+            if !pattern.is_crashed(q, t) {
+                out.push(Sample {
+                    q,
+                    t,
+                    val: psi.query(q, t),
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn initial_proposals_shape() {
+        assert_eq!(
+            initial_proposals(3, 0),
+            vec![Some(0), Some(0), Some(0)]
+        );
+        assert_eq!(
+            initial_proposals(3, 2),
+            vec![Some(1), Some(1), Some(0)]
+        );
+    }
+
+    #[test]
+    fn all_trees_decide_with_consensus_mode_samples() {
+        let n = 3;
+        let pattern = FailurePattern::failure_free(n);
+        let window = psi_window(&pattern, PsiMode::OmegaSigma, 0, 3_000);
+        let runs = evaluate_forest(&PsiQcFamily, n, &window);
+        assert_eq!(runs.len(), n + 1);
+        for run in &runs {
+            let d = run
+                .decision
+                .as_ref()
+                .unwrap_or_else(|| panic!("tree {} undecided", run.ones));
+            assert!(matches!(d, QcDecision::Value(_)));
+        }
+        // Tree 0 (all propose 0) must decide 0; tree n (all 1) must
+        // decide 1 — QC validity inside the simulation.
+        assert_eq!(runs[0].decision, Some(QcDecision::Value(0)));
+        assert_eq!(runs[n].decision, Some(QcDecision::Value(1)));
+        // And therefore a critical pair exists.
+        let (z, o) = critical_pair(&runs).expect("0-vs-1 boundary exists");
+        assert!(z.abs_diff(o) == 1);
+    }
+
+    #[test]
+    fn fs_mode_samples_make_trees_decide_q() {
+        let n = 3;
+        let pattern = FailurePattern::failure_free(n).with_crash(ProcessId(2), 10);
+        let window = psi_window(&pattern, PsiMode::Fs, 0, 500);
+        let runs = evaluate_forest(&PsiQcFamily, n, &window);
+        for run in &runs {
+            assert_eq!(
+                run.decision,
+                Some(QcDecision::Quit),
+                "tree {} should quit under FS-mode samples",
+                run.ones
+            );
+        }
+        assert_eq!(critical_pair(&runs), None);
+    }
+
+    #[test]
+    fn schedule_stops_at_decision() {
+        let n = 3;
+        let pattern = FailurePattern::failure_free(n);
+        let window = psi_window(&pattern, PsiMode::OmegaSigma, 0, 3_000);
+        let run = evaluate_tree(&PsiQcFamily, n, 1, window.into_iter());
+        assert!(run.decision.is_some());
+        assert!(
+            run.schedule.len() < 3_000,
+            "canonical run should stop at the first decision"
+        );
+    }
+
+    #[test]
+    fn critical_pair_handles_non_monotone_decisions() {
+        let mk = |ones: usize, d: u8| TreeRun::<()> {
+            ones,
+            decision: Some(QcDecision::Value(d)),
+            schedule: vec![],
+        };
+        let runs = vec![mk(0, 1), mk(1, 0), mk(2, 1)];
+        assert_eq!(critical_pair(&runs), Some((1, 0)));
+    }
+}

@@ -1,0 +1,42 @@
+//! # wfd-extraction — Figure 3: extracting Ψ from any QC algorithm
+//! (paper §6.3)
+//!
+//! The necessity half of Corollary 7: given any algorithm `A` solving
+//! quittable consensus with any detector `D`, the transformation emulates
+//! Ψ. The executable pipeline mirrors the paper:
+//!
+//! 1. **Sampling** ([`sampling`]) — every process samples its `D` module
+//!    and floods the samples; because sends are atomic and links reliable,
+//!    the sample sequences of correct processes converge to the same
+//!    time-ordered limit (our concretisation of the CHT DAG `G_p`: the
+//!    total order by global sample time is one admissible edge set).
+//! 2. **Simulation** ([`runner`], [`forest`]) — deterministic re-execution
+//!    of `A` against recorded samples: for each of the `n+1` initial
+//!    configurations `I_i` (processes `p_0 … p_{i−1}` propose 1, the rest
+//!    0), the canonical run applies the sampled steps in time order.
+//! 3. **Figure 3 proper** ([`psi`]) — wait until every tree's canonical
+//!    run decides (line 8); if any run decided `Q`, propose `0` to a real
+//!    execution of `A`, otherwise propose the critical tuple
+//!    `(I, I′, S, S′)` (lines 9–14); then either emit `red` forever or
+//!    extract (Ω, Σ) from fresh sample windows (lines 15–34) — Σ exactly
+//!    as the paper's lines 24–32, Ω by re-evaluating the critical index
+//!    on fresh windows (our executable counterpart of the limit-forest
+//!    argument of CHT96; see DESIGN.md §6 for the fidelity note).
+//!
+//! The emitted [`PsiValue`](wfd_detectors::PsiValue) stream is validated
+//! against Ψ's defining predicate by
+//! [`check_psi`](wfd_detectors::check::check_psi).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod family;
+pub mod forest;
+pub mod psi;
+pub mod runner;
+pub mod sampling;
+
+pub use family::{OmegaSigmaQcFamily, PsiQcFamily, QcFamily};
+pub use psi::{ExtractProposal, PsiExtraction};
+pub use runner::Runner;
+pub use sampling::{Sample, SampleStore};

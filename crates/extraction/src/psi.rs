@@ -1,0 +1,511 @@
+//! **Figure 3 of the paper**: the transformation extracting Ψ from any
+//! failure detector `D` and QC algorithm `A`.
+//!
+//! Per process, the protocol runs the paper's two tasks:
+//!
+//! * **Task 1** — keep sampling the local `D` module and flooding the
+//!   samples ([`SampleStore`]); keep growing simulated runs of `A` for
+//!   the `n+1` initial configurations ([`crate::forest`]).
+//! * **Task 2** — once every tree's simulation has decided (line 8):
+//!   propose `0` to a *real* execution of `A` if any simulation decided
+//!   `Q` (line 11), else propose the critical tuple `(I, I′, S, S′)`
+//!   (lines 13–14). If the real execution returns `0`/`Q`, output `red`
+//!   forever (line 18); if it returns a tuple, extract (Ω, Σ) forever
+//!   (lines 20–34):
+//!   - **Σ** exactly as lines 24–32: per round, reconstruct the
+//!     configuration set `C` from all prefixes of the agreed schedules,
+//!     extend each with *fresh* samples until it decides, and output the
+//!     union of the step-takers;
+//!   - **Ω** by re-evaluating the critical index of the simulated forest
+//!     on the same fresh windows (the executable counterpart of the CHT
+//!     limit-forest procedure of line 22 — see DESIGN.md §6).
+//!
+//! Until a branch is taken the output is ⊥, so the emitted stream is a
+//! [`PsiValue`] history checkable by
+//! [`check_psi`](wfd_detectors::check::check_psi).
+
+use crate::family::QcFamily;
+use crate::forest::{critical_pair, evaluate_forest, initial_proposals};
+use crate::runner::Runner;
+use crate::sampling::{Sample, SampleStore};
+use std::fmt::Debug;
+use wfd_consensus::ConsensusOutput;
+use wfd_detectors::value::{OmegaSigma, PsiValue, Signal};
+use wfd_quittable::QcDecision;
+use wfd_sim::{Ctx, ProcessId, ProcessSet, Protocol, Time};
+
+/// The critical tuple `(I, I′, S, S′)` of Figure 3 line 13: two adjacent
+/// initial configurations and schedules deciding 0 and 1 respectively.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CriticalTuple<Fd> {
+    /// `I`: the tree (number of leading 1-proposers) whose run decided 0.
+    pub zero_tree: usize,
+    /// `I′`: the adjacent tree whose run decided 1.
+    pub one_tree: usize,
+    /// `S`: schedule deciding 0 from `I`.
+    pub s0: Vec<(ProcessId, Fd)>,
+    /// `S′`: schedule deciding 1 from `I′`.
+    pub s1: Vec<(ProcessId, Fd)>,
+}
+
+/// What a process proposes to the real execution of `A` (lines 11/14).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExtractProposal<Fd> {
+    /// "I saw a `Q` decision in my simulations" (line 11).
+    Zero,
+    /// A critical tuple (line 14).
+    Tuple(CriticalTuple<Fd>),
+}
+
+/// Messages: flooded detector samples plus the real execution's traffic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Fig3Msg<Fd, M> {
+    /// A flooded `D` sample.
+    Sample(Sample<Fd>),
+    /// Traffic of the hosted real execution of `A`.
+    Real(M),
+}
+
+#[derive(Clone, Debug)]
+enum Phase<Fd> {
+    /// Task 1 only: simulating until every tree decides.
+    Simulating,
+    /// Proposed to the real execution, awaiting its decision.
+    RealExec,
+    /// Line 18: output red forever.
+    Red,
+    /// Lines 20–34: extract (Ω, Σ) forever.
+    OmegaSigma {
+        tuple: CriticalTuple<Fd>,
+        watermark: Time,
+        leader: ProcessId,
+        quorum: ProcessSet,
+    },
+}
+
+/// One process of the Figure 3 transformation, generic over the QC
+/// algorithm family (`A` + `D`).
+#[derive(Debug)]
+pub struct PsiExtraction<F: QcFamily> {
+    family: F,
+    store: SampleStore<F::Fd>,
+    real: F::Multi,
+    phase: Phase<F::Fd>,
+    own_steps: u64,
+    /// `None` = default to `n` (one sample broadcast per `n` own steps).
+    /// The default matters: with `n − 1` recipients per broadcast, any
+    /// interval below `n − 1` *produces* messages faster than the
+    /// one-delivery-per-step model can consume them, and the growing
+    /// backlog starves every other protocol message.
+    sample_interval: Option<u64>,
+    eval_interval: u64,
+    out_interval: u64,
+    real_decision_seen: bool,
+}
+
+impl<F: QcFamily> PsiExtraction<F> {
+    /// Create an extraction process.
+    pub fn new(family: F) -> Self {
+        let real = family.multi();
+        PsiExtraction {
+            family,
+            store: SampleStore::new(),
+            real,
+            phase: Phase::Simulating,
+            own_steps: 0,
+            sample_interval: None,
+            eval_interval: 64,
+            out_interval: 8,
+            real_decision_seen: false,
+        }
+    }
+
+    /// Override how often (in own steps) the process samples `D` and
+    /// floods the sample. The default is `n`; anything below `n − 1`
+    /// floods the network faster than it drains (see the field docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn with_sample_interval(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "sample interval must be positive");
+        self.sample_interval = Some(interval);
+        self
+    }
+
+    /// Override how often (in own steps) simulations are re-evaluated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn with_eval_interval(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "eval interval must be positive");
+        self.eval_interval = interval;
+        self
+    }
+
+    /// Whether this process has left the ⊥ phase.
+    pub fn has_switched(&self) -> bool {
+        matches!(self.phase, Phase::Red | Phase::OmegaSigma { .. })
+    }
+
+    fn current_output(&self, ctx: &Ctx<Self>) -> PsiValue {
+        match &self.phase {
+            Phase::Simulating | Phase::RealExec => PsiValue::Bot,
+            Phase::Red => PsiValue::Fs(Signal::Red),
+            Phase::OmegaSigma { leader, quorum, .. } => {
+                let _ = ctx;
+                PsiValue::OmegaSigma(OmegaSigma {
+                    leader: *leader,
+                    quorum: quorum.clone(),
+                })
+            }
+        }
+    }
+
+    fn with_real(&mut self, ctx: &mut Ctx<Self>, f: impl FnOnce(&mut F::Multi, &mut Ctx<F::Multi>)) {
+        let fd = ctx.fd().clone();
+        let mut ictx = Ctx::<F::Multi>::detached(ctx.me(), ctx.n(), ctx.now(), fd);
+        f(&mut self.real, &mut ictx);
+        for (to, msg) in ictx.take_sends() {
+            ctx.send(to, Fig3Msg::Real(msg));
+        }
+        for out in ictx.take_outputs() {
+            let ConsensusOutput::Decided(d) = out;
+            self.on_real_decision(ctx, d);
+        }
+    }
+
+    /// Lines 15–20: the real execution of `A` decided.
+    fn on_real_decision(&mut self, ctx: &mut Ctx<Self>, d: QcDecision<ExtractProposal<F::Fd>>) {
+        if self.real_decision_seen {
+            return;
+        }
+        self.real_decision_seen = true;
+        match d {
+            QcDecision::Quit | QcDecision::Value(ExtractProposal::Zero) => {
+                // Line 18: Ψ-output := red.
+                self.phase = Phase::Red;
+                ctx.output(PsiValue::Fs(Signal::Red));
+            }
+            QcDecision::Value(ExtractProposal::Tuple(tuple)) => {
+                // Line 20: Ω-output := p; Σ-output := Π.
+                let watermark = self.store.max_time().unwrap_or(0);
+                self.phase = Phase::OmegaSigma {
+                    tuple,
+                    watermark,
+                    leader: ctx.me(),
+                    quorum: ProcessSet::full(ctx.n()),
+                };
+                ctx.output(PsiValue::OmegaSigma(OmegaSigma {
+                    leader: ctx.me(),
+                    quorum: ProcessSet::full(ctx.n()),
+                }));
+            }
+        }
+    }
+
+    /// Line 8–14: check whether every tree's simulation has decided and,
+    /// if so, propose to the real execution.
+    fn try_finish_simulating(&mut self, ctx: &mut Ctx<Self>) {
+        let n = ctx.n();
+        let window: Vec<Sample<F::Fd>> = self.store.iter().collect();
+        let runs = evaluate_forest(&self.family, n, &window);
+        if !runs.iter().all(|r| r.decision.is_some()) {
+            return;
+        }
+        let proposal = if runs
+            .iter()
+            .any(|r| r.decision == Some(QcDecision::Quit))
+        {
+            // Line 11: a simulated Q decision licenses proposing 0.
+            ExtractProposal::Zero
+        } else if let Some((zero_tree, one_tree)) = critical_pair(&runs) {
+            ExtractProposal::Tuple(CriticalTuple {
+                zero_tree,
+                one_tree,
+                s0: runs[zero_tree].schedule.clone(),
+                s1: runs[one_tree].schedule.clone(),
+            })
+        } else {
+            // All trees decided the same non-Q value — impossible for a
+            // correct A (tree 0 must decide 0, tree n must decide 1), but
+            // be defensive: keep simulating.
+            return;
+        };
+        self.phase = Phase::RealExec;
+        self.with_real(ctx, |real, ictx| real.on_invoke(ictx, proposal));
+    }
+
+    /// One (Ω, Σ) extraction round over the fresh-sample window
+    /// (lines 22 and 24–32). Leaves state untouched if the window cannot
+    /// yet decide everything it must.
+    fn try_extraction_round(&mut self, ctx: &mut Ctx<Self>) {
+        let n = ctx.n();
+        let Phase::OmegaSigma { tuple, watermark, .. } = &self.phase else {
+            return;
+        };
+        let tuple = tuple.clone();
+        let watermark = *watermark;
+        let window: Vec<Sample<F::Fd>> = self.store.window_after(watermark).collect();
+        if window.is_empty() {
+            return;
+        }
+
+        // Ω: re-evaluate the critical index on the fresh window.
+        let runs = evaluate_forest(&self.family, n, &window);
+        if !runs.iter().all(|r| r.decision.is_some()) {
+            return; // window not yet rich enough — wait for more samples
+        }
+        if runs.iter().any(|r| r.decision == Some(QcDecision::Quit)) {
+            // Fresh simulations decided Q: no critical index in this
+            // window. Keep the previous outputs and wait (cannot happen
+            // with a mode-consistent Ψ-style D; defensive for exotic Ds).
+            return;
+        }
+        let Some((zero_tree, one_tree)) = critical_pair(&runs) else {
+            return;
+        };
+        let leader = ProcessId(zero_tree.min(one_tree));
+
+        // Σ (lines 24–32): extend every configuration in C with fresh
+        // samples until it decides; the quorum is the union of the
+        // extension step-takers.
+        let mut quorum = ProcessSet::new();
+        for (ones, schedule) in [(tuple.zero_tree, &tuple.s0), (tuple.one_tree, &tuple.s1)] {
+            for prefix_len in 0..=schedule.len() {
+                match self.extend_to_decision(n, ones, &schedule[..prefix_len], &window) {
+                    Some(steppers) => quorum.extend(steppers.iter()),
+                    None => return, // this configuration needs more fresh samples
+                }
+            }
+        }
+
+        if let Phase::OmegaSigma {
+            watermark: wm,
+            leader: l,
+            quorum: q,
+            ..
+        } = &mut self.phase
+        {
+            *l = leader;
+            *q = quorum.clone();
+            // Next round must use strictly fresher samples (line 27).
+            *wm = window.last().expect("non-empty window").t;
+        }
+        ctx.output(PsiValue::OmegaSigma(OmegaSigma { leader, quorum }));
+    }
+
+    /// Replay `prefix` from initial configuration `I_ones`, then extend
+    /// with the fresh window until a decision appears. Returns the set of
+    /// processes taking steps in the *extension* (empty if the prefix had
+    /// already decided), or `None` if the window is not yet sufficient.
+    fn extend_to_decision(
+        &self,
+        n: usize,
+        ones: usize,
+        prefix: &[(ProcessId, F::Fd)],
+        window: &[Sample<F::Fd>],
+    ) -> Option<ProcessSet> {
+        let procs: Vec<F::Binary> = (0..n).map(|_| self.family.binary()).collect();
+        let mut runner = Runner::replay(procs, initial_proposals(n, ones), prefix);
+        let decided =
+            |r: &Runner<F::Binary>| r.outputs().iter().any(|(_, o)| matches!(o, ConsensusOutput::Decided(_)));
+        if decided(&runner) {
+            return Some(ProcessSet::new());
+        }
+        let mut steppers = ProcessSet::new();
+        for s in window {
+            runner.step(s.q, s.val.clone());
+            steppers.insert(s.q);
+            if decided(&runner) {
+                return Some(steppers);
+            }
+        }
+        None
+    }
+
+    /// Work done on every step: sampling, periodic evaluation, periodic
+    /// output.
+    fn advance(&mut self, ctx: &mut Ctx<Self>) {
+        self.own_steps += 1;
+
+        // Task 1: sample the local D module and flood the sample.
+        let sample_interval = self.sample_interval.unwrap_or(ctx.n() as u64);
+        if self.own_steps.is_multiple_of(sample_interval) {
+            let s = Sample {
+                q: ctx.me(),
+                t: ctx.now(),
+                val: ctx.fd().clone(),
+            };
+            self.store.insert(s.clone());
+            ctx.broadcast_others(Fig3Msg::Sample(s));
+        }
+
+        // Phase work.
+        if self.own_steps.is_multiple_of(self.eval_interval) {
+            match self.phase {
+                Phase::Simulating => self.try_finish_simulating(ctx),
+                Phase::OmegaSigma { .. } => self.try_extraction_round(ctx),
+                _ => {}
+            }
+        }
+        if matches!(self.phase, Phase::RealExec) {
+            self.with_real(ctx, |real, ictx| real.on_tick(ictx));
+        }
+
+        // Periodic (re-)emission so checkers see dense histories.
+        if self.own_steps.is_multiple_of(self.out_interval) {
+            let out = self.current_output(ctx);
+            ctx.output(out);
+        }
+    }
+}
+
+impl<F: QcFamily> Protocol for PsiExtraction<F> {
+    type Msg = Fig3Msg<F::Fd, <F::Multi as Protocol>::Msg>;
+    type Output = PsiValue;
+    type Inv = ();
+    type Fd = F::Fd;
+
+    fn on_start(&mut self, ctx: &mut Ctx<Self>) {
+        // Ψ-output is initially ⊥ (line 1).
+        ctx.output(PsiValue::Bot);
+        self.advance(ctx);
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<Self>) {
+        self.advance(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Self>, from: ProcessId, msg: Self::Msg) {
+        match msg {
+            Fig3Msg::Sample(s) => self.store.insert(s),
+            Fig3Msg::Real(inner) => {
+                self.with_real(ctx, |real, ictx| real.on_message(ictx, from, inner));
+            }
+        }
+        self.advance(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::PsiQcFamily;
+    use wfd_detectors::check::{check_psi, PsiPhase};
+    use wfd_detectors::history::history_from_outputs;
+    use wfd_detectors::oracles::{PsiMode, PsiOracle};
+    use wfd_sim::{FailurePattern, RandomFair, Sim, SimConfig};
+
+    type Host = PsiExtraction<PsiQcFamily>;
+
+    fn run_extraction(
+        pattern: &FailurePattern,
+        mode: PsiMode,
+        switch: u64,
+        seed: u64,
+        horizon: u64,
+    ) -> wfd_detectors::History<PsiValue> {
+        let n = pattern.n();
+        let psi = PsiOracle::new(pattern, mode, switch, 20, seed);
+        let mut sim = Sim::new(
+            SimConfig::new(n).with_horizon(horizon),
+            (0..n)
+                .map(|_| Host::new(PsiQcFamily).with_eval_interval(48))
+                .collect(),
+            pattern.clone(),
+            psi,
+            RandomFair::new(seed),
+        );
+        sim.run();
+        history_from_outputs(sim.trace(), |v: &PsiValue| Some(v.clone()))
+    }
+
+    #[test]
+    fn consensus_mode_extracts_omega_sigma() {
+        let n = 3;
+        let pattern = FailurePattern::failure_free(n);
+        for seed in 0..2 {
+            let h = run_extraction(&pattern, PsiMode::OmegaSigma, 10, seed, 120_000);
+            let stats = check_psi(&h, &pattern)
+                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+            assert_eq!(
+                stats.phase,
+                PsiPhase::OmegaSigma,
+                "seed {seed}: extraction should settle in (Ω,Σ) mode"
+            );
+        }
+    }
+
+    #[test]
+    fn fs_mode_extracts_red() {
+        let n = 3;
+        let pattern = FailurePattern::failure_free(n).with_crash(ProcessId(2), 30);
+        for seed in 0..2 {
+            let h = run_extraction(&pattern, PsiMode::Fs, 40, seed, 60_000);
+            let stats = check_psi(&h, &pattern)
+                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+            assert_eq!(
+                stats.phase,
+                PsiPhase::Fs,
+                "seed {seed}: FS-mode D should lead to red extraction"
+            );
+        }
+    }
+
+    #[test]
+    fn consensus_mode_with_crash_still_extracts_omega_sigma() {
+        // Ψ may stay in consensus mode despite a failure; the extraction
+        // must then deliver a correct (Ω, Σ), with the crashed process
+        // eventually dropped from quorums and never the leader.
+        let n = 3;
+        let pattern = FailurePattern::failure_free(n).with_crash(ProcessId(0), 500);
+        let h = run_extraction(&pattern, PsiMode::OmegaSigma, 10, 3, 200_000);
+        let stats = check_psi(&h, &pattern).unwrap_or_else(|v| panic!("{v}"));
+        assert_eq!(stats.phase, PsiPhase::OmegaSigma);
+    }
+
+    #[test]
+    fn accessors_and_validation() {
+        let host: Host = PsiExtraction::new(PsiQcFamily);
+        assert!(!host.has_switched());
+    }
+
+    #[test]
+    fn extraction_works_for_a_second_algorithm_family() {
+        // A = consensus-that-never-quits, D = (Ω, Σ): the simulated runs
+        // can never decide Q, so the extraction must take the (Ω, Σ)
+        // branch — with a crash present and all.
+        use crate::family::OmegaSigmaQcFamily;
+        use wfd_detectors::oracles::{OmegaOracle, PairOracle, SigmaOracle};
+
+        let n = 3;
+        let pattern = FailurePattern::with_crashes(n, &[(ProcessId(2), 300)]);
+        let fd = PairOracle::new(
+            OmegaOracle::new(&pattern, 60, 2),
+            SigmaOracle::new(&pattern, 60, 2),
+        );
+        let mut sim = Sim::new(
+            SimConfig::new(n).with_horizon(150_000),
+            (0..n)
+                .map(|_| {
+                    PsiExtraction::new(OmegaSigmaQcFamily).with_eval_interval(48)
+                })
+                .collect(),
+            pattern.clone(),
+            fd,
+            RandomFair::new(2),
+        );
+        sim.run();
+        let h = history_from_outputs(sim.trace(), |v: &PsiValue| Some(v.clone()));
+        let stats = check_psi(&h, &pattern).unwrap_or_else(|v| panic!("{v}"));
+        assert_eq!(stats.phase, PsiPhase::OmegaSigma);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample interval")]
+    fn zero_sample_interval_rejected() {
+        let _ = PsiExtraction::new(PsiQcFamily).with_sample_interval(0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # wfd-nbac — non-blocking atomic commit and the (Ψ, FS) result
+//! (paper §7)
+//!
+//! NBAC: every process votes `Yes`/`No`; all must agree on
+//! `Commit`/`Abort`, where `Commit` requires unanimous `Yes` votes and
+//! `Abort` requires a `No` vote or a failure. Corollary 10: **for all
+//! environments, (Ψ, FS) is the weakest failure detector to solve
+//! NBAC** — proved via the equivalence "NBAC = QC + FS" (Theorem 8):
+//!
+//! * [`spec`] — the NBAC problem and its trace checker.
+//! * [`from_qc`] — **Figure 4**: with FS, any QC solution becomes an NBAC
+//!   solution (collect votes until unanimity or a red signal, then run QC
+//!   on the verdict).
+//! * [`to_qc`] — **Figure 5**: any NBAC solution yields a QC solution
+//!   (flood proposals, vote `Yes`; `Abort` ⇒ quit, `Commit` ⇒ smallest
+//!   proposal).
+//! * [`fs_from_nbac`] — the other half of Theorem 8(b): repeatedly
+//!   running NBAC with `Yes` votes implements FS (an `Abort` can then
+//!   only mean a failure).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod from_qc;
+pub mod fs_from_nbac;
+pub mod spec;
+pub mod to_qc;
+
+pub use from_qc::NbacFromQc;
+pub use spec::{check_nbac, Decision, NbacOutput, NbacStats, NbacViolation, Vote};
+pub use to_qc::QcFromNbac;

@@ -1,0 +1,370 @@
+//! The non-blocking atomic commit problem and its trace checker.
+//!
+//! Paper §7.1 — each process invokes `VOTE(v)`, `v ∈ {Yes, No}`, which
+//! returns `Commit` or `Abort`:
+//!
+//! * **Termination**: if every correct process votes, every correct
+//!   process eventually returns.
+//! * **Uniform Agreement**: no two processes return different values.
+//! * **Validity**: (a) `Commit` requires that *all* processes previously
+//!   voted `Yes`; (b) `Abort` requires that some process previously voted
+//!   `No` or a failure previously occurred.
+//!
+//! Note the asymmetries against QC that the paper stresses: a single `No`
+//! *forces* `Abort`, and `Abort` is sometimes inevitable (a process that
+//! crashes before voting), whereas QC's `Q` is never forced.
+
+use std::collections::BTreeMap;
+use std::fmt::{self, Debug};
+use wfd_sim::{FailurePattern, ProcessId, Time, Trace};
+
+/// A vote.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Vote {
+    /// "I am willing to commit."
+    Yes,
+    /// "We must abort."
+    No,
+}
+
+impl fmt::Display for Vote {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Vote::Yes => "Yes",
+            Vote::No => "No",
+        })
+    }
+}
+
+/// An NBAC decision.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// Commit the transaction (requires unanimous `Yes`).
+    Commit,
+    /// Abort the transaction.
+    Abort,
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Decision::Commit => "Commit",
+            Decision::Abort => "Abort",
+        })
+    }
+}
+
+/// Observable outputs of an NBAC protocol.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum NbacOutput {
+    /// The process cast its vote (emitted at invocation, so checkers know
+    /// *when* each vote happened).
+    Voted(Vote),
+    /// The process returned a decision.
+    Decided(Decision),
+}
+
+/// A violation of the NBAC specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NbacViolation {
+    /// Two processes decided differently.
+    Agreement {
+        /// First decider and decision.
+        p: (ProcessId, Decision),
+        /// Conflicting decider and decision.
+        q: (ProcessId, Decision),
+    },
+    /// `Commit` was decided although some process had not voted `Yes`
+    /// beforehand.
+    InvalidCommit {
+        /// The decider.
+        p: ProcessId,
+        /// Decision time.
+        t: Time,
+        /// A process with no prior `Yes` vote.
+        missing: ProcessId,
+    },
+    /// `Abort` was decided although nobody voted `No` and no failure had
+    /// occurred.
+    InvalidAbort {
+        /// The decider.
+        p: ProcessId,
+        /// Decision time.
+        t: Time,
+    },
+    /// A process decided more than once.
+    Integrity {
+        /// The repeat offender.
+        p: ProcessId,
+    },
+    /// A correct process that voted never decided.
+    Termination {
+        /// The starved process.
+        p: ProcessId,
+    },
+}
+
+impl fmt::Display for NbacViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NbacViolation::Agreement { p, q } => write!(
+                f,
+                "NBAC agreement violated: {} decided {} but {} decided {}",
+                p.0, p.1, q.0, q.1
+            ),
+            NbacViolation::InvalidCommit { p, t, missing } => write!(
+                f,
+                "NBAC validity(a) violated: {p} committed at {t} but {missing} had not voted Yes"
+            ),
+            NbacViolation::InvalidAbort { p, t } => write!(
+                f,
+                "NBAC validity(b) violated: {p} aborted at {t} with no No vote and no failure"
+            ),
+            NbacViolation::Integrity { p } => {
+                write!(f, "NBAC integrity violated: {p} decided more than once")
+            }
+            NbacViolation::Termination { p } => write!(
+                f,
+                "NBAC termination violated: correct {p} voted but never decided"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NbacViolation {}
+
+/// Diagnostics from a successful NBAC check.
+#[derive(Clone, Debug)]
+pub struct NbacStats {
+    /// The common decision, if anyone decided.
+    pub decision: Option<Decision>,
+    /// Per process: vote and its time.
+    pub votes: BTreeMap<ProcessId, (Time, Vote)>,
+    /// Per process: decision time.
+    pub decision_times: BTreeMap<ProcessId, Time>,
+}
+
+/// Check a run of an NBAC protocol against the specification, using the
+/// `Voted`/`Decided` outputs recorded in the trace.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_nbac<M>(
+    trace: &Trace<M, NbacOutput>,
+    pattern: &FailurePattern,
+) -> Result<NbacStats, NbacViolation>
+where
+    M: Clone + Debug,
+{
+    let mut votes: BTreeMap<ProcessId, (Time, Vote)> = BTreeMap::new();
+    let mut decision_times: BTreeMap<ProcessId, Time> = BTreeMap::new();
+    let mut first: Option<(ProcessId, Decision)> = None;
+
+    for (t, p, out) in trace.outputs() {
+        match out {
+            NbacOutput::Voted(v) => {
+                votes.entry(p).or_insert((t, *v));
+            }
+            NbacOutput::Decided(d) => {
+                if decision_times.contains_key(&p) {
+                    return Err(NbacViolation::Integrity { p });
+                }
+                decision_times.insert(p, t);
+                match &first {
+                    None => first = Some((p, *d)),
+                    Some((fp, fd)) => {
+                        if fd != d {
+                            return Err(NbacViolation::Agreement {
+                                p: (*fp, *fd),
+                                q: (p, *d),
+                            });
+                        }
+                    }
+                }
+                match d {
+                    Decision::Commit => {
+                        // All processes must have voted Yes strictly before.
+                        for q in wfd_sim::ProcessId::all(pattern.n()) {
+                            match votes.get(&q) {
+                                Some((vt, Vote::Yes)) if *vt <= t => {}
+                                _ => {
+                                    return Err(NbacViolation::InvalidCommit {
+                                        p,
+                                        t,
+                                        missing: q,
+                                    })
+                                }
+                            }
+                        }
+                    }
+                    Decision::Abort => {
+                        let no_by_t = votes
+                            .values()
+                            .any(|(vt, v)| *v == Vote::No && *vt <= t);
+                        let failure_by_t =
+                            pattern.first_crash_time().is_some_and(|fc| fc <= t);
+                        if !no_by_t && !failure_by_t {
+                            return Err(NbacViolation::InvalidAbort { p, t });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for p in pattern.correct().iter() {
+        if votes.contains_key(&p) && !decision_times.contains_key(&p) {
+            return Err(NbacViolation::Termination { p });
+        }
+    }
+
+    Ok(NbacStats {
+        decision: first.map(|(_, d)| d),
+        votes,
+        decision_times,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfd_sim::EventKind;
+
+    fn trace_with(n: usize, events: &[(Time, usize, NbacOutput)]) -> Trace<(), NbacOutput> {
+        let mut t = Trace::new(n);
+        for &(time, pid, out) in events {
+            t.push(time, ProcessId(pid), EventKind::Output(out));
+        }
+        t
+    }
+
+    #[test]
+    fn unanimous_yes_commit_passes() {
+        let trace = trace_with(
+            2,
+            &[
+                (0, 0, NbacOutput::Voted(Vote::Yes)),
+                (1, 1, NbacOutput::Voted(Vote::Yes)),
+                (5, 0, NbacOutput::Decided(Decision::Commit)),
+                (6, 1, NbacOutput::Decided(Decision::Commit)),
+            ],
+        );
+        let stats = check_nbac(&trace, &FailurePattern::failure_free(2)).expect("valid");
+        assert_eq!(stats.decision, Some(Decision::Commit));
+        assert_eq!(stats.votes.len(), 2);
+    }
+
+    #[test]
+    fn commit_without_all_yes_is_caught() {
+        let trace = trace_with(
+            2,
+            &[
+                (0, 0, NbacOutput::Voted(Vote::Yes)),
+                (5, 0, NbacOutput::Decided(Decision::Commit)),
+            ],
+        );
+        assert!(matches!(
+            check_nbac(&trace, &FailurePattern::failure_free(2)),
+            Err(NbacViolation::InvalidCommit { missing, .. }) if missing == ProcessId(1)
+        ));
+    }
+
+    #[test]
+    fn commit_after_a_no_vote_is_caught() {
+        let trace = trace_with(
+            2,
+            &[
+                (0, 0, NbacOutput::Voted(Vote::Yes)),
+                (1, 1, NbacOutput::Voted(Vote::No)),
+                (5, 0, NbacOutput::Decided(Decision::Commit)),
+            ],
+        );
+        assert!(matches!(
+            check_nbac(&trace, &FailurePattern::failure_free(2)),
+            Err(NbacViolation::InvalidCommit { .. })
+        ));
+    }
+
+    #[test]
+    fn abort_with_no_vote_passes() {
+        let trace = trace_with(
+            2,
+            &[
+                (0, 0, NbacOutput::Voted(Vote::No)),
+                (1, 1, NbacOutput::Voted(Vote::Yes)),
+                (5, 0, NbacOutput::Decided(Decision::Abort)),
+                (6, 1, NbacOutput::Decided(Decision::Abort)),
+            ],
+        );
+        check_nbac(&trace, &FailurePattern::failure_free(2)).expect("No vote justifies abort");
+    }
+
+    #[test]
+    fn abort_with_failure_passes() {
+        let pattern = FailurePattern::failure_free(2).with_crash(ProcessId(1), 3);
+        let trace = trace_with(
+            2,
+            &[
+                (0, 0, NbacOutput::Voted(Vote::Yes)),
+                (5, 0, NbacOutput::Decided(Decision::Abort)),
+            ],
+        );
+        check_nbac(&trace, &pattern).expect("failure justifies abort");
+    }
+
+    #[test]
+    fn gratuitous_abort_is_caught() {
+        let trace = trace_with(
+            2,
+            &[
+                (0, 0, NbacOutput::Voted(Vote::Yes)),
+                (1, 1, NbacOutput::Voted(Vote::Yes)),
+                (5, 0, NbacOutput::Decided(Decision::Abort)),
+            ],
+        );
+        assert!(matches!(
+            check_nbac(&trace, &FailurePattern::failure_free(2)),
+            Err(NbacViolation::InvalidAbort { t: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_decisions_are_caught() {
+        let trace = trace_with(
+            2,
+            &[
+                (0, 0, NbacOutput::Voted(Vote::Yes)),
+                (1, 1, NbacOutput::Voted(Vote::Yes)),
+                (5, 0, NbacOutput::Decided(Decision::Commit)),
+                (6, 1, NbacOutput::Decided(Decision::Abort)),
+            ],
+        );
+        assert!(matches!(
+            check_nbac(&trace, &FailurePattern::failure_free(2)),
+            Err(NbacViolation::Agreement { .. })
+        ));
+    }
+
+    #[test]
+    fn termination_enforced_for_correct_voters() {
+        let trace = trace_with(
+            2,
+            &[
+                (0, 0, NbacOutput::Voted(Vote::No)),
+                (1, 1, NbacOutput::Voted(Vote::Yes)),
+                (5, 0, NbacOutput::Decided(Decision::Abort)),
+            ],
+        );
+        assert!(matches!(
+            check_nbac(&trace, &FailurePattern::failure_free(2)),
+            Err(NbacViolation::Termination { p }) if p == ProcessId(1)
+        ));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Vote::Yes.to_string(), "Yes");
+        assert_eq!(Decision::Abort.to_string(), "Abort");
+    }
+}

@@ -1,0 +1,287 @@
+//! The quittable consensus problem and its trace checker.
+//!
+//! Paper §5 — each process invokes `PROPOSE(v)` which returns a value in
+//! `{0, 1, Q}` (generalised here to any value type plus `Q`):
+//!
+//! * **Termination**: if every correct process proposes, every correct
+//!   process eventually returns.
+//! * **Uniform Agreement**: no two processes return different values.
+//! * **Validity**: (a) a non-`Q` return was proposed by some process;
+//!   (b) a `Q` return is allowed *only if a failure previously occurred*.
+//!
+//! Note the asymmetry the paper stresses: unlike NBAC's `Abort`, the `Q`
+//! decision is never forced — it is an option that is legitimate exactly
+//! when the failure pattern has a crash before the decision.
+
+use std::collections::BTreeMap;
+use std::fmt::{self, Debug};
+use wfd_consensus::ConsensusOutput;
+use wfd_sim::{FailurePattern, ProcessId, Time, Trace};
+
+/// What a QC invocation returns: a proposed value or `Q`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum QcDecision<V> {
+    /// An ordinary consensus decision on a proposed value.
+    Value(V),
+    /// The quit decision (legitimate only after a failure).
+    Quit,
+}
+
+impl<V: fmt::Display> fmt::Display for QcDecision<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QcDecision::Value(v) => write!(f, "{v}"),
+            QcDecision::Quit => f.write_str("Q"),
+        }
+    }
+}
+
+/// A violation of the QC specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QcViolation<V> {
+    /// Two processes decided differently.
+    Agreement {
+        /// First decider and value.
+        p: (ProcessId, QcDecision<V>),
+        /// Conflicting decider and value.
+        q: (ProcessId, QcDecision<V>),
+    },
+    /// A decided non-`Q` value was never proposed (Validity a).
+    UnproposedValue {
+        /// The decider.
+        p: ProcessId,
+        /// The unproposed value.
+        value: V,
+    },
+    /// `Q` was decided although no failure had occurred by then
+    /// (Validity b).
+    UnjustifiedQuit {
+        /// The decider.
+        p: ProcessId,
+        /// Decision time.
+        t: Time,
+    },
+    /// A process decided more than once.
+    Integrity {
+        /// The repeat offender.
+        p: ProcessId,
+    },
+    /// A correct process that proposed never decided.
+    Termination {
+        /// The starved process.
+        p: ProcessId,
+    },
+}
+
+impl<V: Debug> fmt::Display for QcViolation<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QcViolation::Agreement { p, q } => write!(
+                f,
+                "QC agreement violated: {} decided {:?} but {} decided {:?}",
+                p.0, p.1, q.0, q.1
+            ),
+            QcViolation::UnproposedValue { p, value } => {
+                write!(f, "QC validity(a) violated: {p} decided unproposed {value:?}")
+            }
+            QcViolation::UnjustifiedQuit { p, t } => write!(
+                f,
+                "QC validity(b) violated: {p} decided Q at {t} before any failure"
+            ),
+            QcViolation::Integrity { p } => {
+                write!(f, "QC integrity violated: {p} decided more than once")
+            }
+            QcViolation::Termination { p } => write!(
+                f,
+                "QC termination violated: correct {p} proposed but never decided"
+            ),
+        }
+    }
+}
+
+impl<V: Debug> std::error::Error for QcViolation<V> {}
+
+/// Diagnostics from a successful QC check.
+#[derive(Clone, Debug)]
+pub struct QcStats<V> {
+    /// The common decision, if anyone decided.
+    pub decision: Option<QcDecision<V>>,
+    /// Per process: decision time.
+    pub decision_times: BTreeMap<ProcessId, Time>,
+}
+
+/// Check a run of a QC protocol (outputs are
+/// `ConsensusOutput<QcDecision<V>>`).
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_qc<M, V>(
+    trace: &Trace<M, ConsensusOutput<QcDecision<V>>>,
+    proposals: &[Option<V>],
+    pattern: &FailurePattern,
+) -> Result<QcStats<V>, QcViolation<V>>
+where
+    M: Clone + Debug,
+    V: Clone + Debug + PartialEq,
+{
+    let mut decision_times: BTreeMap<ProcessId, Time> = BTreeMap::new();
+    let mut first: Option<(ProcessId, QcDecision<V>)> = None;
+
+    for (t, p, out) in trace.outputs() {
+        let ConsensusOutput::Decided(d) = out;
+        if decision_times.contains_key(&p) {
+            return Err(QcViolation::Integrity { p });
+        }
+        decision_times.insert(p, t);
+        match d {
+            QcDecision::Value(v) => {
+                if !proposals.iter().flatten().any(|prop| prop == v) {
+                    return Err(QcViolation::UnproposedValue {
+                        p,
+                        value: v.clone(),
+                    });
+                }
+            }
+            QcDecision::Quit => {
+                if pattern.first_crash_time().is_none_or(|fc| t < fc) {
+                    return Err(QcViolation::UnjustifiedQuit { p, t });
+                }
+            }
+        }
+        match &first {
+            None => first = Some((p, d.clone())),
+            Some((fp, fd)) => {
+                if fd != d {
+                    return Err(QcViolation::Agreement {
+                        p: (*fp, fd.clone()),
+                        q: (p, d.clone()),
+                    });
+                }
+            }
+        }
+    }
+
+    for p in pattern.correct().iter() {
+        if proposals[p.index()].is_some() && !decision_times.contains_key(&p) {
+            return Err(QcViolation::Termination { p });
+        }
+    }
+
+    Ok(QcStats {
+        decision: first.map(|(_, d)| d),
+        decision_times,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfd_sim::EventKind;
+
+    fn trace_with(
+        n: usize,
+        decisions: &[(Time, usize, QcDecision<u64>)],
+    ) -> Trace<(), ConsensusOutput<QcDecision<u64>>> {
+        let mut t = Trace::new(n);
+        for (time, pid, d) in decisions {
+            t.push(
+                *time,
+                ProcessId(*pid),
+                EventKind::Output(ConsensusOutput::Decided(d.clone())),
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn value_decision_passes() {
+        let trace = trace_with(2, &[(3, 0, QcDecision::Value(1)), (5, 1, QcDecision::Value(1))]);
+        let props = vec![Some(1), Some(0)];
+        let stats =
+            check_qc(&trace, &props, &FailurePattern::failure_free(2)).expect("valid");
+        assert_eq!(stats.decision, Some(QcDecision::Value(1)));
+    }
+
+    #[test]
+    fn quit_after_failure_passes() {
+        let pattern = FailurePattern::failure_free(3).with_crash(ProcessId(2), 4);
+        let trace = trace_with(3, &[(10, 0, QcDecision::Quit), (12, 1, QcDecision::Quit)]);
+        let props = vec![Some(0), Some(1), Some(0)];
+        check_qc(&trace, &props, &pattern).expect("Q after a crash is legitimate");
+    }
+
+    #[test]
+    fn quit_without_failure_is_caught() {
+        let trace = trace_with(2, &[(10, 0, QcDecision::Quit)]);
+        let props = vec![Some(0), Some(1)];
+        assert!(matches!(
+            check_qc(&trace, &props, &FailurePattern::failure_free(2)),
+            Err(QcViolation::UnjustifiedQuit { t: 10, .. })
+        ));
+    }
+
+    #[test]
+    fn quit_before_failure_is_caught() {
+        let pattern = FailurePattern::failure_free(2).with_crash(ProcessId(1), 50);
+        let trace = trace_with(2, &[(10, 0, QcDecision::Quit)]);
+        let props = vec![Some(0), Some(1)];
+        assert!(matches!(
+            check_qc(&trace, &props, &pattern),
+            Err(QcViolation::UnjustifiedQuit { .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_value_and_quit_is_disagreement() {
+        let pattern = FailurePattern::failure_free(2).with_crash(ProcessId(0), 1);
+        let trace = trace_with(
+            2,
+            &[(5, 0, QcDecision::Value(0)), (6, 1, QcDecision::Quit)],
+        );
+        let props = vec![Some(0), Some(1)];
+        assert!(matches!(
+            check_qc(&trace, &props, &pattern),
+            Err(QcViolation::Agreement { .. })
+        ));
+    }
+
+    #[test]
+    fn unproposed_value_is_caught() {
+        let trace = trace_with(2, &[(5, 0, QcDecision::Value(42))]);
+        let props = vec![Some(0), Some(1)];
+        assert!(matches!(
+            check_qc(&trace, &props, &FailurePattern::failure_free(2)),
+            Err(QcViolation::UnproposedValue { value: 42, .. })
+        ));
+    }
+
+    #[test]
+    fn termination_is_enforced_for_correct_proposers() {
+        let trace = trace_with(2, &[(5, 0, QcDecision::Value(1))]);
+        let props = vec![Some(1), Some(1)];
+        assert!(matches!(
+            check_qc(&trace, &props, &FailurePattern::failure_free(2)),
+            Err(QcViolation::Termination { p }) if p == ProcessId(1)
+        ));
+    }
+
+    #[test]
+    fn double_decision_is_caught() {
+        let trace = trace_with(
+            1,
+            &[(1, 0, QcDecision::Value(0)), (2, 0, QcDecision::Value(0))],
+        );
+        let props = vec![Some(0)];
+        assert!(matches!(
+            check_qc(&trace, &props, &FailurePattern::failure_free(1)),
+            Err(QcViolation::Integrity { .. })
+        ));
+    }
+
+    #[test]
+    fn qc_decision_display() {
+        assert_eq!(QcDecision::Value(7u64).to_string(), "7");
+        assert_eq!(QcDecision::<u64>::Quit.to_string(), "Q");
+    }
+}

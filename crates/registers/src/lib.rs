@@ -1,0 +1,31 @@
+//! # wfd-registers — atomic registers and the Σ result (paper §3)
+//!
+//! Theorem 1 of the paper: **for all environments, Σ is the weakest
+//! failure detector to implement an atomic register.** This crate holds
+//! both halves, executable:
+//!
+//! * **Sufficiency** — [`abd::AbdRegister`], the Attiya–Bar-Noy–Dolev
+//!   register adapted to wait for *quorums supplied by Σ* instead of
+//!   majorities. The same code, switched to
+//!   [`abd::QuorumRule::Majority`], is the classical majority-based
+//!   baseline that only works when a majority of processes is correct.
+//! * **Necessity** — [`sigma_extraction::SigmaExtraction`], the Figure 1
+//!   transformation: given *any* algorithm `A` implementing registers
+//!   with *any* detector `D`, it emulates a correct Σ output.
+//! * **The judge** — [`linearizability`], a sound-and-complete
+//!   linearizability checker for register histories (Wing–Gong search with
+//!   memoisation), which is how runs of the register algorithms are
+//!   verified, plus [`spec`] with the operation-history vocabulary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abd;
+pub mod linearizability;
+pub mod sigma_extraction;
+pub mod spec;
+pub mod transformations;
+
+pub use abd::{AbdRegister, QuorumRule};
+pub use linearizability::{check_linearizable, LinearizabilityError};
+pub use spec::{OpHistory, OpId, OpRecord, RegOp, RegResp};

@@ -1,0 +1,456 @@
+//! A sound-and-complete linearizability checker for register histories.
+//!
+//! The checker performs the Wing–Gong search: try to build a total order
+//! of operations that (a) extends the real-time precedence order, and
+//! (b) is legal for a register — every read returns the most recently
+//! written value. Memoisation on `(set of linearized ops, current register
+//! value)` makes the search fast on the history shapes register protocols
+//! produce.
+//!
+//! Pending operations (invoked, never responded — e.g. the invoker
+//! crashed) are handled per the standard definition: a pending **write**
+//! may or may not have taken effect, so the search may linearize it at any
+//! legal point or never; a pending **read** constrains nothing and is
+//! ignored.
+
+use crate::spec::{OpHistory, OpId, RegOp, RegResp, Value};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Why a history failed the linearizability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinearizabilityError {
+    /// A completed read returned a value that no write (completed or
+    /// pending) ever wrote and that is not the initial value.
+    UnwrittenValue {
+        /// The offending read.
+        read: OpId,
+        /// The value it returned.
+        value: Value,
+    },
+    /// No linearization exists. Carries the longest legal prefix the
+    /// search found, as a debugging aid.
+    NoLinearization {
+        /// Longest prefix of a legal linearization (operation ids).
+        best_prefix: Vec<OpId>,
+    },
+    /// A completed read has no response value (malformed history).
+    MalformedRead {
+        /// The malformed operation.
+        op: OpId,
+    },
+}
+
+impl fmt::Display for LinearizabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinearizabilityError::UnwrittenValue { read, value } => write!(
+                f,
+                "read {}#{} returned {}, which was never written",
+                read.0, read.1, value
+            ),
+            LinearizabilityError::NoLinearization { best_prefix } => write!(
+                f,
+                "no linearization exists (longest legal prefix: {} ops)",
+                best_prefix.len()
+            ),
+            LinearizabilityError::MalformedRead { op } => {
+                write!(f, "operation {}#{} is a read with a write response", op.0, op.1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinearizabilityError {}
+
+/// A dynamically-sized bitset usable as a memoisation key.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct BitSet(Vec<u64>);
+
+impl BitSet {
+    fn new(bits: usize) -> Self {
+        BitSet(vec![0; bits.div_ceil(64)])
+    }
+
+    fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+
+    fn clear(&mut self, i: usize) {
+        self.0[i / 64] &= !(1 << (i % 64));
+    }
+
+    fn get(&self, i: usize) -> bool {
+        self.0[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    fn contains_all(&self, other: &BitSet) -> bool {
+        self.0
+            .iter()
+            .zip(&other.0)
+            .all(|(mine, theirs)| mine & theirs == *theirs)
+    }
+}
+
+/// Check that a register history is linearizable (atomic).
+///
+/// On success returns a witness: the ids of the linearized operations in
+/// linearization order (pending operations that were deemed to have never
+/// taken effect are absent).
+///
+/// # Errors
+///
+/// Returns a [`LinearizabilityError`] describing why no linearization
+/// exists.
+///
+/// ```
+/// use wfd_registers::spec::{OpHistory, OpRecord, RegOp, RegResp};
+/// use wfd_registers::check_linearizable;
+/// use wfd_sim::{ProcessId, ProcessSet};
+/// let mut h = OpHistory::new(0);
+/// h.ops.push(OpRecord {
+///     id: (ProcessId(0), 0),
+///     op: RegOp::Write(7),
+///     invoked_at: 0,
+///     response: Some((5, RegResp::WriteOk)),
+///     participants: ProcessSet::new(),
+/// });
+/// h.ops.push(OpRecord {
+///     id: (ProcessId(1), 0),
+///     op: RegOp::Read,
+///     invoked_at: 6,
+///     response: Some((9, RegResp::ReadOk(7))),
+///     participants: ProcessSet::new(),
+/// });
+/// let order = check_linearizable(&h).expect("atomic");
+/// assert_eq!(order.len(), 2);
+/// ```
+pub fn check_linearizable(h: &OpHistory) -> Result<Vec<OpId>, LinearizabilityError> {
+    let m = h.ops.len();
+    if m == 0 {
+        return Ok(Vec::new());
+    }
+
+    // Fast necessary checks with precise error messages.
+    let written: HashSet<Value> = h
+        .ops
+        .iter()
+        .filter_map(|o| match o.op {
+            RegOp::Write(v) => Some(v),
+            RegOp::Read => None,
+        })
+        .collect();
+    for o in &h.ops {
+        if o.op == RegOp::Read {
+            match o.response {
+                Some((_, RegResp::ReadOk(v))) if v != h.initial && !written.contains(&v) => {
+                    return Err(LinearizabilityError::UnwrittenValue {
+                        read: o.id,
+                        value: v,
+                    });
+                }
+                Some((_, RegResp::WriteOk)) => {
+                    return Err(LinearizabilityError::MalformedRead { op: o.id })
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut completed_mask = BitSet::new(m);
+    for (i, o) in h.ops.iter().enumerate() {
+        if o.is_complete() {
+            completed_mask.set(i);
+        }
+    }
+
+    // Wing–Gong DFS with memoisation.
+    let mut visited: HashSet<(BitSet, Value)> = HashSet::new();
+    let mut mask = BitSet::new(m);
+    let mut path: Vec<usize> = Vec::new();
+    let mut best_prefix: Vec<usize> = Vec::new();
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        h: &OpHistory,
+        m: usize,
+        completed_mask: &BitSet,
+        visited: &mut HashSet<(BitSet, Value)>,
+        mask: &mut BitSet,
+        value: Value,
+        path: &mut Vec<usize>,
+        best_prefix: &mut Vec<usize>,
+    ) -> bool {
+        if mask.contains_all(completed_mask) {
+            return true;
+        }
+        if !visited.insert((mask.clone(), value)) {
+            return false;
+        }
+        if path.len() > best_prefix.len() {
+            *best_prefix = path.clone();
+        }
+        for i in 0..m {
+            if mask.get(i) {
+                continue;
+            }
+            let op = &h.ops[i];
+            // Pending reads constrain nothing; never linearize them.
+            if !op.is_complete() && op.op == RegOp::Read {
+                continue;
+            }
+            // Real-time minimality: no other unlinearized op may fully
+            // precede op i.
+            let enabled = (0..m)
+                .filter(|&j| j != i && !mask.get(j))
+                .all(|j| !h.ops[j].precedes(op));
+            if !enabled {
+                continue;
+            }
+            // Register semantics.
+            let next_value = match (op.op, op.response) {
+                (RegOp::Write(v), _) => v,
+                (RegOp::Read, Some((_, RegResp::ReadOk(v)))) => {
+                    if v != value {
+                        continue; // this read cannot go here
+                    }
+                    value
+                }
+                (RegOp::Read, _) => unreachable!("pending/malformed reads filtered above"),
+            };
+            mask.set(i);
+            path.push(i);
+            if dfs(h, m, completed_mask, visited, mask, next_value, path, best_prefix) {
+                return true;
+            }
+            path.pop();
+            mask.clear(i);
+        }
+        false
+    }
+
+    if dfs(
+        h,
+        m,
+        &completed_mask,
+        &mut visited,
+        &mut mask,
+        h.initial,
+        &mut path,
+        &mut best_prefix,
+    ) {
+        Ok(path.iter().map(|&i| h.ops[i].id).collect())
+    } else {
+        Err(LinearizabilityError::NoLinearization {
+            best_prefix: best_prefix.iter().map(|&i| h.ops[i].id).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::OpRecord;
+    use wfd_sim::{ProcessId, ProcessSet, Time};
+
+    fn op(
+        pid: usize,
+        seq: u64,
+        op: RegOp,
+        inv: Time,
+        resp: Option<(Time, RegResp)>,
+    ) -> OpRecord {
+        OpRecord {
+            id: (ProcessId(pid), seq),
+            op,
+            invoked_at: inv,
+            response: resp,
+            participants: ProcessSet::new(),
+        }
+    }
+
+    fn hist(ops: Vec<OpRecord>) -> OpHistory {
+        OpHistory { initial: 0, ops }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert_eq!(check_linearizable(&hist(vec![])), Ok(vec![]));
+    }
+
+    #[test]
+    fn sequential_write_then_read() {
+        let h = hist(vec![
+            op(0, 0, RegOp::Write(1), 0, Some((2, RegResp::WriteOk))),
+            op(1, 0, RegOp::Read, 3, Some((5, RegResp::ReadOk(1)))),
+        ]);
+        let order = check_linearizable(&h).expect("linearizable");
+        assert_eq!(order, vec![(ProcessId(0), 0), (ProcessId(1), 0)]);
+    }
+
+    #[test]
+    fn stale_read_after_write_completes_is_rejected() {
+        // write(1) finishes at 2; a read invoked at 3 returning 0 is a
+        // classic atomicity violation.
+        let h = hist(vec![
+            op(0, 0, RegOp::Write(1), 0, Some((2, RegResp::WriteOk))),
+            op(1, 0, RegOp::Read, 3, Some((5, RegResp::ReadOk(0)))),
+        ]);
+        assert!(matches!(
+            check_linearizable(&h),
+            Err(LinearizabilityError::NoLinearization { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_read_may_return_old_or_new() {
+        for read_val in [0, 1] {
+            let h = hist(vec![
+                op(0, 0, RegOp::Write(1), 0, Some((10, RegResp::WriteOk))),
+                op(1, 0, RegOp::Read, 2, Some((8, RegResp::ReadOk(read_val)))),
+            ]);
+            check_linearizable(&h)
+                .unwrap_or_else(|e| panic!("read of {read_val} should be legal: {e}"));
+        }
+    }
+
+    #[test]
+    fn unwritten_value_is_detected() {
+        let h = hist(vec![op(
+            0,
+            0,
+            RegOp::Read,
+            0,
+            Some((1, RegResp::ReadOk(42))),
+        )]);
+        assert_eq!(
+            check_linearizable(&h),
+            Err(LinearizabilityError::UnwrittenValue {
+                read: (ProcessId(0), 0),
+                value: 42
+            })
+        );
+    }
+
+    #[test]
+    fn initial_value_read_is_fine() {
+        let h = hist(vec![op(0, 0, RegOp::Read, 0, Some((1, RegResp::ReadOk(0))))]);
+        assert!(check_linearizable(&h).is_ok());
+    }
+
+    #[test]
+    fn new_old_inversion_is_rejected() {
+        // r1 finishes before r2 starts; r1 sees the new value, r2 the old:
+        // the hallmark violation of atomicity (regular registers allow it,
+        // atomic ones do not).
+        let h = hist(vec![
+            op(0, 0, RegOp::Write(1), 0, Some((20, RegResp::WriteOk))),
+            op(1, 0, RegOp::Read, 2, Some((4, RegResp::ReadOk(1)))),
+            op(2, 0, RegOp::Read, 5, Some((7, RegResp::ReadOk(0)))),
+        ]);
+        assert!(matches!(
+            check_linearizable(&h),
+            Err(LinearizabilityError::NoLinearization { .. })
+        ));
+    }
+
+    #[test]
+    fn pending_write_may_have_taken_effect() {
+        // The writer crashed mid-write, but a later read already saw the
+        // value: legal (the write linearizes before the read).
+        let h = hist(vec![
+            op(0, 0, RegOp::Write(9), 0, None),
+            op(1, 0, RegOp::Read, 50, Some((55, RegResp::ReadOk(9)))),
+        ]);
+        let order = check_linearizable(&h).expect("pending write can take effect");
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn pending_write_may_also_never_take_effect() {
+        let h = hist(vec![
+            op(0, 0, RegOp::Write(9), 0, None),
+            op(1, 0, RegOp::Read, 50, Some((55, RegResp::ReadOk(0)))),
+        ]);
+        let order = check_linearizable(&h).expect("pending write can be dropped");
+        assert_eq!(order.len(), 1, "only the read should be linearized");
+    }
+
+    #[test]
+    fn pending_read_is_ignored() {
+        let h = hist(vec![
+            op(0, 0, RegOp::Write(3), 0, Some((2, RegResp::WriteOk))),
+            op(1, 0, RegOp::Read, 1, None),
+        ]);
+        let order = check_linearizable(&h).expect("pending read is unconstrained");
+        assert_eq!(order.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_writers_and_readers() {
+        // Two writers and two readers, heavily overlapped but consistent.
+        let h = hist(vec![
+            op(0, 0, RegOp::Write(1), 0, Some((10, RegResp::WriteOk))),
+            op(1, 0, RegOp::Write(2), 5, Some((15, RegResp::WriteOk))),
+            op(2, 0, RegOp::Read, 8, Some((12, RegResp::ReadOk(1)))),
+            op(3, 0, RegOp::Read, 13, Some((20, RegResp::ReadOk(2)))),
+        ]);
+        check_linearizable(&h).expect("consistent interleaving");
+    }
+
+    #[test]
+    fn reads_must_respect_each_other() {
+        // r1 (val 2) completes before r2 (val 1) starts, but write(1)
+        // precedes write(2): no order can serve both reads.
+        let h = hist(vec![
+            op(0, 0, RegOp::Write(1), 0, Some((2, RegResp::WriteOk))),
+            op(0, 1, RegOp::Write(2), 3, Some((5, RegResp::WriteOk))),
+            op(1, 0, RegOp::Read, 6, Some((8, RegResp::ReadOk(2)))),
+            op(2, 0, RegOp::Read, 9, Some((11, RegResp::ReadOk(1)))),
+        ]);
+        assert!(check_linearizable(&h).is_err());
+    }
+
+    #[test]
+    fn duplicate_write_values_are_handled() {
+        // Both writers write 5; reads of 5 are satisfiable by either.
+        let h = hist(vec![
+            op(0, 0, RegOp::Write(5), 0, Some((3, RegResp::WriteOk))),
+            op(1, 0, RegOp::Write(5), 1, Some((4, RegResp::WriteOk))),
+            op(2, 0, RegOp::Read, 5, Some((6, RegResp::ReadOk(5)))),
+        ]);
+        check_linearizable(&h).expect("duplicates are fine");
+    }
+
+    #[test]
+    fn witness_order_is_a_real_linearization() {
+        let h = hist(vec![
+            op(0, 0, RegOp::Write(1), 0, Some((10, RegResp::WriteOk))),
+            op(1, 0, RegOp::Read, 2, Some((8, RegResp::ReadOk(1)))),
+        ]);
+        let order = check_linearizable(&h).expect("ok");
+        // The write must come before the read in the witness.
+        assert_eq!(order[0], (ProcessId(0), 0));
+        assert_eq!(order[1], (ProcessId(1), 0));
+    }
+
+    #[test]
+    fn larger_random_consistent_history_is_accepted_quickly() {
+        // A sequential history of 60 ops — sanity check that memoisation
+        // keeps the search linear-ish.
+        let mut ops = Vec::new();
+        let mut t = 0;
+        for k in 0..30u64 {
+            ops.push(op(0, k, RegOp::Write(k + 1), t, Some((t + 1, RegResp::WriteOk))));
+            ops.push(op(
+                1,
+                k,
+                RegOp::Read,
+                t + 2,
+                Some((t + 3, RegResp::ReadOk(k + 1))),
+            ));
+            t += 4;
+        }
+        check_linearizable(&hist(ops)).expect("sequential history");
+    }
+}

@@ -1,0 +1,206 @@
+//! The vocabulary of register operation histories.
+//!
+//! A register is accessed through `read` and `write(v)`; an *operation
+//! history* records, for every invocation observed in a run, when it was
+//! invoked, when (and with what) it responded, and which processes
+//! participated in serving it. Histories are what the
+//! [`crate::linearizability`] checker consumes and what the Figure 1
+//! extraction builds its participant sets from.
+
+use std::fmt;
+use wfd_sim::{ProcessId, ProcessSet, Time};
+
+/// The value type stored in registers throughout this workspace.
+pub type Value = u64;
+
+/// Identifier of one operation: (invoking process, per-process sequence
+/// number).
+pub type OpId = (ProcessId, u64);
+
+/// A register operation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RegOp {
+    /// Read the register.
+    Read,
+    /// Write the given value.
+    Write(Value),
+}
+
+impl fmt::Display for RegOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegOp::Read => f.write_str("read()"),
+            RegOp::Write(v) => write!(f, "write({v})"),
+        }
+    }
+}
+
+/// A register operation response.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RegResp {
+    /// The value a read returned.
+    ReadOk(Value),
+    /// Acknowledgement of a write.
+    WriteOk,
+}
+
+impl fmt::Display for RegResp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegResp::ReadOk(v) => write!(f, "→ {v}"),
+            RegResp::WriteOk => f.write_str("→ ok"),
+        }
+    }
+}
+
+/// One operation of a run: invocation, optional response, and the
+/// processes that served it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Operation identifier.
+    pub id: OpId,
+    /// The operation.
+    pub op: RegOp,
+    /// Invocation time.
+    pub invoked_at: Time,
+    /// Response time and value; `None` for operations still pending at the
+    /// end of the run (e.g. the invoker crashed mid-operation).
+    pub response: Option<(Time, RegResp)>,
+    /// Processes that participated in serving the operation (the ABD
+    /// responders) — the raw material of the Figure 1 extraction.
+    pub participants: ProcessSet,
+}
+
+impl OpRecord {
+    /// Whether the operation completed.
+    pub fn is_complete(&self) -> bool {
+        self.response.is_some()
+    }
+
+    /// Whether this operation's response strictly precedes `other`'s
+    /// invocation in real time (the irreflexive precedence order of
+    /// linearizability). Pending operations never precede anything.
+    pub fn precedes(&self, other: &OpRecord) -> bool {
+        match self.response {
+            Some((resp_t, _)) => resp_t < other.invoked_at,
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for OpRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{} {}", self.id.0, self.id.1, self.op)?;
+        match self.response {
+            Some((t, r)) => write!(f, " {} @[{}, {}]", r, self.invoked_at, t),
+            None => write!(f, " pending @[{}, ∞)", self.invoked_at),
+        }
+    }
+}
+
+/// An operation history of one register.
+#[derive(Clone, Debug, Default)]
+pub struct OpHistory {
+    /// Initial register value (reads before any write return this).
+    pub initial: Value,
+    /// The operations, in invocation order.
+    pub ops: Vec<OpRecord>,
+}
+
+impl OpHistory {
+    /// An empty history with the given initial register value.
+    pub fn new(initial: Value) -> Self {
+        OpHistory {
+            initial,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of operations (completed + pending).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the history has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Completed operations only.
+    pub fn completed(&self) -> impl Iterator<Item = &OpRecord> {
+        self.ops.iter().filter(|o| o.is_complete())
+    }
+
+    /// Pending operations only.
+    pub fn pending(&self) -> impl Iterator<Item = &OpRecord> {
+        self.ops.iter().filter(|o| !o.is_complete())
+    }
+}
+
+impl fmt::Display for OpHistory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "history (initial={}):", self.initial)?;
+        for op in &self.ops {
+            writeln!(f, "  {op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(
+        pid: usize,
+        seq: u64,
+        op: RegOp,
+        inv: Time,
+        resp: Option<(Time, RegResp)>,
+    ) -> OpRecord {
+        OpRecord {
+            id: (ProcessId(pid), seq),
+            op,
+            invoked_at: inv,
+            response: resp,
+            participants: ProcessSet::new(),
+        }
+    }
+
+    #[test]
+    fn precedence_is_real_time() {
+        let a = rec(0, 0, RegOp::Write(1), 0, Some((5, RegResp::WriteOk)));
+        let b = rec(1, 0, RegOp::Read, 6, Some((9, RegResp::ReadOk(1))));
+        let c = rec(2, 0, RegOp::Read, 4, Some((7, RegResp::ReadOk(1))));
+        assert!(a.precedes(&b));
+        assert!(!a.precedes(&c), "overlapping ops are concurrent");
+        assert!(!b.precedes(&a));
+    }
+
+    #[test]
+    fn pending_ops_never_precede() {
+        let pending = rec(0, 0, RegOp::Write(1), 0, None);
+        let later = rec(1, 0, RegOp::Read, 100, Some((101, RegResp::ReadOk(0))));
+        assert!(!pending.precedes(&later));
+        assert!(!pending.is_complete());
+    }
+
+    #[test]
+    fn history_partitions() {
+        let mut h = OpHistory::new(0);
+        h.ops.push(rec(0, 0, RegOp::Write(1), 0, Some((2, RegResp::WriteOk))));
+        h.ops.push(rec(0, 1, RegOp::Read, 3, None));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.completed().count(), 1);
+        assert_eq!(h.pending().count(), 1);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = rec(1, 2, RegOp::Write(7), 3, Some((9, RegResp::WriteOk)));
+        assert_eq!(r.to_string(), "p1#2 write(7) → ok @[3, 9]");
+        let p = rec(0, 0, RegOp::Read, 4, None);
+        assert_eq!(p.to_string(), "p0#0 read() pending @[4, ∞)");
+    }
+}

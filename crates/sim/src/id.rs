@@ -1,0 +1,286 @@
+//! Process identifiers, the global clock, and sets of processes.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The discrete global clock of the model.
+///
+/// The clock exists "for presentational convenience" only (it indexes
+/// failure patterns and detector histories); processes can never read it.
+pub type Time = u64;
+
+/// Identifier of one of the `n` processes `p0 .. p{n-1}` of the system `Π`.
+///
+/// Process ids are dense indices, which lets per-process state live in plain
+/// vectors throughout the workspace.
+///
+/// ```
+/// use wfd_sim::ProcessId;
+/// let p = ProcessId(2);
+/// assert_eq!(p.to_string(), "p2");
+/// assert_eq!(p.index(), 2);
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// The dense index of this process in `0..n`.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterate over all process ids of a system of size `n`.
+    ///
+    /// ```
+    /// use wfd_sim::ProcessId;
+    /// let ids: Vec<_> = ProcessId::all(3).collect();
+    /// assert_eq!(ids, vec![ProcessId(0), ProcessId(1), ProcessId(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl DoubleEndedIterator<Item = ProcessId> + Clone {
+        (0..n).map(ProcessId)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(i)
+    }
+}
+
+/// An ordered set of processes — quorums, participant sets, correct sets.
+///
+/// `ProcessSet` is the value type of the quorum failure detector Σ and is
+/// used pervasively by the extraction algorithms, so it carries the set
+/// operations the paper's proofs rely on (intersection tests, subset tests).
+///
+/// ```
+/// use wfd_sim::{ProcessId, ProcessSet};
+/// let a: ProcessSet = [0, 1].into_iter().map(ProcessId).collect();
+/// let b: ProcessSet = [1, 2].into_iter().map(ProcessId).collect();
+/// assert!(a.intersects(&b));
+/// assert!(!a.is_subset(&b));
+/// assert_eq!(a.to_string(), "{p0, p1}");
+/// ```
+#[derive(Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
+pub struct ProcessSet(BTreeSet<ProcessId>);
+
+impl ProcessSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        ProcessSet(BTreeSet::new())
+    }
+
+    /// The full system `Π = {p0, …, p{n-1}}`.
+    pub fn full(n: usize) -> Self {
+        ProcessId::all(n).collect()
+    }
+
+    /// A singleton set.
+    pub fn singleton(p: ProcessId) -> Self {
+        let mut s = BTreeSet::new();
+        s.insert(p);
+        ProcessSet(s)
+    }
+
+    /// Insert a process; returns `true` if it was not already present.
+    pub fn insert(&mut self, p: ProcessId) -> bool {
+        self.0.insert(p)
+    }
+
+    /// Remove a process; returns `true` if it was present.
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        self.0.remove(&p)
+    }
+
+    /// Whether `p` belongs to the set.
+    pub fn contains(&self, p: ProcessId) -> bool {
+        self.0.contains(&p)
+    }
+
+    /// Number of processes in the set.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether the two sets share at least one process — the heart of Σ's
+    /// *intersection* property.
+    pub fn intersects(&self, other: &ProcessSet) -> bool {
+        let (small, big) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.iter().any(|p| big.contains(p))
+    }
+
+    /// Whether `self ⊆ other` — used by Σ's *completeness* property
+    /// (`quorum ⊆ correct(F)`).
+    pub fn is_subset(&self, other: &ProcessSet) -> bool {
+        self.0.is_subset(&other.0)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &ProcessSet) -> ProcessSet {
+        ProcessSet(self.0.union(&other.0).copied().collect())
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &ProcessSet) -> ProcessSet {
+        ProcessSet(self.0.intersection(&other.0).copied().collect())
+    }
+
+    /// Set difference `self − other`.
+    pub fn difference(&self, other: &ProcessSet) -> ProcessSet {
+        ProcessSet(self.0.difference(&other.0).copied().collect())
+    }
+
+    /// Iterate over members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// The smallest member, if any — a convenient deterministic
+    /// representative (e.g. for leader extraction).
+    pub fn first(&self) -> Option<ProcessId> {
+        self.0.iter().next().copied()
+    }
+}
+
+impl fmt::Display for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<ProcessId> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        ProcessSet(iter.into_iter().collect())
+    }
+}
+
+impl Extend<ProcessId> for ProcessSet {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        self.0.extend(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a ProcessSet {
+    type Item = ProcessId;
+    type IntoIter = std::iter::Copied<std::collections::btree_set::Iter<'a, ProcessId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter().copied()
+    }
+}
+
+impl IntoIterator for ProcessSet {
+    type Item = ProcessId;
+    type IntoIter = std::collections::btree_set::IntoIter<ProcessId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[usize]) -> ProcessSet {
+        ids.iter().copied().map(ProcessId).collect()
+    }
+
+    #[test]
+    fn process_id_display_and_order() {
+        assert_eq!(ProcessId(0).to_string(), "p0");
+        assert!(ProcessId(0) < ProcessId(1));
+        assert_eq!(ProcessId::from(7).index(), 7);
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        assert_eq!(ProcessId::all(0).count(), 0);
+        let v: Vec<_> = ProcessId::all(4).map(|p| p.index()).collect();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn full_set_has_n_members() {
+        let s = ProcessSet::full(5);
+        assert_eq!(s.len(), 5);
+        assert!(ProcessId::all(5).all(|p| s.contains(p)));
+    }
+
+    #[test]
+    fn intersects_is_symmetric_and_correct() {
+        let a = set(&[0, 1]);
+        let b = set(&[1, 2]);
+        let c = set(&[3, 4]);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(!ProcessSet::new().intersects(&a));
+        assert!(!ProcessSet::new().intersects(&ProcessSet::new()));
+    }
+
+    #[test]
+    fn subset_union_intersection_difference() {
+        let a = set(&[0, 1]);
+        let b = set(&[0, 1, 2]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert_eq!(a.union(&b), b);
+        assert_eq!(a.intersection(&b), a);
+        assert_eq!(b.difference(&a), set(&[2]));
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ProcessSet::new();
+        assert!(s.insert(ProcessId(3)));
+        assert!(!s.insert(ProcessId(3)));
+        assert!(s.contains(ProcessId(3)));
+        assert!(s.remove(ProcessId(3)));
+        assert!(!s.remove(ProcessId(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn first_is_deterministic_representative() {
+        assert_eq!(set(&[4, 2, 7]).first(), Some(ProcessId(2)));
+        assert_eq!(ProcessSet::new().first(), None);
+    }
+
+    #[test]
+    fn display_formats_sorted() {
+        assert_eq!(set(&[2, 0]).to_string(), "{p0, p2}");
+        assert_eq!(ProcessSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn iteration_round_trips() {
+        let s = set(&[1, 3]);
+        let t: ProcessSet = (&s).into_iter().collect();
+        assert_eq!(s, t);
+        let u: ProcessSet = s.clone().into_iter().collect();
+        assert_eq!(s, u);
+    }
+}

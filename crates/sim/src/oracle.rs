@@ -1,0 +1,168 @@
+//! Failure detector oracles: the engine-side source of the value `d` that a
+//! process sees in a step `⟨p, m, d⟩`.
+//!
+//! An oracle is the *executable* counterpart of a failure detector history
+//! `H : Π × T → R` drawn from `D(F)`. Concrete detectors (Ω, Σ, FS, Ψ, …)
+//! live in `wfd-detectors`; this module only defines the interface plus the
+//! trivial oracles every crate needs.
+
+use crate::id::{ProcessId, Time};
+use std::fmt::Debug;
+
+/// A failure detector history generator, queried by the engine on every
+/// step.
+///
+/// Implementations must be **functional**: repeated queries for the same
+/// `(p, t)` must return the same value, because the paper's histories are
+/// functions of process and time. Implementations may lazily materialise
+/// and cache their choices (hence `&mut self`).
+pub trait FdOracle {
+    /// The range `R` of the failure detector.
+    type Value: Clone + Debug;
+
+    /// The history value `H(p, t)`.
+    fn query(&mut self, p: ProcessId, t: Time) -> Self::Value;
+}
+
+/// The "no failure detector" oracle for purely asynchronous algorithms.
+///
+/// ```
+/// use wfd_sim::{FdOracle, NoDetector, ProcessId};
+/// let mut d = NoDetector;
+/// d.query(ProcessId(0), 42);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoDetector;
+
+impl FdOracle for NoDetector {
+    type Value = ();
+
+    fn query(&mut self, _p: ProcessId, _t: Time) {}
+}
+
+/// An oracle that returns the same value at every process and time.
+///
+/// ```
+/// use wfd_sim::{ConstDetector, FdOracle, ProcessId};
+/// let mut d = ConstDetector::new(7u32);
+/// assert_eq!(d.query(ProcessId(1), 0), 7);
+/// assert_eq!(d.query(ProcessId(0), 99), 7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConstDetector<V> {
+    value: V,
+}
+
+impl<V: Clone + Debug> ConstDetector<V> {
+    /// Create a constant oracle.
+    pub fn new(value: V) -> Self {
+        ConstDetector { value }
+    }
+}
+
+impl<V: Clone + Debug> FdOracle for ConstDetector<V> {
+    type Value = V;
+
+    fn query(&mut self, _p: ProcessId, _t: Time) -> V {
+        self.value.clone()
+    }
+}
+
+/// An oracle defined by an arbitrary pure function of `(p, t)` — handy for
+/// tests and for hand-written histories.
+///
+/// ```
+/// use wfd_sim::{FdOracle, FnDetector, ProcessId};
+/// let mut d = FnDetector::new(|p: ProcessId, t| (p.index() as u64) + t);
+/// assert_eq!(d.query(ProcessId(2), 10), 12);
+/// ```
+pub struct FnDetector<V, F> {
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> V>,
+}
+
+impl<V, F> FnDetector<V, F>
+where
+    V: Clone + Debug,
+    F: FnMut(ProcessId, Time) -> V,
+{
+    /// Wrap a function as an oracle. The function must be pure in `(p, t)`.
+    pub fn new(f: F) -> Self {
+        FnDetector {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<V, F> Debug for FnDetector<V, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnDetector").finish_non_exhaustive()
+    }
+}
+
+impl<V, F> FdOracle for FnDetector<V, F>
+where
+    V: Clone + Debug,
+    F: FnMut(ProcessId, Time) -> V,
+{
+    type Value = V;
+
+    fn query(&mut self, p: ProcessId, t: Time) -> V {
+        (self.f)(p, t)
+    }
+}
+
+impl<O: FdOracle + ?Sized> FdOracle for Box<O> {
+    type Value = O::Value;
+
+    fn query(&mut self, p: ProcessId, t: Time) -> Self::Value {
+        (**self).query(p, t)
+    }
+}
+
+impl<O: FdOracle + ?Sized> FdOracle for &mut O {
+    type Value = O::Value;
+
+    fn query(&mut self, p: ProcessId, t: Time) -> Self::Value {
+        (**self).query(p, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_detector_is_uniform() {
+        let mut d = ConstDetector::new("x");
+        for p in 0..3 {
+            for t in 0..3 {
+                assert_eq!(d.query(ProcessId(p), t), "x");
+            }
+        }
+    }
+
+    #[test]
+    fn fn_detector_computes() {
+        let mut d = FnDetector::new(|p: ProcessId, t: Time| p.index().is_multiple_of(2) && t > 5);
+        assert!(!d.query(ProcessId(0), 5));
+        assert!(d.query(ProcessId(0), 6));
+        assert!(!d.query(ProcessId(1), 6));
+    }
+
+    #[test]
+    fn boxed_and_borrowed_oracles_delegate() {
+        let mut boxed: Box<dyn FdOracle<Value = u32>> = Box::new(ConstDetector::new(3));
+        assert_eq!(boxed.query(ProcessId(0), 0), 3);
+        let mut inner = ConstDetector::new(4);
+        let mut borrowed = &mut inner;
+        assert_eq!(FdOracle::query(&mut borrowed, ProcessId(0), 0), 4);
+    }
+
+    #[test]
+    fn fn_detector_debug_is_nonempty() {
+        let d = FnDetector::new(|_p: ProcessId, _t: Time| 0u8);
+        assert!(!format!("{d:?}").is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! The process automaton abstraction: [`Protocol`] and its step context
+//! [`Ctx`].
+
+use crate::id::{ProcessId, Time};
+use std::fmt::Debug;
+
+/// A distributed algorithm, written as one automaton per process.
+///
+/// One value of the implementing type is instantiated per process; the
+/// engine drives it through atomic steps exactly as in the paper's model:
+/// in one step a process receives a message (or the empty message λ),
+/// queries its failure detector, sends messages and changes state.
+///
+/// * [`on_start`](Protocol::on_start) runs as the process's first step.
+/// * [`on_message`](Protocol::on_message) runs when the step delivers a
+///   message.
+/// * [`on_tick`](Protocol::on_tick) runs when the step delivers λ.
+/// * [`on_invoke`](Protocol::on_invoke) runs when the harness injects an
+///   operation invocation (e.g. `read`, `write(v)`, `propose(v)`) — this
+///   models the application layer calling into the algorithm.
+///
+/// Handlers interact with the world exclusively through [`Ctx`], which makes
+/// protocols trivially testable in isolation (see [`Ctx::detached`]).
+pub trait Protocol: Sized {
+    /// Message type exchanged between processes.
+    type Msg: Clone + Debug;
+    /// Observable outputs (decisions, responses, emitted detector values).
+    type Output: Clone + Debug;
+    /// Operation invocations injected by the harness.
+    type Inv: Clone + Debug;
+    /// The failure detector value this protocol queries each step.
+    type Fd: Clone + Debug;
+
+    /// First step of the process.
+    fn on_start(&mut self, _ctx: &mut Ctx<Self>) {}
+
+    /// A step in which message `msg` from `from` is received.
+    fn on_message(&mut self, ctx: &mut Ctx<Self>, from: ProcessId, msg: Self::Msg);
+
+    /// A step in which the empty message λ is received.
+    fn on_tick(&mut self, _ctx: &mut Ctx<Self>) {}
+
+    /// A step in which the application invokes an operation.
+    fn on_invoke(&mut self, _ctx: &mut Ctx<Self>, _inv: Self::Inv) {}
+}
+
+/// Everything a process may consult or effect during one atomic step.
+///
+/// A `Ctx` is created by the engine for each step, pre-loaded with the
+/// failure detector value sampled for that step, and drained afterwards.
+#[derive(Debug)]
+pub struct Ctx<P: Protocol> {
+    me: ProcessId,
+    n: usize,
+    now: Time,
+    fd: P::Fd,
+    sends: Vec<(ProcessId, P::Msg)>,
+    outputs: Vec<P::Output>,
+}
+
+impl<P: Protocol> Ctx<P> {
+    /// Build a stand-alone context, e.g. for unit-testing a protocol
+    /// handler or for hosting a protocol inside another protocol
+    /// (transformation algorithms run *n* inner instances this way).
+    ///
+    /// `now` is visible to the harness only; protocols must not use it to
+    /// make decisions that the paper's model would disallow (processes
+    /// cannot read the global clock), and none of the protocols in this
+    /// workspace do.
+    pub fn detached(me: ProcessId, n: usize, now: Time, fd: P::Fd) -> Self {
+        Ctx {
+            me,
+            n,
+            now,
+            fd,
+            sends: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// This process's id.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// System size `n = |Π|`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The global time of this step (harness-visible only; see
+    /// [`Ctx::detached`]).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The failure detector value `d` seen in this step `⟨p, m, d⟩`.
+    pub fn fd(&self) -> &P::Fd {
+        &self.fd
+    }
+
+    /// Iterate over all process ids.
+    pub fn processes(&self) -> impl DoubleEndedIterator<Item = ProcessId> + Clone {
+        ProcessId::all(self.n)
+    }
+
+    /// Send `msg` to process `to` (messages to self are delivered through
+    /// the network like any other).
+    pub fn send(&mut self, to: ProcessId, msg: P::Msg) {
+        self.sends.push((to, msg));
+    }
+
+    /// Send `msg` to every process, *including* the sender — the "send to
+    /// all" of the paper's pseudocode.
+    pub fn broadcast(&mut self, msg: P::Msg) {
+        for q in ProcessId::all(self.n) {
+            self.sends.push((q, msg.clone()));
+        }
+    }
+
+    /// Send `msg` to every process except the sender.
+    pub fn broadcast_others(&mut self, msg: P::Msg) {
+        let me = self.me;
+        for q in ProcessId::all(self.n).filter(|&q| q != me) {
+            self.sends.push((q, msg.clone()));
+        }
+    }
+
+    /// Emit an observable output (decision, operation response, detector
+    /// sample, …). Outputs are recorded in the run trace.
+    pub fn output(&mut self, out: P::Output) {
+        self.outputs.push(out);
+    }
+
+    /// Drain the messages queued by the handler, in send order.
+    pub fn take_sends(&mut self) -> Vec<(ProcessId, P::Msg)> {
+        std::mem::take(&mut self.sends)
+    }
+
+    /// Drain the outputs emitted by the handler, in emission order.
+    pub fn take_outputs(&mut self) -> Vec<P::Output> {
+        std::mem::take(&mut self.outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+
+    impl Protocol for Echo {
+        type Msg = u32;
+        type Output = u32;
+        type Inv = ();
+        type Fd = ();
+
+        fn on_message(&mut self, ctx: &mut Ctx<Self>, from: ProcessId, msg: u32) {
+            ctx.send(from, msg + 1);
+            ctx.output(msg);
+        }
+    }
+
+    #[test]
+    fn detached_ctx_collects_sends_and_outputs() {
+        let mut p = Echo;
+        let mut ctx = Ctx::<Echo>::detached(ProcessId(0), 3, 7, ());
+        p.on_message(&mut ctx, ProcessId(2), 41);
+        assert_eq!(ctx.me(), ProcessId(0));
+        assert_eq!(ctx.n(), 3);
+        assert_eq!(ctx.now(), 7);
+        assert_eq!(ctx.take_sends(), vec![(ProcessId(2), 42)]);
+        assert_eq!(ctx.take_outputs(), vec![41]);
+        // Draining twice yields nothing.
+        assert!(ctx.take_sends().is_empty());
+        assert!(ctx.take_outputs().is_empty());
+    }
+
+    #[test]
+    fn broadcast_includes_self_broadcast_others_does_not() {
+        let mut ctx = Ctx::<Echo>::detached(ProcessId(1), 3, 0, ());
+        ctx.broadcast(5);
+        let sends = ctx.take_sends();
+        assert_eq!(sends.len(), 3);
+        assert!(sends.iter().any(|(to, _)| *to == ProcessId(1)));
+
+        ctx.broadcast_others(6);
+        let sends = ctx.take_sends();
+        assert_eq!(sends.len(), 2);
+        assert!(!sends.iter().any(|(to, _)| *to == ProcessId(1)));
+    }
+
+    #[test]
+    fn processes_enumerates_system() {
+        let ctx = Ctx::<Echo>::detached(ProcessId(0), 4, 0, ());
+        assert_eq!(ctx.processes().count(), 4);
+    }
+}

@@ -1,0 +1,270 @@
+//! Scheduling policies: who steps next and what they receive.
+//!
+//! The engine guarantees *fairness* (correct processes keep stepping,
+//! messages are eventually delivered) regardless of the policy, by forcing
+//! overdue choices; within those bounds the policy is free — including free
+//! to be adversarial, which is how we exercise the "asynchrony" in the
+//! paper's model.
+
+use crate::id::{ProcessId, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Metadata about a deliverable in-flight message, shown to policies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsgMeta {
+    /// Engine-assigned id, unique per run and increasing in send order.
+    pub id: u64,
+    /// Sender.
+    pub from: ProcessId,
+    /// Time the message was sent.
+    pub sent_at: Time,
+}
+
+/// A scheduling policy.
+///
+/// The engine calls [`pick_actor`](Scheduler::pick_actor) with the
+/// non-empty list of alive processes that are *not* overdue (if some process
+/// is overdue for a step, the engine schedules it directly), then
+/// [`pick_message`](Scheduler::pick_message) with the actor's deliverable
+/// messages (`None` means a λ step; again, overdue messages are forced by
+/// the engine before the policy is consulted).
+pub trait Scheduler {
+    /// Choose which of `candidates` steps next; returns an index into
+    /// `candidates` (which is non-empty and sorted by id).
+    fn pick_actor(&mut self, now: Time, candidates: &[ProcessId]) -> usize;
+
+    /// Choose which message the actor receives in this step; `None` ⇒ λ.
+    /// `deliverable` is in send order and may be empty (then the return
+    /// value is ignored and the step is λ).
+    fn pick_message(
+        &mut self,
+        now: Time,
+        actor: ProcessId,
+        deliverable: &[MsgMeta],
+    ) -> Option<usize>;
+}
+
+/// Deterministic round-robin over processes, FIFO message delivery.
+///
+/// The most synchronous-looking admissible schedule; good default for
+/// latency measurements.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Create a round-robin scheduler starting at `p0`.
+    pub fn new() -> Self {
+        RoundRobin { next: 0 }
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn pick_actor(&mut self, _now: Time, candidates: &[ProcessId]) -> usize {
+        // Pick the first candidate with id >= the round-robin cursor,
+        // wrapping around; then advance the cursor past it.
+        let idx = candidates
+            .iter()
+            .position(|p| p.index() >= self.next)
+            .unwrap_or(0);
+        self.next = candidates[idx].index() + 1;
+        idx
+    }
+
+    fn pick_message(
+        &mut self,
+        _now: Time,
+        _actor: ProcessId,
+        deliverable: &[MsgMeta],
+    ) -> Option<usize> {
+        if deliverable.is_empty() {
+            None
+        } else {
+            Some(0) // FIFO
+        }
+    }
+}
+
+/// Seeded uniformly-random fair scheduling — the workhorse for sweeping
+/// over "all runs" in property tests.
+#[derive(Debug)]
+pub struct RandomFair {
+    rng: StdRng,
+    /// Probability (in percent) of taking a λ step even when messages are
+    /// deliverable; keeps `on_tick`-driven protocols making progress.
+    lambda_pct: u32,
+}
+
+impl RandomFair {
+    /// Create a random-fair scheduler from a seed.
+    pub fn new(seed: u64) -> Self {
+        RandomFair {
+            rng: StdRng::seed_from_u64(seed),
+            lambda_pct: 25,
+        }
+    }
+
+    /// Override the probability (percent, 0–100) of λ steps when messages
+    /// are available.
+    pub fn with_lambda_pct(mut self, pct: u32) -> Self {
+        assert!(pct <= 100, "lambda_pct must be a percentage");
+        self.lambda_pct = pct;
+        self
+    }
+}
+
+impl Scheduler for RandomFair {
+    fn pick_actor(&mut self, _now: Time, candidates: &[ProcessId]) -> usize {
+        self.rng.gen_range(0..candidates.len())
+    }
+
+    fn pick_message(
+        &mut self,
+        _now: Time,
+        _actor: ProcessId,
+        deliverable: &[MsgMeta],
+    ) -> Option<usize> {
+        if deliverable.is_empty() || self.rng.gen_range(0..100) < self.lambda_pct {
+            None
+        } else {
+            Some(self.rng.gen_range(0..deliverable.len()))
+        }
+    }
+}
+
+/// An adversarial policy: starves the lowest-id processes as long as the
+/// fairness bounds allow, delays every message to the brink of its bound,
+/// and reorders deliveries newest-first.
+///
+/// This is the schedule family under which asynchronous consensus is
+/// impossible without a detector, so it is the right stress test for the
+/// detector-based algorithms.
+#[derive(Debug)]
+pub struct Adversarial {
+    rng: StdRng,
+}
+
+impl Adversarial {
+    /// Create an adversarial scheduler from a seed (the seed only breaks
+    /// ties, the adversary itself is systematic).
+    pub fn new(seed: u64) -> Self {
+        Adversarial {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for Adversarial {
+    fn pick_actor(&mut self, _now: Time, candidates: &[ProcessId]) -> usize {
+        // Prefer the highest-id candidate (starving low ids until the
+        // engine forces them), with occasional random deviation so seeds
+        // explore different starvation orders.
+        if self.rng.gen_range(0..4) == 0 {
+            self.rng.gen_range(0..candidates.len())
+        } else {
+            candidates.len() - 1
+        }
+    }
+
+    fn pick_message(
+        &mut self,
+        _now: Time,
+        _actor: ProcessId,
+        deliverable: &[MsgMeta],
+    ) -> Option<usize> {
+        if deliverable.is_empty() {
+            return None;
+        }
+        // Delay messages as long as allowed: usually take a λ step; when a
+        // message is taken, take the *newest* one (maximal reordering).
+        if self.rng.gen_range(0..4) == 0 {
+            Some(deliverable.len() - 1)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pids(ids: &[usize]) -> Vec<ProcessId> {
+        ids.iter().copied().map(ProcessId).collect()
+    }
+
+    fn metas(k: usize) -> Vec<MsgMeta> {
+        (0..k)
+            .map(|i| MsgMeta {
+                id: i as u64,
+                from: ProcessId(0),
+                sent_at: i as Time,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_all_candidates() {
+        let mut s = RoundRobin::new();
+        let cands = pids(&[0, 1, 2]);
+        let picks: Vec<usize> = (0..6).map(|_| s.pick_actor(0, &cands)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_missing_candidates() {
+        let mut s = RoundRobin::new();
+        // p1 crashed: candidates are {p0, p2}.
+        let cands = pids(&[0, 2]);
+        let picks: Vec<ProcessId> = (0..4).map(|_| cands[s.pick_actor(0, &cands)]).collect();
+        assert_eq!(picks, pids(&[0, 2, 0, 2]));
+    }
+
+    #[test]
+    fn round_robin_delivers_fifo() {
+        let mut s = RoundRobin::new();
+        assert_eq!(s.pick_message(0, ProcessId(0), &metas(3)), Some(0));
+        assert_eq!(s.pick_message(0, ProcessId(0), &metas(0)), None);
+    }
+
+    #[test]
+    fn random_fair_is_deterministic_per_seed() {
+        let cands = pids(&[0, 1, 2, 3]);
+        let run = |seed| {
+            let mut s = RandomFair::new(seed);
+            (0..32).map(|_| s.pick_actor(0, &cands)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different seeds should diverge");
+    }
+
+    #[test]
+    fn random_fair_lambda_pct_zero_always_delivers() {
+        let mut s = RandomFair::new(1).with_lambda_pct(0);
+        for _ in 0..20 {
+            assert!(s.pick_message(0, ProcessId(0), &metas(2)).is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "percentage")]
+    fn random_fair_rejects_bad_pct() {
+        let _ = RandomFair::new(0).with_lambda_pct(101);
+    }
+
+    #[test]
+    fn adversarial_mostly_starves_low_ids_and_delays() {
+        let mut s = Adversarial::new(3);
+        let cands = pids(&[0, 1, 2]);
+        let high_picks = (0..100)
+            .filter(|_| s.pick_actor(0, &cands) == cands.len() - 1)
+            .count();
+        assert!(high_picks > 50, "adversary should usually pick the last candidate");
+        let delays = (0..100)
+            .filter(|_| s.pick_message(0, ProcessId(0), &metas(2)).is_none())
+            .count();
+        assert!(delays > 50, "adversary should usually delay messages");
+    }
+}

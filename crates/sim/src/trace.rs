@@ -1,0 +1,258 @@
+//! Run traces: a faithful record of every step, send, output and crash,
+//! used by the property checkers of the downstream crates.
+
+use crate::id::{ProcessId, Time};
+use std::fmt::Debug;
+
+/// What happened in one trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind<M, O> {
+    /// The process took its first step.
+    Start,
+    /// The process took a step receiving `msg` from `from`.
+    Deliver {
+        /// Sender of the delivered message.
+        from: ProcessId,
+        /// The delivered message.
+        msg: M,
+    },
+    /// The process took a step receiving the empty message λ.
+    Lambda,
+    /// The process took a step consuming an injected invocation.
+    Invoke,
+    /// The process sent `msg` to `to` during its step.
+    Send {
+        /// Recipient.
+        to: ProcessId,
+        /// The sent message.
+        msg: M,
+    },
+    /// The process emitted an observable output.
+    Output(O),
+    /// The process crashed (takes no further steps).
+    Crash,
+}
+
+/// One timestamped event of a run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event<M, O> {
+    /// Global time of the event.
+    pub time: Time,
+    /// The process concerned.
+    pub pid: ProcessId,
+    /// What happened.
+    pub kind: EventKind<M, O>,
+}
+
+/// The full record of a run: an ordered list of [`Event`]s.
+///
+/// Traces are what the workspace's checkers consume: linearizability of
+/// register histories, agreement/validity of consensus decisions, and the
+/// defining predicates of extracted failure detectors are all evaluated
+/// against traces.
+#[derive(Clone, Debug)]
+pub struct Trace<M, O> {
+    n: usize,
+    events: Vec<Event<M, O>>,
+}
+
+impl<M: Clone + Debug, O: Clone + Debug> Trace<M, O> {
+    /// An empty trace for a system of `n` processes.
+    pub fn new(n: usize) -> Self {
+        Trace {
+            n,
+            events: Vec::new(),
+        }
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Append an event (engine-internal, but public so custom runners can
+    /// build traces too).
+    pub fn push(&mut self, time: Time, pid: ProcessId, kind: EventKind<M, O>) {
+        self.events.push(Event { time, pid, kind });
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[Event<M, O>] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterate over outputs as `(time, pid, &output)` in emission order.
+    pub fn outputs(&self) -> impl Iterator<Item = (Time, ProcessId, &O)> {
+        self.events.iter().filter_map(|e| match &e.kind {
+            EventKind::Output(o) => Some((e.time, e.pid, o)),
+            _ => None,
+        })
+    }
+
+    /// Outputs emitted by one process, in order.
+    pub fn outputs_of(&self, p: ProcessId) -> impl Iterator<Item = (Time, &O)> {
+        self.outputs()
+            .filter(move |(_, pid, _)| *pid == p)
+            .map(|(t, _, o)| (t, o))
+    }
+
+    /// The last output of process `p`, if any.
+    pub fn last_output_of(&self, p: ProcessId) -> Option<&O> {
+        self.outputs_of(p).last().map(|(_, o)| o)
+    }
+
+    /// Crash events as `(time, pid)`.
+    pub fn crashes(&self) -> impl Iterator<Item = (Time, ProcessId)> + '_ {
+        self.events.iter().filter_map(|e| match e.kind {
+            EventKind::Crash => Some((e.time, e.pid)),
+            _ => None,
+        })
+    }
+
+    /// Number of steps taken by process `p` (start + deliver + λ + invoke).
+    pub fn steps_of(&self, p: ProcessId) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                e.pid == p
+                    && matches!(
+                        e.kind,
+                        EventKind::Start
+                            | EventKind::Deliver { .. }
+                            | EventKind::Lambda
+                            | EventKind::Invoke
+                    )
+            })
+            .count()
+    }
+
+    /// Total number of messages sent during the run.
+    pub fn messages_sent(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Send { .. }))
+            .count()
+    }
+
+    /// Total number of messages delivered during the run.
+    pub fn messages_delivered(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Deliver { .. }))
+            .count()
+    }
+
+    /// A one-struct run summary (step/message/output counts), for
+    /// reports and experiment tables.
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary {
+            events: self.len(),
+            steps: (0..self.n).map(|p| self.steps_of(ProcessId(p))).sum(),
+            messages_sent: self.messages_sent(),
+            messages_delivered: self.messages_delivered(),
+            outputs: self.outputs().count(),
+            crashes: self.crashes().count(),
+        }
+    }
+}
+
+/// Aggregate counts of a run, produced by [`Trace::summary`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total trace events.
+    pub events: usize,
+    /// Steps taken across all processes.
+    pub steps: usize,
+    /// Messages sent.
+    pub messages_sent: usize,
+    /// Messages delivered.
+    pub messages_delivered: usize,
+    /// Outputs emitted.
+    pub outputs: usize,
+    /// Crash events.
+    pub crashes: usize,
+}
+
+impl std::fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} steps, {} sent / {} delivered, {} outputs, {} crashes",
+            self.steps, self.messages_sent, self.messages_delivered, self.outputs, self.crashes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace<u8, &'static str> {
+        let mut t = Trace::new(2);
+        t.push(0, ProcessId(0), EventKind::Start);
+        t.push(0, ProcessId(0), EventKind::Send { to: ProcessId(1), msg: 9 });
+        t.push(1, ProcessId(1), EventKind::Start);
+        t.push(
+            2,
+            ProcessId(1),
+            EventKind::Deliver { from: ProcessId(0), msg: 9 },
+        );
+        t.push(2, ProcessId(1), EventKind::Output("got"));
+        t.push(3, ProcessId(0), EventKind::Lambda);
+        t.push(4, ProcessId(0), EventKind::Crash);
+        t
+    }
+
+    #[test]
+    fn counts_and_queries() {
+        let t = sample();
+        assert_eq!(t.n(), 2);
+        assert_eq!(t.len(), 7);
+        assert!(!t.is_empty());
+        assert_eq!(t.messages_sent(), 1);
+        assert_eq!(t.messages_delivered(), 1);
+        assert_eq!(t.steps_of(ProcessId(0)), 2); // start + lambda
+        assert_eq!(t.steps_of(ProcessId(1)), 2); // start + deliver
+        assert_eq!(t.crashes().collect::<Vec<_>>(), vec![(4, ProcessId(0))]);
+    }
+
+    #[test]
+    fn output_queries() {
+        let t = sample();
+        let outs: Vec<_> = t.outputs().collect();
+        assert_eq!(outs, vec![(2, ProcessId(1), &"got")]);
+        assert_eq!(t.last_output_of(ProcessId(1)), Some(&"got"));
+        assert_eq!(t.last_output_of(ProcessId(0)), None);
+        assert_eq!(t.outputs_of(ProcessId(1)).count(), 1);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let t = sample();
+        let s = t.summary();
+        assert_eq!(s.steps, 4);
+        assert_eq!(s.messages_sent, 1);
+        assert_eq!(s.messages_delivered, 1);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.crashes, 1);
+        assert!(s.to_string().contains("4 steps"));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t: Trace<(), ()> = Trace::new(3);
+        assert!(t.is_empty());
+        assert_eq!(t.outputs().count(), 0);
+        assert_eq!(t.messages_sent(), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Engine edge cases: degenerate system sizes, crash/invocation
+//! interleavings, fairness-bound extremes, and stop-condition priorities.
+
+use wfd_sim::{
+    Ctx, EventKind, FailurePattern, NoDetector, ProcessId, Protocol, RandomFair, RoundRobin,
+    Sim, SimConfig, StopReason,
+};
+
+/// Echoes invocations as outputs and pings itself on start.
+#[derive(Debug, Default)]
+struct Loopback {
+    ticks: u64,
+}
+
+impl Protocol for Loopback {
+    type Msg = u32;
+    type Output = u32;
+    type Inv = u32;
+    type Fd = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<Self>) {
+        ctx.send(ctx.me(), 1); // self-send goes through the network
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Self>, from: ProcessId, msg: u32) {
+        assert_eq!(from, ctx.me(), "loopback only self-sends");
+        ctx.output(msg);
+    }
+
+    fn on_tick(&mut self, _ctx: &mut Ctx<Self>) {
+        self.ticks += 1;
+    }
+
+    fn on_invoke(&mut self, ctx: &mut Ctx<Self>, inv: u32) {
+        ctx.output(inv * 10);
+    }
+}
+
+#[test]
+fn single_process_system_works() {
+    let mut sim = Sim::new(
+        SimConfig::new(1).with_horizon(100),
+        vec![Loopback::default()],
+        FailurePattern::failure_free(1),
+        NoDetector,
+        RoundRobin::new(),
+    );
+    sim.schedule_invoke(ProcessId(0), 5, 7);
+    let out = sim.run();
+    assert_eq!(out.reason, StopReason::Horizon);
+    // Self-send delivered and invocation consumed.
+    let outs: Vec<u32> = sim.trace().outputs().map(|(_, _, o)| *o).collect();
+    assert!(outs.contains(&1), "self-send must be delivered");
+    assert!(outs.contains(&70), "invocation must fire");
+}
+
+#[test]
+fn invocation_for_crashed_process_never_fires() {
+    let mut sim = Sim::new(
+        SimConfig::new(2).with_horizon(500),
+        vec![Loopback::default(), Loopback::default()],
+        FailurePattern::failure_free(2).with_crash(ProcessId(1), 10),
+        NoDetector,
+        RoundRobin::new(),
+    );
+    sim.schedule_invoke(ProcessId(1), 50, 9); // after its crash
+    sim.run();
+    assert!(
+        !sim.trace()
+            .outputs_of(ProcessId(1))
+            .any(|(_, o)| *o == 90),
+        "a crashed process cannot consume invocations"
+    );
+}
+
+#[test]
+fn crash_at_time_zero_prevents_start() {
+    let mut sim = Sim::new(
+        SimConfig::new(2).with_horizon(200),
+        vec![Loopback::default(), Loopback::default()],
+        FailurePattern::failure_free(2).with_crash(ProcessId(0), 0),
+        NoDetector,
+        RandomFair::new(1),
+    );
+    sim.run();
+    let p0_started = sim
+        .trace()
+        .events()
+        .iter()
+        .any(|e| e.pid == ProcessId(0) && matches!(e.kind, EventKind::Start));
+    assert!(!p0_started, "crash at t=0 means no steps at all");
+    assert_eq!(sim.trace().crashes().count(), 1);
+}
+
+#[test]
+fn tight_fairness_bounds_still_run() {
+    let n = 3;
+    let cfg = SimConfig::new(n)
+        .with_horizon(300)
+        .with_max_delay(1)
+        .with_max_step_gap(1);
+    let mut sim = Sim::new(
+        cfg,
+        (0..n).map(|_| Loopback::default()).collect(),
+        FailurePattern::failure_free(n),
+        NoDetector,
+        RandomFair::new(2),
+    );
+    let out = sim.run();
+    assert_eq!(out.steps, 300);
+    for p in ProcessId::all(n) {
+        assert!(sim.trace().steps_of(p) > 50, "{p} must step frequently");
+    }
+}
+
+#[test]
+fn predicate_beats_horizon() {
+    let mut sim = Sim::new(
+        SimConfig::new(1).with_horizon(1_000),
+        vec![Loopback::default()],
+        FailurePattern::failure_free(1),
+        NoDetector,
+        RoundRobin::new(),
+    );
+    let out = sim.run_until(|trace, _| trace.len() >= 3);
+    assert_eq!(out.reason, StopReason::Predicate);
+    assert!(out.steps < 1_000);
+}
+
+#[test]
+fn in_flight_counts_undelivered_messages() {
+    let mut sim = Sim::new(
+        SimConfig::new(2).with_horizon(1),
+        vec![Loopback::default(), Loopback::default()],
+        FailurePattern::failure_free(2),
+        NoDetector,
+        RoundRobin::new(),
+    );
+    sim.step_once(); // p0 starts, self-sends
+    assert_eq!(sim.in_flight(), 1);
+}
+
+#[test]
+fn pattern_accessors_via_sim() {
+    let pattern = FailurePattern::failure_free(2).with_crash(ProcessId(1), 42);
+    let sim = Sim::new(
+        SimConfig::new(2),
+        vec![Loopback::default(), Loopback::default()],
+        pattern.clone(),
+        NoDetector,
+        RoundRobin::new(),
+    );
+    assert_eq!(sim.pattern(), &pattern);
+    assert_eq!(sim.now(), 0);
+    assert_eq!(sim.config().n, 2);
+}
+
+#[test]
+fn staggered_crashes_leave_exactly_the_survivors_stepping() {
+    let n = 4;
+    let pattern = FailurePattern::with_crashes(
+        n,
+        &[(ProcessId(0), 50), (ProcessId(1), 100), (ProcessId(2), 150)],
+    );
+    let mut sim = Sim::new(
+        SimConfig::new(n).with_horizon(600),
+        (0..n).map(|_| Loopback::default()).collect(),
+        pattern,
+        NoDetector,
+        RandomFair::new(3),
+    );
+    sim.run();
+    // After t = 150 only p3 may take steps.
+    for e in sim.trace().events() {
+        if e.time > 150 && !matches!(e.kind, EventKind::Crash) {
+            assert_eq!(e.pid, ProcessId(3), "only the survivor may act after t=150");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Distributed transaction commit across five replicas — the NBAC stack
+//! of §7 on the workload that motivated it (distributed transaction
+//! processing, Gray '78).
+//!
+//! Five "resource managers" vote on a transaction. We sweep the scenarios
+//! the specification distinguishes:
+//!
+//! 1. everybody votes Yes, nothing fails          → must Commit;
+//! 2. one manager votes No                        → must Abort;
+//! 3. one manager crashes before voting           → must Abort
+//!    (non-blocking: the survivors still decide!);
+//! 4. everybody votes Yes, one crashes afterwards → may Commit, and with
+//!    a consensus-mode Ψ it does.
+//!
+//! Run with: `cargo run --example atomic_commit`
+
+use weakest_failure_detectors::prelude::*;
+use wfd_sim::Time;
+
+struct Scenario {
+    name: &'static str,
+    votes: Vec<Option<(Time, Vote)>>,
+    pattern: FailurePattern,
+    psi_mode: PsiMode,
+}
+
+fn main() {
+    let n = 5;
+    let yes_all = || (0..n).map(|_| Some((0, Vote::Yes))).collect::<Vec<_>>();
+    let scenarios = vec![
+        Scenario {
+            name: "unanimous Yes, failure-free",
+            votes: yes_all(),
+            pattern: FailurePattern::failure_free(n),
+            psi_mode: PsiMode::OmegaSigma,
+        },
+        Scenario {
+            name: "one No vote",
+            votes: {
+                let mut v = yes_all();
+                v[2] = Some((0, Vote::No));
+                v
+            },
+            pattern: FailurePattern::failure_free(n),
+            psi_mode: PsiMode::OmegaSigma,
+        },
+        Scenario {
+            name: "manager 4 crashes before voting",
+            votes: {
+                let mut v = yes_all();
+                v[4] = None;
+                v
+            },
+            pattern: FailurePattern::failure_free(n).with_crash(ProcessId(4), 5),
+            psi_mode: PsiMode::OmegaSigma,
+        },
+        Scenario {
+            name: "unanimous Yes, late crash",
+            votes: yes_all(),
+            pattern: FailurePattern::failure_free(n).with_crash(ProcessId(3), 5_000),
+            psi_mode: PsiMode::OmegaSigma,
+        },
+    ];
+
+    println!("{:38} {:>8}   notes", "scenario", "decision");
+    println!("{}", "-".repeat(72));
+    for sc in scenarios {
+        let fd = PairOracle::new(
+            FsOracle::new(&sc.pattern, 30, 1),
+            PsiOracle::new(&sc.pattern, sc.psi_mode, 80, 30, 1),
+        );
+        let mut sim = Sim::new(
+            SimConfig::new(n).with_horizon(120_000),
+            (0..n)
+                .map(|_| NbacFromQc::new(n, PsiQc::<u8>::new()))
+                .collect(),
+            sc.pattern.clone(),
+            fd,
+            RandomFair::new(3),
+        );
+        for (p, v) in sc.votes.iter().enumerate() {
+            if let Some((t, vote)) = v {
+                sim.schedule_invoke(ProcessId(p), *t, *vote);
+            }
+        }
+        let correct = sc.pattern.correct();
+        sim.run_until(move |_, procs| {
+            procs
+                .iter()
+                .enumerate()
+                .all(|(i, p)| !correct.contains(ProcessId(i)) || p.decision().is_some())
+        });
+        match check_nbac(sim.trace(), &sc.pattern) {
+            Ok(stats) => {
+                let d = stats
+                    .decision
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "—".into());
+                let deciders = stats.decision_times.len();
+                println!(
+                    "{:38} {:>8}   ({} processes decided, spec-checked ✓)",
+                    sc.name, d, deciders
+                );
+            }
+            Err(v) => println!("{:38} VIOLATION: {v}", sc.name),
+        }
+    }
+    println!(
+        "\nAll four outcomes follow the NBAC validity matrix of §7.1; the \
+         crash-before-vote case shows the *non-blocking* property that \
+         two-phase commit lacks."
+    );
+}

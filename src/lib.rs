@@ -1,0 +1,39 @@
+//! # weakest-failure-detectors
+//!
+//! Facade crate for the executable reproduction of Delporte-Gallet,
+//! Fauconnier, Guerraoui, Hadzilacos, Kouznetsov, Toueg — *"The Weakest
+//! Failure Detectors to Solve Certain Fundamental Problems in Distributed
+//! Computing"* (PODC 2004).
+//!
+//! Re-exports the whole workspace under stable module names:
+//!
+//! * [`sim`] — the asynchronous message-passing model (processes, crash
+//!   failure patterns, environments, schedulers, traces).
+//! * [`detectors`] — failure detector values, oracles (Ω, Σ, FS, Ψ, …),
+//!   message-passing implementations and spec checkers.
+//! * [`registers`] — atomic registers from Σ (ABD), the majority baseline,
+//!   linearizability checking, and the Figure 1 Σ-extraction.
+//! * [`consensus`] — consensus from (Ω, Σ), the register-based Ω algorithm,
+//!   the Chandra–Toueg baseline, and the multivalued transformation.
+//! * [`quittable`] — quittable consensus and the Figure 2 Ψ algorithm.
+//! * [`extraction`] — CHT-style machinery and the Figure 3 Ψ-extraction.
+//! * [`nbac`] — non-blocking atomic commit and the Figure 4/5
+//!   transformations.
+//! * [`core`] — the reduction framework and executable theorem harnesses.
+//!
+//! See the repository README for a guided tour and `examples/` for runnable
+//! entry points.
+
+pub use wfd_consensus as consensus;
+pub use wfd_core as core;
+pub use wfd_detectors as detectors;
+pub use wfd_extraction as extraction;
+pub use wfd_nbac as nbac;
+pub use wfd_quittable as quittable;
+pub use wfd_registers as registers;
+pub use wfd_sim as sim;
+
+/// Convenience prelude re-exporting the most common types of the workspace.
+pub mod prelude {
+    pub use wfd_core::prelude::*;
+}

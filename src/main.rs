@@ -1,0 +1,181 @@
+//! `wfd` — command-line driver for the theorem harnesses.
+//!
+//! ```console
+//! $ wfd list
+//! $ wfd registers          5  0:200 1:300 2:400
+//! $ wfd fig1-sigma         3  2:500
+//! $ wfd consensus          5  0:100 1:200 2:300
+//! $ wfd consensus-via-regs 3
+//! $ wfd qc                 3
+//! $ wfd fig3-psi           3
+//! $ wfd nbac               4  3:5
+//! $ wfd corollary3         3  2:400
+//! ```
+//!
+//! Each subcommand runs one checker-validated harness on the failure
+//! pattern given as `n` followed by `process:crash_time` pairs, printing
+//! the verdict. Exit code 0 = the property held; 1 = violation; 2 = bad
+//! usage.
+
+use std::process::ExitCode;
+use weakest_failure_detectors::core::theorems::{self, RunSetup};
+use weakest_failure_detectors::prelude::*;
+
+const HARNESSES: &[(&str, &str)] = &[
+    ("registers", "Theorem 1 sufficiency: ABD over Σ, linearizability-checked"),
+    ("fig1-sigma", "Theorem 1 necessity: Figure 1 extraction, Σ-checked"),
+    ("consensus", "Corollary 4 sufficiency: (Ω,Σ) consensus, spec-checked"),
+    ("consensus-via-regs", "Corollary 2 route: Σ → registers → Disk-Paxos + Ω"),
+    ("chandra-toueg", "baseline: ◇S rotating coordinator (majority only)"),
+    ("qc", "Corollary 7 sufficiency: Figure 2 Ψ-QC (consensus mode)"),
+    ("fig3-psi", "Corollary 7 necessity: Figure 3 extraction, Ψ-checked"),
+    ("nbac", "Corollary 10: Figure 4 NBAC with unanimous Yes votes"),
+    ("corollary3", "necessity chain: consensus → SMR registers → Fig 1 → Σ"),
+];
+
+fn usage() -> ExitCode {
+    eprintln!("usage: wfd <harness> [n] [pid:crash_time ...]   (default n = 3)");
+    eprintln!("       wfd list");
+    eprintln!("\nharnesses:");
+    for (name, desc) in HARNESSES {
+        eprintln!("  {name:18} {desc}");
+    }
+    ExitCode::from(2)
+}
+
+fn parse_pattern(args: &[String]) -> Option<FailurePattern> {
+    let n: usize = args.first().map_or(Some(3), |a| a.parse().ok())?;
+    if n == 0 {
+        return None;
+    }
+    let mut pattern = FailurePattern::failure_free(n);
+    for spec in args.iter().skip(1) {
+        let (p, t) = spec.split_once(':')?;
+        let p: usize = p.parse().ok()?;
+        let t: u64 = t.parse().ok()?;
+        if p >= n {
+            return None;
+        }
+        pattern = pattern.with_crash(ProcessId(p), t);
+    }
+    Some(pattern)
+}
+
+fn report<T: std::fmt::Debug, E: std::fmt::Display>(
+    what: &str,
+    r: Result<T, E>,
+) -> ExitCode {
+    match r {
+        Ok(stats) => {
+            println!("{what}: holds ✓");
+            println!("  {stats:?}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            println!("{what}: VIOLATED — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    if cmd == "list" {
+        for (name, desc) in HARNESSES {
+            println!("{name:18} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !HARNESSES.iter().any(|(name, _)| name == cmd) {
+        eprintln!("error: unknown harness '{cmd}'");
+        return usage();
+    }
+    let Some(pattern) = parse_pattern(&args[1..]) else {
+        return usage();
+    };
+    if pattern.correct().is_empty() {
+        eprintln!("error: at least one process must stay correct");
+        return ExitCode::from(2);
+    }
+    println!("pattern: {pattern}");
+    let n = pattern.n();
+    let setup = RunSetup::new(pattern).with_seed(7).with_horizon(250_000);
+    let proposals: Vec<u64> = (0..n as u64).map(|i| 10 + i).collect();
+    match cmd.as_str() {
+        "registers" => report("Σ-ABD linearizability", theorems::sigma_implements_registers(&setup)),
+        "fig1-sigma" => report("Figure 1 Σ-extraction", theorems::registers_yield_sigma(&setup)),
+        "consensus" => report(
+            "(Ω,Σ) consensus",
+            theorems::omega_sigma_solves_consensus(&setup, &proposals),
+        ),
+        "consensus-via-regs" => report(
+            "register-route consensus",
+            theorems::consensus_via_registers(&setup, &proposals),
+        ),
+        "chandra-toueg" => report(
+            "Chandra–Toueg consensus",
+            theorems::chandra_toueg_consensus(&setup, &proposals),
+        ),
+        "qc" => report(
+            "Ψ-QC (consensus mode)",
+            theorems::psi_solves_qc(&setup, PsiMode::OmegaSigma, &proposals),
+        ),
+        "fig3-psi" => report(
+            "Figure 3 Ψ-extraction",
+            theorems::qc_yields_psi(&setup, PsiMode::OmegaSigma),
+        ),
+        "nbac" => {
+            let votes: Vec<Option<Vote>> = (0..n)
+                .map(|p| {
+                    if setup.pattern.is_crashed(ProcessId(p), 0) {
+                        None
+                    } else {
+                        Some(Vote::Yes)
+                    }
+                })
+                .collect();
+            report(
+                "Figure 4 NBAC",
+                theorems::qc_fs_solve_nbac(&setup, PsiMode::OmegaSigma, &votes),
+            )
+        }
+        "corollary3" => report("Corollary 3 Σ-chain", theorems::consensus_yields_sigma(&setup)),
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults_to_three_processes() {
+        let p = parse_pattern(&[]).expect("default");
+        assert_eq!(p.n(), 3);
+        assert!(p.is_failure_free());
+    }
+
+    #[test]
+    fn parse_n_and_crashes() {
+        let p = parse_pattern(&strs(&["5", "0:100", "2:300"])).expect("valid");
+        assert_eq!(p.n(), 5);
+        assert_eq!(p.crash_time(ProcessId(0)), Some(100));
+        assert_eq!(p.crash_time(ProcessId(2)), Some(300));
+        assert_eq!(p.num_faulty(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse_pattern(&strs(&["0"])).is_none(), "empty system");
+        assert!(parse_pattern(&strs(&["3", "9:1"])).is_none(), "pid out of range");
+        assert!(parse_pattern(&strs(&["3", "junk"])).is_none(), "malformed spec");
+        assert!(parse_pattern(&strs(&["x"])).is_none(), "non-numeric n");
+    }
+}

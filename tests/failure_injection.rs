@@ -1,0 +1,147 @@
+//! Targeted failure injection: crash processes at every offset around
+//! their own in-flight operations, the most delicate window for
+//! atomicity. The pending-write semantics of linearizability (the write
+//! may or may not have taken effect — but consistently) must hold at
+//! every single injection point.
+
+use weakest_failure_detectors::prelude::*;
+use weakest_failure_detectors::registers::abd::{op_history_from_trace, AbdOp};
+use weakest_failure_detectors::registers::spec::{RegOp, RegResp};
+
+/// Crash the writer `offset` time units after its write is invoked, then
+/// have survivors read repeatedly. Returns the checked history.
+fn crash_mid_write(offset: u64, seed: u64) -> OpHistory {
+    let n = 3;
+    let write_at = 100;
+    let pattern =
+        FailurePattern::failure_free(n).with_crash(ProcessId(0), write_at + offset);
+    let sigma = SigmaOracle::new(&pattern, 300, seed).with_jitter(50);
+    let mut sim = Sim::new(
+        SimConfig::new(n).with_horizon(15_000),
+        (0..n)
+            .map(|_| AbdRegister::new(QuorumRule::Detector, 0u64))
+            .collect(),
+        pattern,
+        sigma,
+        RandomFair::new(seed),
+    );
+    sim.schedule_invoke(ProcessId(0), write_at, AbdOp::Write(77));
+    // Survivors read twice, before and after the dust settles.
+    for p in 1..n {
+        sim.schedule_invoke(ProcessId(p), write_at + offset + 10, AbdOp::Read);
+        sim.schedule_invoke(ProcessId(p), write_at + offset + 500, AbdOp::Read);
+    }
+    sim.run();
+    op_history_from_trace(sim.trace(), 0)
+}
+
+#[test]
+fn crash_at_every_offset_around_a_write_stays_linearizable() {
+    for offset in (0..40).step_by(3) {
+        for seed in [1u64, 2] {
+            let h = crash_mid_write(offset, seed);
+            check_linearizable(&h)
+                .unwrap_or_else(|e| panic!("offset {offset} seed {seed}: {e}\n{h}"));
+        }
+    }
+}
+
+#[test]
+fn interrupted_write_is_all_or_nothing_across_readers() {
+    // Whatever each run decides about the interrupted write, the two
+    // *final* reads (long after the crash) must agree with each other:
+    // the write's fate is settled system-wide, not per reader.
+    for offset in (0..40).step_by(5) {
+        let h = crash_mid_write(offset, 3);
+        let mut finals = Vec::new();
+        for p in 1..3 {
+            let last_read = h
+                .ops
+                .iter()
+                .rfind(|o| o.id.0 == ProcessId(p) && o.op == RegOp::Read && o.is_complete());
+            if let Some(op) = last_read {
+                if let Some((_, RegResp::ReadOk(v))) = op.response {
+                    finals.push(v);
+                }
+            }
+        }
+        assert!(
+            finals.windows(2).all(|w| w[0] == w[1]),
+            "offset {offset}: final reads disagree: {finals:?}"
+        );
+    }
+}
+
+/// Crash a consensus proposer right around its proposal; safety must hold
+/// and survivors must still decide.
+#[test]
+fn crash_around_consensus_proposal() {
+    let n = 3;
+    for offset in (0..30).step_by(4) {
+        let pattern = FailurePattern::failure_free(n).with_crash(ProcessId(0), 10 + offset);
+        let fd = PairOracle::new(
+            OmegaOracle::new(&pattern, 200, 1).with_jitter(50),
+            SigmaOracle::new(&pattern, 200, 1).with_jitter(50),
+        );
+        let mut sim = Sim::new(
+            SimConfig::new(n).with_horizon(60_000),
+            (0..n).map(|_| OmegaSigmaConsensus::<u64>::new()).collect(),
+            pattern.clone(),
+            fd,
+            RandomFair::new(offset),
+        );
+        for p in 0..n {
+            sim.schedule_invoke(ProcessId(p), 5, 100 + p as u64);
+        }
+        let correct = pattern.correct();
+        sim.run_until(move |_, procs| {
+            procs
+                .iter()
+                .enumerate()
+                .all(|(i, p)| !correct.contains(ProcessId(i)) || p.decision().is_some())
+        });
+        let props: Vec<Option<u64>> = (0..n).map(|p| Some(100 + p as u64)).collect();
+        check_consensus(sim.trace(), &props, &pattern)
+            .unwrap_or_else(|v| panic!("offset {offset}: {v}"));
+    }
+}
+
+/// Crash the NBAC vote collector mid-collection at a spread of instants.
+#[test]
+fn crash_during_vote_collection() {
+    let n = 3;
+    for crash_t in [2u64, 8, 20, 60] {
+        let pattern = FailurePattern::failure_free(n).with_crash(ProcessId(2), crash_t);
+        let fd = PairOracle::new(
+            FsOracle::new(&pattern, 30, 1),
+            PsiOracle::new(&pattern, PsiMode::OmegaSigma, 100, 30, 1),
+        );
+        let mut sim = Sim::new(
+            SimConfig::new(n).with_horizon(100_000),
+            (0..n)
+                .map(|_| NbacFromQc::new(n, PsiQc::<u8>::new()))
+                .collect(),
+            pattern.clone(),
+            fd,
+            RandomFair::new(crash_t),
+        );
+        // p2 votes at t=0 — depending on crash_t its vote may or may not
+        // get out; both outcomes must be handled.
+        for p in 0..n {
+            sim.schedule_invoke(ProcessId(p), 0, Vote::Yes);
+        }
+        let correct = pattern.correct();
+        sim.run_until(move |_, procs| {
+            procs
+                .iter()
+                .enumerate()
+                .all(|(i, p)| !correct.contains(ProcessId(i)) || p.decision().is_some())
+        });
+        let stats = check_nbac(sim.trace(), &pattern)
+            .unwrap_or_else(|v| panic!("crash_t {crash_t}: {v}"));
+        assert!(
+            stats.decision.is_some(),
+            "crash_t {crash_t}: survivors must decide"
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Property-based tests: safety must hold on *every* run, so we let
+//! proptest draw failure patterns, schedules (seeds) and workloads, and
+//! require the specification checkers to pass on each.
+//!
+//! Liveness assertions are kept out of the random sweeps (they depend on
+//! horizon/stabilisation tuning) except where the deterministic harness
+//! parameters guarantee them.
+
+use proptest::prelude::*;
+use weakest_failure_detectors::prelude::*;
+use weakest_failure_detectors::registers::abd::{op_history_from_trace, AbdOp};
+
+/// Strategy: a failure pattern on `n` processes with at least one correct
+/// process, crash times below `max_t`.
+fn pattern_strategy(n: usize, max_t: u64) -> impl Strategy<Value = FailurePattern> {
+    proptest::collection::vec(proptest::option::of(0..max_t), n).prop_filter_map(
+        "at least one correct process",
+        move |crashes| {
+            if crashes.iter().all(|c| c.is_some()) {
+                return None;
+            }
+            let mut f = FailurePattern::failure_free(crashes.len());
+            for (i, c) in crashes.iter().enumerate() {
+                if let Some(t) = c {
+                    f = f.with_crash(ProcessId(i), *t);
+                }
+            }
+            Some(f)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Σ-ABD is linearizable on every pattern × seed × workload.
+    #[test]
+    fn abd_sigma_always_linearizable(
+        pattern in pattern_strategy(4, 800),
+        seed in 0u64..1_000,
+        writes in proptest::collection::vec(1u64..1_000, 1..5),
+    ) {
+        let n = pattern.n();
+        let sigma = SigmaOracle::new(&pattern, 900, seed).with_jitter(200);
+        let mut sim = Sim::new(
+            SimConfig::new(n).with_horizon(12_000),
+            (0..n).map(|_| AbdRegister::new(QuorumRule::Detector, 0u64)).collect(),
+            pattern,
+            sigma,
+            RandomFair::new(seed),
+        );
+        for (k, w) in writes.iter().enumerate() {
+            let p = ProcessId(k % n);
+            let t = (k as u64) * 150;
+            // Tag values with the slot so duplicates stay distinguishable.
+            sim.schedule_invoke(p, t, AbdOp::Write(w * 10 + k as u64));
+            sim.schedule_invoke(p, t + 75, AbdOp::Read);
+        }
+        sim.run();
+        let h = op_history_from_trace(sim.trace(), 0);
+        prop_assert!(check_linearizable(&h).is_ok(),
+            "linearizability violated: {h}");
+    }
+
+    /// (Ω,Σ)-consensus never violates agreement/validity/integrity, on
+    /// any pattern and schedule — even when the horizon is too short to
+    /// guarantee termination.
+    #[test]
+    fn consensus_safety_on_all_runs(
+        pattern in pattern_strategy(4, 400),
+        seed in 0u64..1_000,
+        horizon in 1_000u64..8_000,
+    ) {
+        let n = pattern.n();
+        let fd = PairOracle::new(
+            OmegaOracle::new(&pattern, 500, seed).with_jitter(100),
+            SigmaOracle::new(&pattern, 500, seed).with_jitter(100),
+        );
+        let mut sim = Sim::new(
+            SimConfig::new(n).with_horizon(horizon),
+            (0..n).map(|_| OmegaSigmaConsensus::<u64>::new()).collect(),
+            pattern.clone(),
+            fd,
+            RandomFair::new(seed),
+        );
+        for p in 0..n {
+            sim.schedule_invoke(ProcessId(p), 0, 100 + p as u64);
+        }
+        sim.run();
+        let props: Vec<Option<u64>> = (0..n).map(|p| Some(100 + p as u64)).collect();
+        match check_consensus(sim.trace(), &props, &pattern) {
+            Ok(_) => {}
+            // Termination may legitimately fail on a short horizon;
+            // everything else is a genuine bug.
+            Err(ConsensusViolation::Termination { .. }) => {}
+            Err(v) => prop_assert!(false, "safety violated: {v}"),
+        }
+    }
+
+    /// Quorums sampled from the Σ oracle always pairwise intersect, no
+    /// matter the pattern (its defining safety property).
+    #[test]
+    fn sigma_oracle_intersection_invariant(
+        pattern in pattern_strategy(5, 300),
+        seed in 0u64..1_000,
+    ) {
+        let mut sigma = SigmaOracle::new(&pattern, 200, seed).with_jitter(150);
+        let mut quorums = Vec::new();
+        for t in (0..500).step_by(13) {
+            for p in ProcessId::all(pattern.n()) {
+                quorums.push(sigma.query(p, t));
+            }
+        }
+        for a in &quorums {
+            for b in &quorums {
+                prop_assert!(a.intersects(b), "Σ intersection violated: {a} vs {b}");
+            }
+        }
+    }
+
+    /// The linearizability checker accepts every genuinely sequential
+    /// history and rejects every stale-read corruption of it.
+    #[test]
+    fn linearizability_checker_soundness(
+        ops in proptest::collection::vec((0usize..3, 1u64..100), 2..12),
+    ) {
+        use weakest_failure_detectors::registers::spec::{OpHistory, OpRecord, RegOp, RegResp};
+        let mut h = OpHistory::new(0);
+        let mut t = 0;
+        let mut current = 0u64;
+        let mut values = vec![];
+        for (i, (p, v)) in ops.iter().enumerate() {
+            // Alternate unique-valued writes and reads, strictly
+            // sequential in time.
+            let unique = v * 100 + i as u64;
+            if i % 2 == 0 {
+                h.ops.push(OpRecord {
+                    id: (ProcessId(*p), i as u64),
+                    op: RegOp::Write(unique),
+                    invoked_at: t,
+                    response: Some((t + 1, RegResp::WriteOk)),
+                    participants: ProcessSet::new(),
+                });
+                current = unique;
+                values.push(unique);
+            } else {
+                h.ops.push(OpRecord {
+                    id: (ProcessId(*p), i as u64),
+                    op: RegOp::Read,
+                    invoked_at: t,
+                    response: Some((t + 1, RegResp::ReadOk(current))),
+                    participants: ProcessSet::new(),
+                });
+            }
+            t += 2;
+        }
+        prop_assert!(check_linearizable(&h).is_ok());
+
+        // Corrupt the last read (if any) with a provably-stale value.
+        if values.len() >= 2 {
+            if let Some(read) = h.ops.iter_mut().rev().find(|o| o.op == RegOp::Read) {
+                let last_value = match read.response {
+                    Some((_, RegResp::ReadOk(v))) => v,
+                    _ => unreachable!(),
+                };
+                let stale = values[0];
+                if stale != last_value && read.invoked_at > 4 {
+                    read.response = Some((read.invoked_at + 1, RegResp::ReadOk(stale)));
+                    prop_assert!(
+                        check_linearizable(&h).is_err(),
+                        "stale read must be rejected: {h}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// NBAC safety on random vote vectors and patterns: the Figure 4
+    /// transformation never produces an invalid Commit/Abort, on any run.
+    #[test]
+    fn nbac_safety_on_all_runs(
+        pattern in pattern_strategy(3, 200),
+        seed in 0u64..1_000,
+        votes in proptest::collection::vec(proptest::bool::ANY, 3),
+    ) {
+        let n = pattern.n();
+        let fd = PairOracle::new(
+            FsOracle::new(&pattern, 30, seed),
+            PsiOracle::new(&pattern, PsiMode::OmegaSigma, 300, 50, seed),
+        );
+        let mut sim = Sim::new(
+            SimConfig::new(n).with_horizon(8_000),
+            (0..n).map(|_| NbacFromQc::new(n, PsiQc::<u8>::new())).collect(),
+            pattern.clone(),
+            fd,
+            RandomFair::new(seed),
+        );
+        for (p, yes) in votes.iter().enumerate() {
+            // Processes crashed at t=0 never vote.
+            if !pattern.is_crashed(ProcessId(p), 0) {
+                sim.schedule_invoke(
+                    ProcessId(p),
+                    0,
+                    if *yes { Vote::Yes } else { Vote::No },
+                );
+            }
+        }
+        sim.run();
+        match check_nbac(sim.trace(), &pattern) {
+            Ok(_) => {}
+            Err(NbacViolation::Termination { .. }) => {} // short horizon
+            Err(v) => prop_assert!(false, "NBAC safety violated: {v}"),
+        }
+    }
+
+    /// QC safety under random patterns: Ψ-QC in consensus mode never
+    /// decides Q and never violates agreement/validity.
+    #[test]
+    fn psi_qc_safety_on_all_runs(
+        pattern in pattern_strategy(3, 300),
+        seed in 0u64..1_000,
+    ) {
+        let n = pattern.n();
+        let psi = PsiOracle::new(&pattern, PsiMode::OmegaSigma, 400, 100, seed);
+        let mut sim = Sim::new(
+            SimConfig::new(n).with_horizon(6_000),
+            (0..n).map(|_| PsiQc::<u64>::new()).collect(),
+            pattern.clone(),
+            psi,
+            RandomFair::new(seed),
+        );
+        for p in 0..n {
+            sim.schedule_invoke(ProcessId(p), 0, p as u64);
+        }
+        sim.run();
+        let props: Vec<Option<u64>> = (0..n).map(|p| Some(p as u64)).collect();
+        match check_qc(sim.trace(), &props, &pattern) {
+            Ok(stats) => prop_assert!(
+                !matches!(stats.decision, Some(QcDecision::Quit)),
+                "consensus-mode Ψ must never quit"
+            ),
+            Err(QcViolation::Termination { .. }) => {} // short horizon
+            Err(v) => prop_assert!(false, "QC safety violated: {v}"),
+        }
+    }
+}
