@@ -2,12 +2,10 @@
 //! workload (ABD over Σ vs majority) and of one consensus decision
 //! ((Ω, Σ) quorum route vs Chandra–Toueg).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfd_bench::harness::Group;
 use wfd_consensus::chandra_toueg::ChandraToueg;
 use wfd_consensus::OmegaSigmaConsensus;
-use wfd_detectors::oracles::{
-    EventuallyStrongOracle, OmegaOracle, PairOracle, SigmaOracle,
-};
+use wfd_detectors::oracles::{EventuallyStrongOracle, OmegaOracle, PairOracle, SigmaOracle};
 use wfd_registers::abd::{AbdOp, AbdRegister, QuorumRule};
 use wfd_sim::{FailurePattern, ProcessId, RandomFair, Sim, SimConfig};
 
@@ -73,29 +71,22 @@ fn ct_decision(n: usize) -> u64 {
     out.steps
 }
 
-fn bench_algorithms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("register_workload");
+fn main() {
+    let mut group = Group::new("register_workload");
     for n in [3usize, 5] {
-        group.bench_with_input(BenchmarkId::new("abd_sigma", n), &n, |b, &n| {
-            b.iter(|| abd_workload(n, QuorumRule::Detector))
+        group.bench(&format!("abd_sigma/{n}"), || {
+            abd_workload(n, QuorumRule::Detector)
         });
-        group.bench_with_input(BenchmarkId::new("abd_majority", n), &n, |b, &n| {
-            b.iter(|| abd_workload(n, QuorumRule::Majority))
+        group.bench(&format!("abd_majority/{n}"), || {
+            abd_workload(n, QuorumRule::Majority)
         });
     }
     group.finish();
 
-    let mut group = c.benchmark_group("consensus_decision");
+    let mut group = Group::new("consensus_decision");
     for n in [3usize, 5] {
-        group.bench_with_input(BenchmarkId::new("omega_sigma", n), &n, |b, &n| {
-            b.iter(|| consensus_decision(n))
-        });
-        group.bench_with_input(BenchmarkId::new("chandra_toueg", n), &n, |b, &n| {
-            b.iter(|| ct_decision(n))
-        });
+        group.bench(&format!("omega_sigma/{n}"), || consensus_decision(n));
+        group.bench(&format!("chandra_toueg/{n}"), || ct_decision(n));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_algorithms);
-criterion_main!(benches);

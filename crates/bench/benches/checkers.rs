@@ -1,7 +1,7 @@
 //! B4 — checker costs: the linearizability search and the detector spec
 //! validators on realistic history sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfd_bench::harness::Group;
 use wfd_detectors::check::{check_omega, check_sigma};
 use wfd_detectors::oracles::{OmegaOracle, SigmaOracle};
 use wfd_detectors::History;
@@ -34,7 +34,10 @@ fn history(pairs: u64) -> OpHistory {
     h
 }
 
-fn detector_history(n: usize, samples: usize) -> (History<ProcessId>, History<ProcessSet>, FailurePattern) {
+fn detector_history(
+    n: usize,
+    samples: usize,
+) -> (History<ProcessId>, History<ProcessSet>, FailurePattern) {
     let pattern = FailurePattern::with_crashes(n, &[(ProcessId(0), 40)]);
     let mut omega = OmegaOracle::new(&pattern, 100, 1).with_jitter(50);
     let mut sigma = SigmaOracle::new(&pattern, 100, 1).with_jitter(50);
@@ -49,28 +52,25 @@ fn detector_history(n: usize, samples: usize) -> (History<ProcessId>, History<Pr
     (oh, sh, pattern)
 }
 
-fn bench_checkers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("linearizability");
+fn main() {
+    let mut group = Group::new("linearizability");
     for pairs in [8u64, 32, 64] {
         let h = history(pairs);
-        group.bench_with_input(BenchmarkId::from_parameter(pairs), &h, |b, h| {
-            b.iter(|| check_linearizable(h).expect("linearizable"))
+        group.bench(&format!("{pairs}"), || {
+            check_linearizable(&h).expect("linearizable")
         });
     }
     group.finish();
 
-    let mut group = c.benchmark_group("detector_checkers");
+    let mut group = Group::new("detector_checkers");
     for samples in [500usize, 2_000] {
         let (oh, sh, pattern) = detector_history(4, samples);
-        group.bench_with_input(BenchmarkId::new("omega", samples), &samples, |b, _| {
-            b.iter(|| check_omega(&oh, &pattern).expect("conforms"))
+        group.bench(&format!("omega/{samples}"), || {
+            check_omega(&oh, &pattern).expect("conforms")
         });
-        group.bench_with_input(BenchmarkId::new("sigma", samples), &samples, |b, _| {
-            b.iter(|| check_sigma(&sh, &pattern).expect("conforms"))
+        group.bench(&format!("sigma/{samples}"), || {
+            check_sigma(&sh, &pattern).expect("conforms")
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_checkers);
-criterion_main!(benches);

@@ -1,11 +1,12 @@
 //! B5 — extraction machinery costs: the canonical-run simulation forest
 //! of Figure 3 (the dominant cost of the Ψ extraction) as a function of
-//! window length and system size.
+//! window length and system size, and the incremental-vs-scratch
+//! re-evaluation gap the Ψ host relies on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfd_bench::harness::Group;
 use wfd_detectors::oracles::{PsiMode, PsiOracle};
 use wfd_detectors::PsiValue;
-use wfd_extraction::forest::evaluate_forest;
+use wfd_extraction::forest::{evaluate_forest, ForestEvaluator};
 use wfd_extraction::{PsiQcFamily, Sample};
 use wfd_sim::{FailurePattern, FdOracle, ProcessId, Time};
 
@@ -25,26 +26,44 @@ fn window(n: usize, len: usize) -> Vec<Sample<PsiValue>> {
         .collect()
 }
 
-fn bench_forest(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig3_forest_eval");
+fn main() {
+    let mut group = Group::new("fig3_forest_eval");
     for n in [3usize, 4] {
         for len in [300usize, 1_000] {
             let w = window(n, len);
-            group.bench_with_input(
-                BenchmarkId::new(format!("n{n}"), len),
-                &w,
-                |b, w| {
-                    b.iter(|| {
-                        let runs = evaluate_forest(&PsiQcFamily, n, w);
-                        assert_eq!(runs.len(), n + 1);
-                        runs
-                    })
-                },
-            );
+            group.bench(&format!("n{n}/{len}"), || {
+                let runs = evaluate_forest(&PsiQcFamily, n, &w);
+                assert_eq!(runs.len(), n + 1);
+                runs
+            });
         }
     }
     group.finish();
-}
 
-criterion_group!(benches, bench_forest);
-criterion_main!(benches);
+    // The Ψ host re-evaluates its forest every eval-interval as samples
+    // trickle in. From-scratch cost is quadratic in window length across
+    // the re-evaluations; the incremental evaluator only feeds the delta.
+    let mut group = Group::new("fig3_forest_reeval");
+    let n = 3;
+    let total = 1_000usize;
+    let chunk = 50usize;
+    let w = window(n, total);
+    group.bench("scratch/20x50", || {
+        let mut decided = 0;
+        for upto in (chunk..=total).step_by(chunk) {
+            let runs = evaluate_forest(&PsiQcFamily, n, &w[..upto]);
+            decided = runs.iter().filter(|r| r.decision.is_some()).count();
+        }
+        decided
+    });
+    group.bench("incremental/20x50", || {
+        let mut eval = ForestEvaluator::new(&PsiQcFamily, n);
+        let mut decided = 0;
+        for upto in (chunk..=total).step_by(chunk) {
+            let runs = eval.evaluate(&PsiQcFamily, &w[..upto]);
+            decided = runs.iter().filter(|r| r.decision.is_some()).count();
+        }
+        decided
+    });
+    group.finish();
+}

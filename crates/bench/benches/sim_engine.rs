@@ -1,10 +1,11 @@
 //! B1 — simulator microbenchmarks: raw step throughput of the
-//! discrete-event engine under the three scheduling policies.
+//! discrete-event engine under the three scheduling policies, and the
+//! tracing-cost ladder (Full vs OutputsOnly vs Off).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfd_bench::harness::Group;
 use wfd_sim::{
     Adversarial, Ctx, FailurePattern, NoDetector, ProcessId, Protocol, RandomFair, RoundRobin,
-    Scheduler, Sim, SimConfig,
+    Scheduler, Sim, SimConfig, TraceMode,
 };
 
 /// Minimal gossip protocol: every 4th step, broadcast a counter.
@@ -32,9 +33,9 @@ impl Protocol for Gossip {
     }
 }
 
-fn run_steps<S: Scheduler>(n: usize, steps: u64, sched: S) -> u64 {
+fn run_steps<S: Scheduler>(n: usize, steps: u64, mode: TraceMode, sched: S) -> u64 {
     let mut sim = Sim::new(
-        SimConfig::new(n).with_horizon(steps),
+        SimConfig::new(n).with_horizon(steps).with_trace_mode(mode),
         (0..n).map(|_| Gossip::default()).collect(),
         FailurePattern::failure_free(n),
         NoDetector,
@@ -43,21 +44,27 @@ fn run_steps<S: Scheduler>(n: usize, steps: u64, sched: S) -> u64 {
     sim.run().steps
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_engine_steps");
+fn main() {
+    const STEPS: u64 = 10_000;
+    let mut group = Group::new("sim_engine_steps");
     for n in [4usize, 8, 16] {
-        group.bench_with_input(BenchmarkId::new("round_robin", n), &n, |b, &n| {
-            b.iter(|| run_steps(n, 10_000, RoundRobin::new()))
+        group.bench_items(&format!("round_robin/{n}"), STEPS, || {
+            run_steps(n, STEPS, TraceMode::Full, RoundRobin::new())
         });
-        group.bench_with_input(BenchmarkId::new("random_fair", n), &n, |b, &n| {
-            b.iter(|| run_steps(n, 10_000, RandomFair::new(1)))
+        group.bench_items(&format!("random_fair/{n}"), STEPS, || {
+            run_steps(n, STEPS, TraceMode::Full, RandomFair::new(1))
         });
-        group.bench_with_input(BenchmarkId::new("adversarial", n), &n, |b, &n| {
-            b.iter(|| run_steps(n, 10_000, Adversarial::new(1)))
+        group.bench_items(&format!("adversarial/{n}"), STEPS, || {
+            run_steps(n, STEPS, TraceMode::Full, Adversarial::new(1))
+        });
+    }
+    group.finish();
+
+    let mut group = Group::new("sim_engine_trace_modes");
+    for mode in [TraceMode::Full, TraceMode::OutputsOnly, TraceMode::Off] {
+        group.bench_items(&format!("random_fair/8/{mode:?}"), STEPS, || {
+            run_steps(8, STEPS, mode, RandomFair::new(1))
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

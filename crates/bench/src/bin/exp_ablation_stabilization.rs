@@ -18,7 +18,11 @@ fn main() {
     let mut table = Table::new(
         "A1-ablation-stabilization",
         "Oracle stabilisation time vs consensus latency and register liveness (n = 5, one crash)",
-        &["stabilize_at", "consensus_latency", "register_ops_completed"],
+        &[
+            "stabilize_at",
+            "consensus_latency",
+            "register_ops_completed",
+        ],
     );
     for stabilize in [0u64, 100, 400, 1_600, 6_400] {
         let setup = RunSetup::new(pattern.clone())

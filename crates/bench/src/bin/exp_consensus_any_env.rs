@@ -1,7 +1,11 @@
 //! **E3 — Corollary 2/4**: (Ω, Σ) solves consensus in every environment.
 //! Sweep the crash count from 0 to n−1 (including crashed majorities) and
 //! report decision latency; the checker validates every run.
+//!
+//! Runs fan out across cores ([`wfd_bench::sweep`]); rows come back in
+//! grid order, so the table is byte-identical to a sequential sweep.
 
+use wfd_bench::sweep::{grid2, Sweep};
 use wfd_bench::Table;
 use wfd_core::theorems::{self, RunSetup};
 use wfd_sim::{FailurePattern, ProcessId};
@@ -13,29 +17,35 @@ fn main() {
         "(Ω, Σ) consensus across crash counts f (n = 5): conformance and latency in steps",
         &["f", "seed", "ok", "decision", "latency_steps"],
     );
-    for f in 0..n {
+    let specs = grid2(&(0..n).collect::<Vec<_>>(), &[1u64, 2, 3]);
+    let rows = Sweep::over(specs).run_parallel(|&(f, seed)| {
         let pattern = FailurePattern::with_crashes(
             n,
             &(0..f)
                 .map(|i| (ProcessId(i), 100 + 100 * i as u64))
                 .collect::<Vec<_>>(),
         );
-        for seed in [1u64, 2, 3] {
-            let setup = RunSetup::new(pattern.clone())
-                .with_seed(seed)
-                .with_horizon(120_000);
-            let proposals: Vec<u64> = (0..n as u64).map(|i| 10 + i).collect();
-            match theorems::omega_sigma_solves_consensus(&setup, &proposals) {
-                Ok(stats) => table.row(&[
-                    &f,
-                    &seed,
-                    &"yes",
-                    &format!("{:?}", stats.decision),
-                    &format!("{:?}", stats.latency),
-                ]),
-                Err(v) => table.row(&[&f, &seed, &format!("VIOLATION: {v}"), &"-", &"-"]),
-            }
+        let setup = RunSetup::new(pattern).with_seed(seed).with_horizon(120_000);
+        let proposals: Vec<u64> = (0..n as u64).map(|i| 10 + i).collect();
+        match theorems::omega_sigma_solves_consensus(&setup, &proposals) {
+            Ok(stats) => vec![
+                f.to_string(),
+                seed.to_string(),
+                "yes".into(),
+                format!("{:?}", stats.decision),
+                format!("{:?}", stats.latency),
+            ],
+            Err(v) => vec![
+                f.to_string(),
+                seed.to_string(),
+                format!("VIOLATION: {v}"),
+                "-".into(),
+                "-".into(),
+            ],
         }
+    });
+    for row in rows {
+        table.row_strings(row);
     }
     table.finish();
     println!(

@@ -18,7 +18,9 @@ fn main() {
     for f in 0..n {
         let pattern = FailurePattern::with_crashes(
             n,
-            &(0..f).map(|i| (ProcessId(i), 5 + i as u64)).collect::<Vec<_>>(),
+            &(0..f)
+                .map(|i| (ProcessId(i), 5 + i as u64))
+                .collect::<Vec<_>>(),
         );
         let proposals: Vec<u64> = (0..n as u64).collect();
         let mk_setup = |horizon| {
@@ -30,19 +32,34 @@ fn main() {
 
         let quorum = theorems::omega_sigma_solves_consensus(&mk_setup(120_000), &proposals);
         match quorum {
-            Ok(stats) => table.row(&[&f, &"omega-sigma-quorum", &"yes", &format!("{:?}", stats.latency)]),
+            Ok(stats) => table.row(&[
+                &f,
+                &"omega-sigma-quorum",
+                &"yes",
+                &format!("{:?}", stats.latency),
+            ]),
             Err(v) => table.row(&[&f, &"omega-sigma-quorum", &format!("no: {v}"), &"-"]),
         }
 
         let regs = theorems::consensus_via_registers(&mk_setup(400_000), &proposals);
         match regs {
-            Ok(stats) => table.row(&[&f, &"register-route", &"yes", &format!("{:?}", stats.latency)]),
+            Ok(stats) => table.row(&[
+                &f,
+                &"register-route",
+                &"yes",
+                &format!("{:?}", stats.latency),
+            ]),
             Err(v) => table.row(&[&f, &"register-route", &format!("no: {v}"), &"-"]),
         }
 
         let ct = theorems::chandra_toueg_consensus(&mk_setup(60_000), &proposals);
         match ct {
-            Ok(stats) => table.row(&[&f, &"chandra-toueg", &"yes", &format!("{:?}", stats.latency)]),
+            Ok(stats) => table.row(&[
+                &f,
+                &"chandra-toueg",
+                &"yes",
+                &format!("{:?}", stats.latency),
+            ]),
             Err(v) => table.row(&[&f, &"chandra-toueg", &format!("no: {v}"), &"-"]),
         }
     }

@@ -23,9 +23,7 @@ fn main() {
             Some(t) => FailurePattern::failure_free(n).with_crash(ProcessId(n - 1), t),
         };
         let crash_str = crash.map(|t| t.to_string()).unwrap_or_else(|| "-".into());
-        let setup = RunSetup::new(pattern)
-            .with_seed(5)
-            .with_horizon(150_000);
+        let setup = RunSetup::new(pattern).with_seed(5).with_horizon(150_000);
 
         let sigma = match theorems::consensus_yields_sigma(&setup) {
             Ok(stats) => format!(

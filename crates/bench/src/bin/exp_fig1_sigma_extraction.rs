@@ -5,7 +5,11 @@
 //! ABD register; the emitted quorum stream is validated against Σ's
 //! intersection + completeness and we report when the output stabilised
 //! to correct-only quorums.
+//!
+//! Runs fan out across cores ([`wfd_bench::sweep`]); rows come back in
+//! grid order, so the table is byte-identical to a sequential sweep.
 
+use wfd_bench::sweep::{grid3, Sweep};
 use wfd_bench::Table;
 use wfd_core::theorems::{self, RunSetup};
 use wfd_sim::{FailurePattern, ProcessId};
@@ -14,34 +18,54 @@ fn main() {
     let mut table = Table::new(
         "E1-fig1-sigma-extraction",
         "Figure 1: Σ extracted from (D = Σ-oracle, A = ABD) — spec verdict and stabilisation",
-        &["n", "crashes", "seed", "sigma_ok", "samples", "stabilized_at"],
+        &[
+            "n",
+            "crashes",
+            "seed",
+            "sigma_ok",
+            "samples",
+            "stabilized_at",
+        ],
     );
-    for n in [3usize, 4, 5] {
-        for f in 0..n {
-            let pattern = FailurePattern::with_crashes(
-                n,
-                &(0..f)
-                    .map(|i| (ProcessId(i), 300 + 200 * i as u64))
-                    .collect::<Vec<_>>(),
-            );
-            for seed in [1u64, 2] {
-                let setup = RunSetup::new(pattern.clone())
-                    .with_seed(seed)
-                    .with_horizon(60_000);
-                match theorems::registers_yield_sigma(&setup) {
-                    Ok(stats) => {
-                        let stab = stats
-                            .stabilization_time()
-                            .map(|t| t.to_string())
-                            .unwrap_or_else(|| "-".into());
-                        table.row(&[&n, &f, &seed, &"yes", &stats.samples, &stab]);
-                    }
-                    Err(v) => {
-                        table.row(&[&n, &f, &seed, &format!("VIOLATION: {v}"), &0, &"-"]);
-                    }
-                }
+    let specs: Vec<(usize, usize, u64)> = [3usize, 4, 5]
+        .iter()
+        .flat_map(|&n| grid3(&[n], &(0..n).collect::<Vec<_>>(), &[1u64, 2]))
+        .collect();
+    let rows = Sweep::over(specs).run_parallel(|&(n, f, seed)| {
+        let pattern = FailurePattern::with_crashes(
+            n,
+            &(0..f)
+                .map(|i| (ProcessId(i), 300 + 200 * i as u64))
+                .collect::<Vec<_>>(),
+        );
+        let setup = RunSetup::new(pattern).with_seed(seed).with_horizon(60_000);
+        match theorems::registers_yield_sigma(&setup) {
+            Ok(stats) => {
+                let stab = stats
+                    .stabilization_time()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".into());
+                vec![
+                    n.to_string(),
+                    f.to_string(),
+                    seed.to_string(),
+                    "yes".into(),
+                    stats.samples.to_string(),
+                    stab,
+                ]
             }
+            Err(v) => vec![
+                n.to_string(),
+                f.to_string(),
+                seed.to_string(),
+                format!("VIOLATION: {v}"),
+                "0".into(),
+                "-".into(),
+            ],
         }
+    });
+    for row in rows {
+        table.row_strings(row);
     }
     table.finish();
 }

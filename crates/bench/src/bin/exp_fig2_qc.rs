@@ -13,7 +13,14 @@ fn main() {
     let mut table = Table::new(
         "E4-fig2-psi-qc",
         "Figure 2: Ψ-QC decisions vs Ψ mode, switch time and crash time (n = 3)",
-        &["mode", "switch_at", "crash_at", "ok", "decision", "latency_steps"],
+        &[
+            "mode",
+            "switch_at",
+            "crash_at",
+            "ok",
+            "decision",
+            "latency_steps",
+        ],
     );
     let crash_opts: [Option<u64>; 3] = [None, Some(50), Some(400)];
     for crash in crash_opts {

@@ -2,7 +2,12 @@
 //! Ψ mode and failure timing; validate the emitted stream against Ψ's
 //! spec and report which behaviour it settled on and when processes left
 //! the ⊥ phase.
+//!
+//! These are the longest runs in the experiment suite (up to 250k steps
+//! each), so they fan out across cores ([`wfd_bench::sweep`]); rows come
+//! back in grid order, byte-identical to a sequential sweep.
 
+use wfd_bench::sweep::{grid2, Sweep};
 use wfd_bench::Table;
 use wfd_core::theorems::{self, RunSetup};
 use wfd_detectors::check::PsiPhase;
@@ -14,54 +19,64 @@ fn main() {
         "E5-fig3-psi-extraction",
         "Figure 3: Ψ extracted from (D = Ψ-oracle, A = Figure-2 QC) — spec verdict, \
          settled phase, and ⊥-exit times",
-        &["n", "mode", "crash_at", "ok", "phase", "first_switch", "last_switch"],
+        &[
+            "n",
+            "mode",
+            "crash_at",
+            "ok",
+            "phase",
+            "first_switch",
+            "last_switch",
+        ],
     );
-    for n in [3usize, 4] {
-        let cases: Vec<(PsiMode, Option<u64>)> = vec![
-            (PsiMode::OmegaSigma, None),
-            (PsiMode::OmegaSigma, Some(600)),
-            (PsiMode::Fs, Some(40)),
-        ];
-        for (mode, crash) in cases {
-            let pattern = match crash {
-                None => FailurePattern::failure_free(n),
-                Some(t) => FailurePattern::failure_free(n).with_crash(ProcessId(n - 1), t),
-            };
-            let crash_str = crash.map(|t| t.to_string()).unwrap_or_else(|| "-".into());
-            let setup = RunSetup::new(pattern)
-                .with_seed(3)
-                .with_stabilize(60)
-                .with_horizon(if n == 3 { 150_000 } else { 250_000 });
-            match theorems::qc_yields_psi(&setup, mode) {
-                Ok(stats) => {
-                    let phase = match stats.phase {
-                        PsiPhase::AllBot => "all-bot",
-                        PsiPhase::OmegaSigma => "omega-sigma",
-                        PsiPhase::Fs => "fs",
-                    };
-                    let switches: Vec<u64> =
-                        stats.switch_times.iter().flatten().copied().collect();
-                    table.row(&[
-                        &n,
-                        &format!("{mode:?}"),
-                        &crash_str,
-                        &"yes",
-                        &phase,
-                        &format!("{:?}", switches.iter().min()),
-                        &format!("{:?}", switches.iter().max()),
-                    ]);
-                }
-                Err(v) => table.row(&[
-                    &n,
-                    &format!("{mode:?}"),
-                    &crash_str,
-                    &format!("VIOLATION: {v}"),
-                    &"-",
-                    &"-",
-                    &"-",
-                ]),
+    let cases: Vec<(PsiMode, Option<u64>)> = vec![
+        (PsiMode::OmegaSigma, None),
+        (PsiMode::OmegaSigma, Some(600)),
+        (PsiMode::Fs, Some(40)),
+    ];
+    let specs = grid2(&[3usize, 4], &cases);
+    let rows = Sweep::over(specs).run_parallel(|(n, (mode, crash))| {
+        let (n, mode, crash) = (*n, *mode, *crash);
+        let pattern = match crash {
+            None => FailurePattern::failure_free(n),
+            Some(t) => FailurePattern::failure_free(n).with_crash(ProcessId(n - 1), t),
+        };
+        let crash_str = crash.map(|t| t.to_string()).unwrap_or_else(|| "-".into());
+        let setup = RunSetup::new(pattern)
+            .with_seed(3)
+            .with_stabilize(60)
+            .with_horizon(if n == 3 { 150_000 } else { 250_000 });
+        match theorems::qc_yields_psi(&setup, mode) {
+            Ok(stats) => {
+                let phase = match stats.phase {
+                    PsiPhase::AllBot => "all-bot",
+                    PsiPhase::OmegaSigma => "omega-sigma",
+                    PsiPhase::Fs => "fs",
+                };
+                let switches: Vec<u64> = stats.switch_times.iter().flatten().copied().collect();
+                vec![
+                    n.to_string(),
+                    format!("{mode:?}"),
+                    crash_str,
+                    "yes".into(),
+                    phase.into(),
+                    format!("{:?}", switches.iter().min()),
+                    format!("{:?}", switches.iter().max()),
+                ]
             }
+            Err(v) => vec![
+                n.to_string(),
+                format!("{mode:?}"),
+                crash_str,
+                format!("VIOLATION: {v}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ],
         }
+    });
+    for row in rows {
+        table.row_strings(row);
     }
     table.finish();
     println!(

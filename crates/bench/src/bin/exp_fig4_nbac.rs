@@ -19,9 +19,24 @@ fn main() {
         mode: PsiMode,
     }
     let cases = vec![
-        Case { label: "all-yes", votes: vec![yes; 4], crash: None, mode: PsiMode::OmegaSigma },
-        Case { label: "one-no", votes: vec![yes, yes, no, yes], crash: None, mode: PsiMode::OmegaSigma },
-        Case { label: "all-no", votes: vec![no; 4], crash: None, mode: PsiMode::OmegaSigma },
+        Case {
+            label: "all-yes",
+            votes: vec![yes; 4],
+            crash: None,
+            mode: PsiMode::OmegaSigma,
+        },
+        Case {
+            label: "one-no",
+            votes: vec![yes, yes, no, yes],
+            crash: None,
+            mode: PsiMode::OmegaSigma,
+        },
+        Case {
+            label: "all-no",
+            votes: vec![no; 4],
+            crash: None,
+            mode: PsiMode::OmegaSigma,
+        },
         Case {
             label: "crash-before-vote",
             votes: vec![yes, yes, yes, None],

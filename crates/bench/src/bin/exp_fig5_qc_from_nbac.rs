@@ -20,8 +20,16 @@ fn main() {
         mode: PsiMode,
     }
     let cases = vec![
-        Case { proposals: vec![Some(1), Some(0), Some(1)], crash: None, mode: PsiMode::OmegaSigma },
-        Case { proposals: vec![Some(1), Some(1), Some(1)], crash: None, mode: PsiMode::OmegaSigma },
+        Case {
+            proposals: vec![Some(1), Some(0), Some(1)],
+            crash: None,
+            mode: PsiMode::OmegaSigma,
+        },
+        Case {
+            proposals: vec![Some(1), Some(1), Some(1)],
+            crash: None,
+            mode: PsiMode::OmegaSigma,
+        },
         Case {
             proposals: vec![None, Some(1), Some(0)],
             crash: Some((0, 10)),

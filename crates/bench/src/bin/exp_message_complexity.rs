@@ -4,7 +4,12 @@
 //! system sizes — the shape (quadratic in n for flooding-based phases,
 //! the register route's constant factor) is the cost structure the
 //! modular constructions trade away.
+//!
+//! Counting needs no event log, so runs execute with [`TraceMode::Off`]
+//! and read the engine's always-exact [`TraceSummary`] counters via
+//! `Sim::stats()`; the grid fans out across cores in deterministic order.
 
+use wfd_bench::sweep::{grid2, Sweep};
 use wfd_bench::Table;
 use wfd_consensus::chandra_toueg::ChandraToueg;
 use wfd_consensus::register_omega::RegisterOmegaConsensus;
@@ -14,10 +19,19 @@ use wfd_detectors::oracles::{
 };
 use wfd_nbac::{NbacFromQc, Vote};
 use wfd_quittable::PsiQc;
-use wfd_sim::{FailurePattern, ProcessId, RandomFair, Sim, SimConfig, TraceSummary};
+use wfd_sim::{FailurePattern, ProcessId, RandomFair, Sim, SimConfig, TraceMode, TraceSummary};
 
-/// Run a decision protocol until all processes decide; return the trace
-/// summary at that point.
+const ALGORITHMS: [&str; 5] = [
+    "omega-sigma-consensus",
+    "register-route-consensus",
+    "chandra-toueg",
+    "psi-qc",
+    "nbac-from-qc",
+];
+
+/// Run a decision protocol until all processes decide; return the
+/// engine's aggregate counters at that point. Tracing is off: the
+/// schedule is identical, only the record is skipped.
 fn measure<P, D, I>(
     n: usize,
     procs: Vec<P>,
@@ -32,7 +46,9 @@ where
 {
     let pattern = FailurePattern::failure_free(n);
     let mut sim = Sim::new(
-        SimConfig::new(n).with_horizon(300_000),
+        SimConfig::new(n)
+            .with_horizon(300_000)
+            .with_trace_mode(TraceMode::Off),
         procs,
         pattern,
         detector,
@@ -42,19 +58,13 @@ where
         sim.schedule_invoke(ProcessId(p), 0, invocations(p));
     }
     sim.run_until(|_, procs| procs.iter().all(&decided));
-    sim.trace().summary()
+    sim.stats()
 }
 
-fn main() {
-    let mut table = Table::new(
-        "A3-message-complexity",
-        "Messages sent until all processes decide (failure-free, random-fair schedule)",
-        &["n", "algorithm", "messages", "steps"],
-    );
-    for n in [3usize, 5, 7] {
-        let pattern = FailurePattern::failure_free(n);
-
-        let s = measure(
+fn measure_algorithm(n: usize, algorithm: &str) -> TraceSummary {
+    let pattern = FailurePattern::failure_free(n);
+    match algorithm {
+        "omega-sigma-consensus" => measure(
             n,
             (0..n).map(|_| OmegaSigmaConsensus::<u64>::new()).collect(),
             PairOracle::new(
@@ -63,50 +73,67 @@ fn main() {
             ),
             |p| p as u64,
             |p| p.decision().is_some(),
-        );
-        table.row(&[&n, &"omega-sigma-consensus", &s.messages_sent, &s.steps]);
-
-        let s = measure(
+        ),
+        "register-route-consensus" => measure(
             n,
-            (0..n).map(|_| RegisterOmegaConsensus::<u64>::new(n)).collect(),
+            (0..n)
+                .map(|_| RegisterOmegaConsensus::<u64>::new(n))
+                .collect(),
             PairOracle::new(
                 OmegaOracle::new(&pattern, 0, 1),
                 SigmaOracle::new(&pattern, 0, 1),
             ),
             |p| p as u64,
             |p| p.decision().is_some(),
-        );
-        table.row(&[&n, &"register-route-consensus", &s.messages_sent, &s.steps]);
-
-        let s = measure(
+        ),
+        "chandra-toueg" => measure(
             n,
             (0..n).map(|_| ChandraToueg::<u64>::new()).collect(),
             EventuallyStrongOracle::new(&pattern, 0, 1),
             |p| p as u64,
             |p| p.decision().is_some(),
-        );
-        table.row(&[&n, &"chandra-toueg", &s.messages_sent, &s.steps]);
-
-        let s = measure(
+        ),
+        "psi-qc" => measure(
             n,
             (0..n).map(|_| PsiQc::<u64>::new()).collect(),
             PsiOracle::new(&pattern, PsiMode::OmegaSigma, 0, 0, 1),
             |p| p as u64,
             |p| p.decision().is_some(),
-        );
-        table.row(&[&n, &"psi-qc", &s.messages_sent, &s.steps]);
-
-        let s = measure(
+        ),
+        "nbac-from-qc" => measure(
             n,
-            (0..n).map(|_| NbacFromQc::new(n, PsiQc::<u8>::new())).collect(),
+            (0..n)
+                .map(|_| NbacFromQc::new(n, PsiQc::<u8>::new()))
+                .collect(),
             PairOracle::new(
                 FsOracle::new(&pattern, 10, 1),
                 PsiOracle::new(&pattern, PsiMode::OmegaSigma, 0, 0, 1),
             ),
             |_| Vote::Yes,
             |p| p.decision().is_some(),
-        );
-        table.row(&[&n, &"nbac-from-qc", &s.messages_sent, &s.steps]);
+        ),
+        other => unreachable!("unknown algorithm {other}"),
+    }
+}
+
+fn main() {
+    let mut table = Table::new(
+        "A3-message-complexity",
+        "Messages sent until all processes decide (failure-free, random-fair schedule)",
+        &["n", "algorithm", "messages", "steps"],
+    );
+    let specs = grid2(&[3usize, 5, 7], &ALGORITHMS);
+    let rows = Sweep::over(specs).run_parallel(|&(n, algorithm)| {
+        let s = measure_algorithm(n, algorithm);
+        vec![
+            n.to_string(),
+            algorithm.to_string(),
+            s.messages_sent.to_string(),
+            s.steps.to_string(),
+        ]
+    });
+    for row in rows {
+        table.row_strings(row);
     }
     table.finish();
     println!(

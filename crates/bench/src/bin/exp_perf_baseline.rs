@@ -1,0 +1,201 @@
+//! **A0 — performance baseline.** Machine-readable engine throughput
+//! numbers, written to `BENCH_sim.json` at the repo root so regressions
+//! are diffable across commits:
+//!
+//! * steps/sec of the engine per scheduler policy (full tracing),
+//! * the tracing-cost ladder (Full vs OutputsOnly vs Off),
+//! * wall-clock of an identical run grid swept sequentially vs in
+//!   parallel ([`wfd_bench::sweep`]), with the resulting speedup.
+//!
+//! Override the output path with `WFD_BENCH_OUT`; scale the workload
+//! down for smoke runs with `WFD_PERF_STEPS` / `WFD_PERF_RUNS`.
+
+use std::time::Instant;
+use wfd_bench::sweep::{num_threads, par_map_with};
+use wfd_bench::{json_escape, Table};
+use wfd_sim::{
+    Adversarial, Ctx, FailurePattern, NoDetector, ProcessId, Protocol, RandomFair, RoundRobin,
+    Scheduler, Sim, SimConfig, TraceMode,
+};
+
+/// Gossip protocol with a heap-allocated payload: every 4th step,
+/// broadcast a small vector (realistic for the repo's protocols, whose
+/// messages carry quorum sets and schedules — so Full-mode tracing pays
+/// a real clone per recorded send/delivery).
+#[derive(Debug, Default)]
+struct Gossip {
+    steps: u64,
+    seen: u64,
+}
+
+impl Protocol for Gossip {
+    type Msg = Vec<u64>;
+    type Output = u64;
+    type Inv = ();
+    type Fd = ();
+
+    fn on_tick(&mut self, ctx: &mut Ctx<Self>) {
+        self.steps += 1;
+        if self.steps.is_multiple_of(4) {
+            ctx.broadcast_others(vec![self.steps; 12]);
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<Self>, _from: ProcessId, msg: Vec<u64>) {
+        self.seen = self.seen.max(msg[0]);
+    }
+}
+
+fn env_u64(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Execute `steps` engine steps; return steps/sec (best of 3, which
+/// filters scheduler-jitter outliers on busy machines).
+fn steps_per_sec<S: Scheduler + Clone>(n: usize, steps: u64, mode: TraceMode, sched: S) -> f64 {
+    let mut best = 0f64;
+    for _ in 0..3 {
+        let mut sim = Sim::new(
+            SimConfig::new(n).with_horizon(steps).with_trace_mode(mode),
+            (0..n).map(|_| Gossip::default()).collect(),
+            FailurePattern::failure_free(n),
+            NoDetector,
+            sched.clone(),
+        );
+        let t0 = Instant::now();
+        let out = sim.run();
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        best = best.max(out.steps as f64 / secs);
+    }
+    best
+}
+
+/// One grid cell of the sweep benchmark: a full deterministic run.
+fn sweep_run(seed: u64, steps: u64) -> u64 {
+    let n = 8;
+    let mut sim = Sim::new(
+        SimConfig::new(n)
+            .with_horizon(steps)
+            .with_trace_mode(TraceMode::Off),
+        (0..n).map(|_| Gossip::default()).collect(),
+        FailurePattern::failure_free(n),
+        NoDetector,
+        RandomFair::new(seed),
+    );
+    sim.run();
+    sim.processes().iter().map(|p| p.seen).sum()
+}
+
+fn main() {
+    let n = 8;
+    let steps = env_u64("WFD_PERF_STEPS", 300_000);
+    let runs = env_u64("WFD_PERF_RUNS", 32) as usize;
+
+    let mut table = Table::new(
+        "A0-perf-baseline",
+        "Engine throughput (steps/sec) and parallel-sweep speedup",
+        &["metric", "value"],
+    );
+
+    // 1. Steps/sec per scheduler policy (full tracing, n = 8).
+    let schedulers = [
+        (
+            "round_robin",
+            steps_per_sec(n, steps, TraceMode::Full, RoundRobin::new()),
+        ),
+        (
+            "random_fair",
+            steps_per_sec(n, steps, TraceMode::Full, RandomFair::new(1)),
+        ),
+        (
+            "adversarial",
+            steps_per_sec(n, steps, TraceMode::Full, Adversarial::new(1)),
+        ),
+    ];
+    for (name, sps) in &schedulers {
+        table.row_strings(vec![format!("steps_per_sec/{name}"), format!("{sps:.0}")]);
+    }
+
+    // 2. Tracing-cost ladder (random_fair, n = 8).
+    let modes = [
+        (
+            "full",
+            steps_per_sec(n, steps, TraceMode::Full, RandomFair::new(1)),
+        ),
+        (
+            "outputs_only",
+            steps_per_sec(n, steps, TraceMode::OutputsOnly, RandomFair::new(1)),
+        ),
+        (
+            "off",
+            steps_per_sec(n, steps, TraceMode::Off, RandomFair::new(1)),
+        ),
+    ];
+    for (name, sps) in &modes {
+        table.row_strings(vec![
+            format!("steps_per_sec/trace_{name}"),
+            format!("{sps:.0}"),
+        ]);
+    }
+    let trace_off_gain = modes[2].1 / modes[0].1;
+
+    // 3. Identical run grid, sequential vs parallel wall-clock.
+    let seeds: Vec<u64> = (0..runs as u64).collect();
+    let run_steps = steps / 4;
+    let t0 = Instant::now();
+    let seq = par_map_with(&seeds, 1, |_, &s| sweep_run(s, run_steps));
+    let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let threads = num_threads();
+    let t0 = Instant::now();
+    let par = par_map_with(&seeds, threads, |_, &s| sweep_run(s, run_steps));
+    let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(seq, par, "parallel sweep must reproduce sequential results");
+    let speedup = sequential_ms / parallel_ms.max(1e-9);
+    table.row_strings(vec!["sweep/runs".into(), runs.to_string()]);
+    table.row_strings(vec!["sweep/threads".into(), threads.to_string()]);
+    table.row_strings(vec![
+        "sweep/sequential_ms".into(),
+        format!("{sequential_ms:.1}"),
+    ]);
+    table.row_strings(vec![
+        "sweep/parallel_ms".into(),
+        format!("{parallel_ms:.1}"),
+    ]);
+    table.row_strings(vec!["sweep/speedup".into(), format!("{speedup:.2}")]);
+    table.row_strings(vec![
+        "trace_off_gain".into(),
+        format!("{trace_off_gain:.2}"),
+    ]);
+    table.finish();
+
+    // Machine-readable artifact at the repo root (diffable in CI).
+    let mut json = String::from("{\n");
+    json.push_str("  \"schedulers_steps_per_sec\": {\n");
+    for (i, (name, sps)) in schedulers.iter().enumerate() {
+        let sep = if i + 1 < schedulers.len() { "," } else { "" };
+        json.push_str(&format!("    {}: {:.0}{sep}\n", json_escape(name), sps));
+    }
+    json.push_str("  },\n  \"trace_modes_steps_per_sec\": {\n");
+    for (i, (name, sps)) in modes.iter().enumerate() {
+        let sep = if i + 1 < modes.len() { "," } else { "" };
+        json.push_str(&format!("    {}: {:.0}{sep}\n", json_escape(name), sps));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"trace_off_gain\": {trace_off_gain:.3},\n"));
+    json.push_str("  \"sweep\": {\n");
+    json.push_str(&format!("    \"runs\": {runs},\n"));
+    json.push_str(&format!("    \"threads\": {threads},\n"));
+    json.push_str(&format!("    \"sequential_ms\": {sequential_ms:.1},\n"));
+    json.push_str(&format!("    \"parallel_ms\": {parallel_ms:.1},\n"));
+    json.push_str(&format!("    \"speedup\": {speedup:.2}\n"));
+    json.push_str("  }\n}\n");
+
+    let out = std::env::var("WFD_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json").to_string()
+    });
+    std::fs::write(&out, json).expect("write BENCH_sim.json");
+    println!("(saved {out})");
+}

@@ -50,10 +50,19 @@ fn main() {
         "E2-register-crossover",
         "ABD liveness vs crash count f (n = 5): ops completed after the crashes; \
          the majority register dies at f = 3 = ceil(n/2), the Σ register never does",
-        &["f", "rule", "completed", "completed_after_crashes", "linearizable"],
+        &[
+            "f",
+            "rule",
+            "completed",
+            "completed_after_crashes",
+            "linearizable",
+        ],
     );
     for f in 0..n {
-        for (name, rule) in [("majority", QuorumRule::Majority), ("sigma", QuorumRule::Detector)] {
+        for (name, rule) in [
+            ("majority", QuorumRule::Majority),
+            ("sigma", QuorumRule::Detector),
+        ] {
             let (total, late, lin) = run(n, f, rule, 7);
             table.row(&[&f, &name, &total, &late, &lin]);
         }

@@ -14,7 +14,13 @@ fn main() {
     let mut table = Table::new(
         "E8-sigma-ex-nihilo",
         "Join-quorum Σ (no detector) vs crash count f (n = 5, crashes at t = 400)",
-        &["f", "majority_correct", "outputs", "outputs_after_1500", "sigma_ok_while_live"],
+        &[
+            "f",
+            "majority_correct",
+            "outputs",
+            "outputs_after_1500",
+            "sigma_ok_while_live",
+        ],
     );
     for f in 0..n {
         let pattern = FailurePattern::with_crashes(

@@ -1,0 +1,150 @@
+//! A tiny, dependency-free micro-benchmark harness.
+//!
+//! The workspace's benches (`cargo bench -p wfd-bench`) are plain
+//! `harness = false` binaries built on this module: each benchmark is a
+//! closure, timed with an adaptive iteration count after a warm-up, and
+//! reported as ns/iter plus derived throughput. Use
+//! [`std::hint::black_box`] inside closures to defeat dead-code
+//! elimination, exactly as with criterion.
+//!
+//! `WFD_BENCH_TIME_MS` overrides the per-benchmark measurement budget
+//! (default 300 ms; lower it in CI smoke runs).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark id (`group/name`).
+    pub id: String,
+    /// Iterations timed in the measurement phase.
+    pub iters: u64,
+    /// Total measured wall-clock.
+    pub total: Duration,
+    /// Optional per-iteration item count for throughput reporting.
+    pub items_per_iter: Option<u64>,
+}
+
+impl Measurement {
+    /// Nanoseconds per iteration.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.total.as_nanos() as f64 / self.iters.max(1) as f64
+    }
+
+    /// Items per second, if an item count was declared.
+    pub fn items_per_sec(&self) -> Option<f64> {
+        self.items_per_iter.map(|items| {
+            (items as f64 * self.iters as f64) / self.total.as_secs_f64().max(f64::MIN_POSITIVE)
+        })
+    }
+}
+
+/// The per-benchmark measurement budget.
+fn budget() -> Duration {
+    std::env::var("WFD_BENCH_TIME_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(300))
+}
+
+/// A named group of benchmarks, reported as an aligned table on `finish`.
+#[derive(Debug, Default)]
+pub struct Group {
+    name: String,
+    results: Vec<Measurement>,
+}
+
+impl Group {
+    /// Start a group.
+    pub fn new(name: &str) -> Self {
+        println!("\n## {name}");
+        Group {
+            name: name.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `f`, discarding its result via `black_box`.
+    pub fn bench<R>(&mut self, id: &str, f: impl FnMut() -> R) -> &Measurement {
+        self.bench_with_items(id, None, f)
+    }
+
+    /// Time `f`, declaring that each iteration processes `items` items
+    /// (enables items/sec — e.g. steps/sec — in the report).
+    pub fn bench_items<R>(&mut self, id: &str, items: u64, f: impl FnMut() -> R) -> &Measurement {
+        self.bench_with_items(id, Some(items), f)
+    }
+
+    fn bench_with_items<R>(
+        &mut self,
+        id: &str,
+        items: Option<u64>,
+        mut f: impl FnMut() -> R,
+    ) -> &Measurement {
+        let budget = budget();
+        // Warm-up: run once to fault in code/data and estimate cost.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        // Measurement: as many iterations as fit in the budget, ≥ 1.
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = t0.elapsed();
+        let m = Measurement {
+            id: format!("{}/{id}", self.name),
+            iters,
+            total,
+            items_per_iter: items,
+        };
+        match m.items_per_sec() {
+            Some(rate) => println!(
+                "  {:<40} {:>14.0} ns/iter  {:>14.0} items/s  ({} iters)",
+                m.id,
+                m.ns_per_iter(),
+                rate,
+                m.iters
+            ),
+            None => println!(
+                "  {:<40} {:>14.0} ns/iter  ({} iters)",
+                m.id,
+                m.ns_per_iter(),
+                m.iters
+            ),
+        }
+        self.results.push(m);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Consume the group, returning its measurements.
+    pub fn finish(self) -> Vec<Measurement> {
+        self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("WFD_BENCH_TIME_MS", "5");
+        let mut g = Group::new("t");
+        let m = g.bench("noop", || 1 + 1).clone();
+        assert!(m.iters >= 1);
+        assert!(m.ns_per_iter() > 0.0);
+        assert_eq!(m.id, "t/noop");
+        let m2 = g.bench_items("items", 100, || ()).clone();
+        assert!(m2.items_per_sec().unwrap() > 0.0);
+        assert_eq!(g.finish().len(), 2);
+    }
+}

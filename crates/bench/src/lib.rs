@@ -1,22 +1,49 @@
 //! # wfd-bench — the experiment harness
 //!
 //! One binary per experiment of the per-experiment index in DESIGN.md
-//! (`cargo run -p wfd-bench --bin exp_…`), plus criterion microbenches
+//! (`cargo run -p wfd-bench --bin exp_…`), plus microbenches
 //! (`cargo bench -p wfd-bench`). Each binary prints a human-readable
-//! table and writes the same rows as JSON under `target/experiments/`,
-//! which is what EXPERIMENTS.md records.
+//! table and writes the same rows as JSON under `target/experiments/`
+//! (overridable via `WFD_EXPERIMENTS_DIR`), which is what EXPERIMENTS.md
+//! records.
+//!
+//! Sweep-style experiments fan their runs across cores with [`sweep`];
+//! every run stays deterministic given its own seed and results are
+//! returned in grid order, so the emitted tables are byte-identical to a
+//! sequential execution.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
+pub mod harness;
+pub mod sweep;
+
 use std::fmt::Display;
 use std::fs;
 use std::path::PathBuf;
 
+/// Serialize a string into a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// A simple experiment table: named columns, stringly-printed rows, and a
 /// JSON artifact for reproducibility.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Table {
     /// Experiment id (e.g. "E1-fig1-sigma-extraction").
     pub id: String,
@@ -42,11 +69,28 @@ impl Table {
     /// Append a row (anything `Display` works).
     pub fn row(&mut self, cells: &[&dyn Display]) {
         assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
-    /// Print the table and write `target/experiments/<id>.json`.
-    pub fn finish(&self) {
+    /// Append a row of pre-formatted cells — the shape sweep results
+    /// arrive in.
+    pub fn row_strings(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// The directory experiment artifacts are written to:
+    /// `$WFD_EXPERIMENTS_DIR` if set, else `target/experiments`.
+    pub fn artifact_dir() -> PathBuf {
+        std::env::var_os("WFD_EXPERIMENTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target/experiments"))
+    }
+
+    /// Print the table and write `<artifact_dir>/<id>.json`; returns the
+    /// artifact path on success so callers (and CI) can collect it.
+    pub fn finish(&self) -> Option<PathBuf> {
         println!("\n== {} ==", self.id);
         println!("{}", self.caption);
         let widths: Vec<usize> = self
@@ -71,22 +115,52 @@ impl Table {
                 .join("  ")
         };
         println!("{}", line(&self.columns));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for r in &self.rows {
             println!("{}", line(r));
         }
-        if let Err(e) = self.save() {
-            eprintln!("(could not save JSON artifact: {e})");
+        match self.save() {
+            Ok(path) => {
+                println!("(saved {})", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("(could not save JSON artifact: {e})");
+                None
+            }
         }
     }
 
-    fn save(&self) -> std::io::Result<()> {
-        let dir = PathBuf::from("target/experiments");
+    /// The table as a pretty-printed JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_escape(&self.id)));
+        out.push_str(&format!("  \"caption\": {},\n", json_escape(&self.caption)));
+        let cols: Vec<String> = self.columns.iter().map(|c| json_escape(c)).collect();
+        out.push_str(&format!("  \"columns\": [{}],\n", cols.join(", ")));
+        out.push_str("  \"rows\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            let cells: Vec<String> = r.iter().map(|c| json_escape(c)).collect();
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("    [{}]", cells.join(", ")));
+        }
+        if !self.rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
+    }
+
+    fn save(&self) -> std::io::Result<PathBuf> {
+        let dir = Self::artifact_dir();
         fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        fs::write(&path, serde_json::to_string_pretty(self).expect("serializable"))?;
-        println!("(saved {})", path.display());
-        Ok(())
+        fs::write(&path, self.to_json())?;
+        Ok(path)
     }
 }
 
@@ -108,5 +182,33 @@ mod tests {
     fn arity_is_checked() {
         let mut t = Table::new("T0", "caption", &["a", "b"]);
         t.row(&[&1]);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("plain"), "\"plain\"");
+        assert_eq!(json_escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn to_json_is_well_formed() {
+        let mut t = Table::new("T1", "cap \"quoted\"", &["x", "y"]);
+        t.row(&[&1, &"a"]);
+        t.row(&[&2, &"b"]);
+        let j = t.to_json();
+        assert!(j.contains("\"id\": \"T1\""));
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("[\"1\", \"a\"]"));
+        // Balanced braces/brackets as a cheap structural check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn row_strings_appends() {
+        let mut t = Table::new("T2", "c", &["a"]);
+        t.row_strings(vec!["v".into()]);
+        assert_eq!(t.rows, vec![vec!["v".to_string()]]);
     }
 }

@@ -317,8 +317,7 @@ mod tests {
     #[test]
     fn decides_with_minority_crashes() {
         let n = 5;
-        let pattern =
-            FailurePattern::with_crashes(n, &[(ProcessId(0), 50), (ProcessId(1), 150)]);
+        let pattern = FailurePattern::with_crashes(n, &[(ProcessId(0), 50), (ProcessId(1), 150)]);
         let proposals = [1, 2, 3, 4, 5];
         for seed in 0..5 {
             let trace = run_ct(&pattern, &proposals, 400, seed, 60_000);

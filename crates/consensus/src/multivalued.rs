@@ -85,12 +85,17 @@ impl<V: Clone + Debug + PartialEq> MultivaluedConsensus<V> {
         f: impl FnOnce(&mut OmegaSigmaConsensus<u8>, &mut Ctx<OmegaSigmaConsensus<u8>>),
     ) {
         let fd = ctx.fd().clone();
-        let mut ictx =
-            Ctx::<OmegaSigmaConsensus<u8>>::detached(ctx.me(), ctx.n(), ctx.now(), fd);
+        let mut ictx = Ctx::<OmegaSigmaConsensus<u8>>::detached(ctx.me(), ctx.n(), ctx.now(), fd);
         let inst = self.instances.entry(j).or_default();
         f(inst, &mut ictx);
         for (to, msg) in ictx.take_sends() {
-            ctx.send(to, MvMsg::Bin { instance: j, inner: msg });
+            ctx.send(
+                to,
+                MvMsg::Bin {
+                    instance: j,
+                    inner: msg,
+                },
+            );
         }
         for out in ictx.take_outputs() {
             self.on_instance_output(ctx, j, out);
@@ -148,11 +153,7 @@ impl<V: Clone + Debug + PartialEq> MultivaluedConsensus<V> {
         }
         let j = self.current;
         let owner = (j % ctx.n() as u64) as usize;
-        let decided_one = self
-            .instances
-            .get(&j)
-            .and_then(|i| i.decision().copied())
-            == Some(1);
+        let decided_one = self.instances.get(&j).and_then(|i| i.decision().copied()) == Some(1);
         if decided_one {
             if let Some(v) = self.values[owner].clone() {
                 self.decided = Some(v.clone());

@@ -478,14 +478,7 @@ mod tests {
         let n = 4;
         let pattern = FailurePattern::with_crashes(n, &[(ProcessId(0), 400)]);
         let proposals = vec![1, 2, 3, 4];
-        let trace = run_consensus(
-            &pattern,
-            &proposals,
-            800,
-            3,
-            Adversarial::new(17),
-            100_000,
-        );
+        let trace = run_consensus(&pattern, &proposals, 800, 3, Adversarial::new(17), 100_000);
         let props: Vec<Option<u64>> = proposals.iter().copied().map(Some).collect();
         check_consensus(&trace, &props, &pattern).unwrap_or_else(|v| panic!("{v}"));
     }
@@ -515,14 +508,7 @@ mod tests {
     fn decision_is_sticky_and_single() {
         let n = 3;
         let pattern = FailurePattern::failure_free(n);
-        let trace = run_consensus(
-            &pattern,
-            &[7, 7, 7],
-            20,
-            1,
-            RandomFair::new(1),
-            30_000,
-        );
+        let trace = run_consensus(&pattern, &[7, 7, 7], 20, 1, RandomFair::new(1), 30_000);
         // Unanimous proposals must decide the proposed value.
         for (_, _, out) in trace.outputs() {
             assert_eq!(out, &ConsensusOutput::Decided(7));
@@ -533,9 +519,18 @@ mod tests {
 
     #[test]
     fn ballots_order_by_attempt_then_proposer() {
-        let a = Ballot { attempt: 1, proposer: ProcessId(2) };
-        let b = Ballot { attempt: 2, proposer: ProcessId(0) };
-        let c = Ballot { attempt: 1, proposer: ProcessId(3) };
+        let a = Ballot {
+            attempt: 1,
+            proposer: ProcessId(2),
+        };
+        let b = Ballot {
+            attempt: 2,
+            proposer: ProcessId(0),
+        };
+        let c = Ballot {
+            attempt: 1,
+            proposer: ProcessId(3),
+        };
         assert!(a < b);
         assert!(a < c);
         assert!(Ballot::ZERO < a);
@@ -546,12 +541,8 @@ mod tests {
         let mut p: Cons = OmegaSigmaConsensus::new();
         assert!(!p.has_proposed());
         assert_eq!(p.decision(), None);
-        let mut ctx = wfd_sim::Ctx::<Cons>::detached(
-            ProcessId(0),
-            3,
-            0,
-            (ProcessId(1), ProcessSet::full(3)),
-        );
+        let mut ctx =
+            wfd_sim::Ctx::<Cons>::detached(ProcessId(0), 3, 0, (ProcessId(1), ProcessSet::full(3)));
         p.on_invoke(&mut ctx, 5);
         assert!(p.has_proposed());
     }

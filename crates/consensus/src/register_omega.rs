@@ -24,7 +24,7 @@
 use crate::omega_sigma::Ballot;
 use crate::spec::ConsensusOutput;
 use std::fmt::Debug;
-use wfd_registers::abd::{AbdMsg, AbdOp, AbdOutput, AbdResp, AbdRegister, QuorumRule};
+use wfd_registers::abd::{AbdMsg, AbdOp, AbdOutput, AbdRegister, AbdResp, QuorumRule};
 use wfd_sim::{Ctx, ProcessId, ProcessSet, Protocol};
 
 /// The block each process keeps in its single-writer register.
@@ -151,23 +151,23 @@ impl<V: Clone + Debug + PartialEq> RegisterOmegaConsensus<V> {
         f: impl FnOnce(&mut AbdRegister<DBlock<V>>, &mut Ctx<AbdRegister<DBlock<V>>>),
     ) {
         let sigma = ctx.fd().1.clone();
-        let mut ictx =
-            Ctx::<AbdRegister<DBlock<V>>>::detached(ctx.me(), ctx.n(), ctx.now(), sigma);
+        let mut ictx = Ctx::<AbdRegister<DBlock<V>>>::detached(ctx.me(), ctx.n(), ctx.now(), sigma);
         f(&mut self.regs[idx], &mut ictx);
         for (to, msg) in ictx.take_sends() {
-            ctx.send(to, RoMsg::Reg { instance: idx, inner: msg });
+            ctx.send(
+                to,
+                RoMsg::Reg {
+                    instance: idx,
+                    inner: msg,
+                },
+            );
         }
         for out in ictx.take_outputs() {
             self.on_register_output(ctx, idx, out);
         }
     }
 
-    fn on_register_output(
-        &mut self,
-        ctx: &mut Ctx<Self>,
-        idx: usize,
-        out: AbdOutput<DBlock<V>>,
-    ) {
+    fn on_register_output(&mut self, ctx: &mut Ctx<Self>, idx: usize, out: AbdOutput<DBlock<V>>) {
         let AbdOutput::Completed { resp, .. } = out else {
             return;
         };
@@ -204,7 +204,11 @@ impl<V: Clone + Debug + PartialEq> RegisterOmegaConsensus<V> {
                 self.rival_attempt = self.rival_attempt.max(block.mbal.attempt);
                 let beaten = beaten || block.mbal > self.ballot;
                 if j + 1 < ctx.n() {
-                    self.stage = Stage::P2Read { j: j + 1, v, beaten };
+                    self.stage = Stage::P2Read {
+                        j: j + 1,
+                        v,
+                        beaten,
+                    };
                     self.read_register(ctx, j + 1);
                 } else if beaten {
                     self.retry(ctx);
@@ -309,9 +313,7 @@ impl<V: Clone + Debug + PartialEq> Protocol for RegisterOmegaConsensus<V> {
     fn on_message(&mut self, ctx: &mut Ctx<Self>, from: ProcessId, msg: RoMsg<V>) {
         match msg {
             RoMsg::Reg { instance, inner } => {
-                self.with_instance(ctx, instance, |reg, ictx| {
-                    reg.on_message(ictx, from, inner)
-                });
+                self.with_instance(ctx, instance, |reg, ictx| reg.on_message(ictx, from, inner));
             }
             RoMsg::Decide { v } => self.decide(ctx, v),
         }
@@ -380,7 +382,11 @@ mod tests {
         let n = 5;
         let pattern = FailurePattern::with_crashes(
             n,
-            &[(ProcessId(0), 100), (ProcessId(1), 150), (ProcessId(2), 220)],
+            &[
+                (ProcessId(0), 100),
+                (ProcessId(1), 150),
+                (ProcessId(2), 220),
+            ],
         );
         let proposals = [31, 32, 33, 34, 35];
         for seed in 0..3 {

@@ -103,9 +103,7 @@ impl<V: Clone + Debug + PartialEq> RegisterFromConsensus<V> {
 
     fn pool_insert(&mut self, cmd: Command<V>) {
         let key = (cmd.issuer, cmd.tag);
-        if self.applied.contains(&key)
-            || self.pool.iter().any(|c| (c.issuer, c.tag) == key)
-        {
+        if self.applied.contains(&key) || self.pool.iter().any(|c| (c.issuer, c.tag) == key) {
             return;
         }
         self.pool.push(cmd);
@@ -119,12 +117,8 @@ impl<V: Clone + Debug + PartialEq> RegisterFromConsensus<V> {
         f: impl FnOnce(&mut OmegaSigmaConsensus<Command<V>>, &mut Ctx<OmegaSigmaConsensus<Command<V>>>),
     ) {
         let fd = ctx.fd().clone();
-        let mut ictx = Ctx::<OmegaSigmaConsensus<Command<V>>>::detached(
-            ctx.me(),
-            ctx.n(),
-            ctx.now(),
-            fd,
-        );
+        let mut ictx =
+            Ctx::<OmegaSigmaConsensus<Command<V>>>::detached(ctx.me(), ctx.n(), ctx.now(), fd);
         let inst = self.instances.entry(k).or_default();
         f(inst, &mut ictx);
         for (to, msg) in ictx.take_sends() {
@@ -153,9 +147,7 @@ impl<V: Clone + Debug + PartialEq> RegisterFromConsensus<V> {
                 }
                 AbdOp::Read => AbdResp::ReadOk(self.state.clone()),
             };
-            if cmd.issuer == ctx.me()
-                && self.pending.front().is_some_and(|c| c.tag == cmd.tag)
-            {
+            if cmd.issuer == ctx.me() && self.pending.front().is_some_and(|c| c.tag == cmd.tag) {
                 self.pending.pop_front();
                 let id = (ctx.me(), self.op_seq);
                 self.op_seq += 1;
@@ -180,11 +172,7 @@ impl<V: Clone + Debug + PartialEq> RegisterFromConsensus<V> {
         // reordering); poke it.
         let next = self.next_slot;
         if self.instances.contains_key(&next) {
-            if let Some(Some(cmd)) = self
-                .instances
-                .get(&next)
-                .map(|i| i.decision().cloned())
-            {
+            if let Some(Some(cmd)) = self.instances.get(&next).map(|i| i.decision().cloned()) {
                 self.on_slot_decided(ctx, next, cmd);
             }
         }

@@ -61,7 +61,10 @@ impl<V: Debug> fmt::Display for ConsensusViolation<V> {
                 p.0, p.1, q.0, q.1
             ),
             ConsensusViolation::Validity { p, value } => {
-                write!(f, "validity violated: {p} decided unproposed value {value:?}")
+                write!(
+                    f,
+                    "validity violated: {p} decided unproposed value {value:?}"
+                )
             }
             ConsensusViolation::Integrity { p } => {
                 write!(f, "integrity violated: {p} decided more than once")
@@ -162,10 +165,7 @@ mod tests {
     use super::*;
     use wfd_sim::EventKind;
 
-    fn trace_with(
-        n: usize,
-        decisions: &[(Time, usize, u64)],
-    ) -> Trace<(), ConsensusOutput<u64>> {
+    fn trace_with(n: usize, decisions: &[(Time, usize, u64)]) -> Trace<(), ConsensusOutput<u64>> {
         let mut t = Trace::new(n);
         for &(time, pid, v) in decisions {
             t.push(

@@ -40,22 +40,19 @@ pub mod prelude {
         chandra_toueg::ChandraToueg, check_consensus, ConsensusOutput, ConsensusStats,
         ConsensusViolation, OmegaSigmaConsensus,
     };
-    pub use wfd_detectors::check::{
-        check_fs, check_omega, check_psi, check_sigma, PsiPhase,
-    };
+    pub use wfd_detectors::check::{check_fs, check_omega, check_psi, check_sigma, PsiPhase};
     pub use wfd_detectors::history::history_from_outputs;
     pub use wfd_detectors::impls::{HeartbeatOmega, MajoritySigma, TimeoutFs};
     pub use wfd_detectors::oracles::{
         FsOracle, OmegaOracle, PairOracle, PsiMode, PsiOracle, SigmaOracle,
     };
-    pub use wfd_detectors::{History, OmegaSigma, PsiValue, Recorder, Signal};
     pub use wfd_detectors::reductions::{
         FsFromPerfect, OmegaFromEventuallyPerfect, PsiFromOmegaSigma,
     };
+    pub use wfd_detectors::{History, OmegaSigma, PsiValue, Recorder, Signal};
     pub use wfd_extraction::{OmegaSigmaQcFamily, PsiExtraction, PsiQcFamily};
     pub use wfd_nbac::{
-        check_nbac, Decision, NbacFromQc, NbacOutput, NbacStats, NbacViolation, QcFromNbac,
-        Vote,
+        check_nbac, Decision, NbacFromQc, NbacOutput, NbacStats, NbacViolation, QcFromNbac, Vote,
     };
     pub use wfd_quittable::{check_qc, ConsensusAsQc, PsiQc, QcDecision, QcStats, QcViolation};
     pub use wfd_registers::sigma_extraction::SigmaExtraction;

@@ -292,7 +292,9 @@ pub fn consensus_via_registers(
     );
     let mut sim = Sim::new(
         SimConfig::new(n).with_horizon(setup.horizon),
-        (0..n).map(|_| RegisterOmegaConsensus::<u64>::new(n)).collect(),
+        (0..n)
+            .map(|_| RegisterOmegaConsensus::<u64>::new(n))
+            .collect(),
         setup.pattern.clone(),
         fd,
         RandomFair::new(setup.seed),
@@ -395,9 +397,7 @@ pub fn qc_yields_psi(setup: &RunSetup, mode: PsiMode) -> Result<PsiStats, PsiVio
     let mut sim = Sim::new(
         SimConfig::new(n).with_horizon(setup.horizon),
         (0..n)
-            .map(|_| {
-                PsiExtraction::new(PsiQcFamily).with_eval_interval(48)
-            })
+            .map(|_| PsiExtraction::new(PsiQcFamily).with_eval_interval(48))
             .collect(),
         setup.pattern.clone(),
         psi,
@@ -529,7 +529,11 @@ mod tests {
     fn majority_crash_pattern() -> FailurePattern {
         FailurePattern::with_crashes(
             5,
-            &[(ProcessId(0), 100), (ProcessId(1), 200), (ProcessId(2), 300)],
+            &[
+                (ProcessId(0), 100),
+                (ProcessId(1), 200),
+                (ProcessId(2), 300),
+            ],
         )
     }
 
@@ -551,8 +555,7 @@ mod tests {
     #[test]
     fn corollary4_sufficiency_harness() {
         let setup = RunSetup::new(majority_crash_pattern()).with_horizon(60_000);
-        let stats =
-            omega_sigma_solves_consensus(&setup, &[1, 2, 3, 4, 5]).expect("consensus");
+        let stats = omega_sigma_solves_consensus(&setup, &[1, 2, 3, 4, 5]).expect("consensus");
         assert!(stats.decision.is_some());
     }
 
@@ -562,7 +565,10 @@ mod tests {
             .with_seed(3)
             .with_horizon(120_000);
         let stats = consensus_yields_sigma(&setup).expect("Σ from consensus via SMR + Fig 1");
-        assert!(stats.samples > 6, "extraction should emit quorums beyond the initial Π");
+        assert!(
+            stats.samples > 6,
+            "extraction should emit quorums beyond the initial Π"
+        );
     }
 
     #[test]
@@ -571,9 +577,7 @@ mod tests {
         // eventually stop quoting the crashed process, which requires the
         // SMR registers to report genuine (quorum) participants.
         let pattern = FailurePattern::with_crashes(3, &[(ProcessId(2), 400)]);
-        let setup = RunSetup::new(pattern)
-            .with_seed(5)
-            .with_horizon(250_000);
+        let setup = RunSetup::new(pattern).with_seed(5).with_horizon(250_000);
         let stats = consensus_yields_sigma(&setup).expect("Σ conforms despite the crash");
         assert!(stats.stabilization_time().is_some());
     }
@@ -602,7 +606,15 @@ mod tests {
             .with_horizon(60_000);
         chandra_toueg_consensus(&ok, &[1, 2, 3, 4, 5]).expect("CT with majority");
 
-        let bad = RunSetup::new(majority_crash_pattern()).with_horizon(20_000);
+        // Crash the majority at t = 0: with late crash times a fast
+        // schedule can legitimately decide before any crash occurs, so
+        // an immediate majority loss is the only schedule-independent way
+        // to exhibit the blocking.
+        let bad = RunSetup::new(FailurePattern::with_crashes(
+            5,
+            &[(ProcessId(0), 0), (ProcessId(1), 0), (ProcessId(2), 0)],
+        ))
+        .with_horizon(20_000);
         let err = chandra_toueg_consensus(&bad, &[1, 2, 3, 4, 5])
             .expect_err("CT must fail without a majority");
         assert!(matches!(err, ConsensusViolation::Termination { .. }));
@@ -611,8 +623,7 @@ mod tests {
     #[test]
     fn corollary7_sufficiency_harness() {
         let setup = RunSetup::new(FailurePattern::failure_free(3)).with_horizon(60_000);
-        let stats =
-            psi_solves_qc(&setup, PsiMode::OmegaSigma, &[1, 0, 1]).expect("QC solved");
+        let stats = psi_solves_qc(&setup, PsiMode::OmegaSigma, &[1, 0, 1]).expect("QC solved");
         assert!(matches!(stats.decision, Some(QcDecision::Value(_))));
 
         let crashy = RunSetup::new(FailurePattern::with_crashes(3, &[(ProcessId(1), 30)]))

@@ -118,9 +118,7 @@ pub fn check_sigma(
         }
         match (stabilized_at, last_bad) {
             (Some(t), _) => completeness_times[p.index()] = Some(t),
-            (None, Some((t, quorum))) => {
-                return Err(SigmaViolation::Completeness { p, t, quorum })
-            }
+            (None, Some((t, quorum))) => return Err(SigmaViolation::Completeness { p, t, quorum }),
             (None, None) => {} // no samples at all: vacuous
         }
     }
@@ -285,10 +283,7 @@ pub struct FsStats {
 /// # Errors
 ///
 /// Returns the first violation found.
-pub fn check_fs(
-    h: &History<Signal>,
-    pattern: &FailurePattern,
-) -> Result<FsStats, FsViolation> {
+pub fn check_fs(h: &History<Signal>, pattern: &FailurePattern) -> Result<FsStats, FsViolation> {
     let first_crash = pattern.first_crash_time();
     let mut first_red = None;
     for &(p, t, s) in h.samples() {
@@ -436,9 +431,7 @@ pub fn check_psi(
             PsiValue::Fs(_) => {
                 switch_times[p.index()].get_or_insert(t);
                 match mode[p.index()] {
-                    Some(PsiPhase::OmegaSigma) => {
-                        return Err(PsiViolation::LocalModeMix { p })
-                    }
+                    Some(PsiPhase::OmegaSigma) => return Err(PsiViolation::LocalModeMix { p }),
                     _ => mode[p.index()] = Some(PsiPhase::Fs),
                 }
                 mode_rep[1].get_or_insert(p);
@@ -452,7 +445,10 @@ pub fn check_psi(
     }
 
     if let (Some(c), Some(f)) = (mode_rep[0], mode_rep[1]) {
-        return Err(PsiViolation::GlobalModeMix { consensus: c, fs: f });
+        return Err(PsiViolation::GlobalModeMix {
+            consensus: c,
+            fs: f,
+        });
     }
 
     let phase = if mode_rep[0].is_some() {
@@ -468,8 +464,7 @@ pub fn check_psi(
         PsiPhase::OmegaSigma => {
             let projected = h.filter(|_, _, v| v.as_omega_sigma().is_some());
             let omega_h = projected.map(|v| v.as_omega_sigma().expect("filtered").leader);
-            let sigma_h =
-                projected.map(|v| v.as_omega_sigma().expect("filtered").quorum.clone());
+            let sigma_h = projected.map(|v| v.as_omega_sigma().expect("filtered").quorum.clone());
             check_omega(&omega_h, pattern).map_err(PsiViolation::Omega)?;
             check_sigma(&sigma_h, pattern).map_err(PsiViolation::Sigma)?;
         }

@@ -154,9 +154,7 @@ mod tests {
     use super::*;
     use crate::check::check_omega;
     use crate::history::history_from_outputs;
-    use wfd_sim::{
-        Adversarial, FailurePattern, NoDetector, RandomFair, Sim, SimConfig,
-    };
+    use wfd_sim::{Adversarial, FailurePattern, NoDetector, RandomFair, Sim, SimConfig};
 
     fn run_omega<S: wfd_sim::Scheduler>(
         n: usize,
@@ -181,8 +179,7 @@ mod tests {
         let pattern = FailurePattern::with_crashes(n, &[(ProcessId(0), 300)]);
         for seed in 0..5 {
             let h = run_omega(n, &pattern, RandomFair::new(seed), 20_000);
-            let stats =
-                check_omega(&h, &pattern).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+            let stats = check_omega(&h, &pattern).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
             assert_eq!(stats.leader, Some(ProcessId(1)), "seed {seed}");
         }
     }

@@ -122,9 +122,7 @@ mod tests {
     use super::*;
     use crate::check::check_sigma;
     use crate::history::history_from_outputs;
-    use wfd_sim::{
-        Adversarial, FailurePattern, NoDetector, ProcessId, RandomFair, Sim, SimConfig,
-    };
+    use wfd_sim::{Adversarial, FailurePattern, NoDetector, ProcessId, RandomFair, Sim, SimConfig};
 
     fn run_sigma(
         n: usize,
@@ -146,10 +144,7 @@ mod tests {
     #[test]
     fn conforms_to_sigma_with_correct_majority() {
         let n = 5;
-        let pattern = FailurePattern::with_crashes(
-            n,
-            &[(ProcessId(1), 200), (ProcessId(4), 500)],
-        );
+        let pattern = FailurePattern::with_crashes(n, &[(ProcessId(1), 200), (ProcessId(4), 500)]);
         for seed in 0..5 {
             let h = run_sigma(n, pattern.clone(), seed, 8_000);
             assert!(h.len() > 10, "protocol should emit quorums (seed {seed})");

@@ -160,7 +160,9 @@ mod tests {
     ) -> crate::History<Signal> {
         let mut sim = Sim::new(
             SimConfig::new(n).with_horizon(horizon),
-            (0..n).map(|_| TimeoutFs::new(n, safe_threshold(n))).collect(),
+            (0..n)
+                .map(|_| TimeoutFs::new(n, safe_threshold(n)))
+                .collect(),
             pattern.clone(),
             NoDetector,
             RandomFair::new(seed),

@@ -92,7 +92,11 @@ mod tests {
         let mut fs = FsOracle::new(&f, 7, 3);
         for p in 0..4 {
             for t in 0..5 {
-                assert_eq!(fs.query(ProcessId(p), t), Signal::Green, "red before any crash");
+                assert_eq!(
+                    fs.query(ProcessId(p), t),
+                    Signal::Green,
+                    "red before any crash"
+                );
             }
         }
     }

@@ -94,7 +94,8 @@ impl FdOracle for SigmaOracle {
             // still alive at t (crashed-but-present members are exactly the
             // inaccuracy Σ tolerates before completeness kicks in).
             for q in self.pattern.alive_at(t).iter() {
-                if mix(self.seed, (p.index() as u64) << 20 | q.index() as u64, t).is_multiple_of(2) {
+                if mix(self.seed, (p.index() as u64) << 20 | q.index() as u64, t).is_multiple_of(2)
+                {
                     quorum.insert(q);
                 }
             }
@@ -140,19 +141,24 @@ mod tests {
         let f = FailurePattern::with_crashes(4, &[(ProcessId(3), 50)]);
         let mut sigma = SigmaOracle::new(&f, 1_000, 11);
         let saw_faulty = (0..40).any(|t| sigma.query(ProcessId(0), t).contains(ProcessId(3)));
-        assert!(saw_faulty, "noise phase should sometimes include the not-yet-crashed faulty p3");
+        assert!(
+            saw_faulty,
+            "noise phase should sometimes include the not-yet-crashed faulty p3"
+        );
     }
 
     #[test]
     fn all_crash_pattern_uses_constant_core() {
-        let f = FailurePattern::with_crashes(3, &[
-            (ProcessId(0), 0),
-            (ProcessId(1), 0),
-            (ProcessId(2), 0),
-        ]);
+        let f = FailurePattern::with_crashes(
+            3,
+            &[(ProcessId(0), 0), (ProcessId(1), 0), (ProcessId(2), 0)],
+        );
         let mut sigma = SigmaOracle::new(&f, 0, 0);
         assert_eq!(sigma.core(), &ProcessSet::singleton(ProcessId(0)));
-        assert_eq!(sigma.query(ProcessId(1), 99), ProcessSet::singleton(ProcessId(0)));
+        assert_eq!(
+            sigma.query(ProcessId(1), 99),
+            ProcessSet::singleton(ProcessId(0))
+        );
     }
 
     #[test]

@@ -81,7 +81,9 @@ impl FdOracle for EventuallyPerfectOracle {
         }
         // Noise phase: suspect an arbitrary deterministic subset.
         ProcessId::all(self.pattern.n())
-            .filter(|q| mix(self.seed, (p.index() as u64) << 20 | q.index() as u64, t).is_multiple_of(3))
+            .filter(|q| {
+                mix(self.seed, (p.index() as u64) << 20 | q.index() as u64, t).is_multiple_of(3)
+            })
             .collect()
     }
 }

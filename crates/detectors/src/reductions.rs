@@ -156,10 +156,7 @@ mod tests {
     #[test]
     fn psi_from_omega_sigma_conforms_to_psi() {
         let f = FailurePattern::with_crashes(3, &[(ProcessId(2), 60)]);
-        let inner = PairOracle::new(
-            OmegaOracle::new(&f, 100, 3),
-            SigmaOracle::new(&f, 100, 3),
-        );
+        let inner = PairOracle::new(OmegaOracle::new(&f, 100, 3), SigmaOracle::new(&f, 100, 3));
         let mut psi = PsiFromOmegaSigma::new(inner, 50);
         let h = sample(&mut psi, 3, 400);
         let stats = check_psi(&h, &f).expect("(Ω,Σ)-derived Ψ conforms");

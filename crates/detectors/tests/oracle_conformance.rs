@@ -1,31 +1,35 @@
-//! Property tests: every oracle's histories must satisfy its own
+//! Conformance sweeps: every oracle's histories must satisfy its own
 //! specification checker, for arbitrary admissible failure patterns,
 //! seeds, stabilisation parameters and sampling grids. This is the
 //! soundness contract between `oracles` and `check` that everything else
-//! in the workspace relies on.
+//! in the workspace relies on. Cases are drawn from a deterministic PRNG
+//! sweep so failures reproduce exactly.
 
-use proptest::prelude::*;
 use wfd_detectors::check::{check_fs, check_omega, check_psi, check_sigma};
 use wfd_detectors::oracles::{FsOracle, OmegaOracle, PsiMode, PsiOracle, SigmaOracle};
 use wfd_detectors::History;
-use wfd_sim::{FailurePattern, FdOracle, ProcessId, Time};
+use wfd_sim::{FailurePattern, FdOracle, ProcessId, SimRng, Time};
 
-fn pattern_strategy(n: usize, max_t: u64) -> impl Strategy<Value = FailurePattern> {
-    proptest::collection::vec(proptest::option::of(0..max_t), n).prop_filter_map(
-        "at least one correct process",
-        move |crashes| {
-            if crashes.iter().all(|c| c.is_some()) {
-                return None;
-            }
-            let mut f = FailurePattern::failure_free(crashes.len());
-            for (i, c) in crashes.iter().enumerate() {
-                if let Some(t) = c {
-                    f = f.with_crash(ProcessId(i), *t);
-                }
-            }
-            Some(f)
-        },
-    )
+/// Cases per conformance sweep.
+const CASES: u64 = 48;
+
+/// Draw a failure pattern on `n` processes with at least one correct
+/// process and crash times below `max_t` (~40% crash probability each).
+fn gen_pattern(rng: &mut SimRng, n: usize, max_t: u64) -> FailurePattern {
+    let mut crashes: Vec<Option<u64>> = (0..n)
+        .map(|_| rng.chance(40).then(|| rng.gen_range(max_t)))
+        .collect();
+    if crashes.iter().all(|c| c.is_some()) {
+        let keep = rng.pick(n);
+        crashes[keep] = None;
+    }
+    let mut f = FailurePattern::failure_free(n);
+    for (i, c) in crashes.iter().enumerate() {
+        if let Some(t) = c {
+            f = f.with_crash(ProcessId(i), *t);
+        }
+    }
+    f
 }
 
 /// Sample an oracle on a regular grid well past stabilisation.
@@ -39,69 +43,83 @@ fn sample<O: FdOracle>(oracle: &mut O, n: usize, horizon: Time, stride: u64) -> 
     h
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn omega_oracle_conforms(
-        pattern in pattern_strategy(5, 200),
-        seed in 0u64..10_000,
-        stabilize in 0u64..300,
-        jitter in 0u64..100,
-        stride in 1u64..7,
-    ) {
+#[test]
+fn omega_oracle_conforms() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x3E6A + case);
+        let pattern = gen_pattern(&mut rng, 5, 200);
+        let seed = rng.gen_range(10_000);
+        let stabilize = rng.gen_range(300);
+        let jitter = rng.gen_range(100);
+        let stride = 1 + rng.gen_range(6);
         let mut o = OmegaOracle::new(&pattern, stabilize, seed).with_jitter(jitter);
         let h = sample(&mut o, 5, stabilize + jitter + 500, stride);
-        prop_assert!(check_omega(&h, &pattern).is_ok());
+        assert!(check_omega(&h, &pattern).is_ok(), "case {case}");
     }
+}
 
-    #[test]
-    fn sigma_oracle_conforms(
-        pattern in pattern_strategy(5, 200),
-        seed in 0u64..10_000,
-        stabilize in 0u64..300,
-        jitter in 0u64..100,
-        stride in 1u64..7,
-    ) {
+#[test]
+fn sigma_oracle_conforms() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x0005_163A + case);
+        let pattern = gen_pattern(&mut rng, 5, 200);
+        let seed = rng.gen_range(10_000);
+        let stabilize = rng.gen_range(300);
+        let jitter = rng.gen_range(100);
+        let stride = 1 + rng.gen_range(6);
         let mut o = SigmaOracle::new(&pattern, stabilize, seed).with_jitter(jitter);
         let h = sample(&mut o, 5, stabilize + jitter + 500, stride);
-        prop_assert!(check_sigma(&h, &pattern).is_ok());
+        assert!(check_sigma(&h, &pattern).is_ok(), "case {case}");
     }
+}
 
-    #[test]
-    fn fs_oracle_conforms(
-        pattern in pattern_strategy(4, 200),
-        seed in 0u64..10_000,
-        delay in 0u64..100,
-        stride in 1u64..7,
-    ) {
+#[test]
+fn fs_oracle_conforms() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0xF50C + case);
+        let pattern = gen_pattern(&mut rng, 4, 200);
+        let seed = rng.gen_range(10_000);
+        let delay = rng.gen_range(100);
+        let stride = 1 + rng.gen_range(6);
         let mut o = FsOracle::new(&pattern, delay, seed);
         let h = sample(&mut o, 4, 600, stride);
-        prop_assert!(check_fs(&h, &pattern).is_ok());
+        assert!(check_fs(&h, &pattern).is_ok(), "case {case}");
     }
+}
 
-    #[test]
-    fn psi_oracle_conforms_consensus_mode(
-        pattern in pattern_strategy(4, 200),
-        seed in 0u64..10_000,
-        switch in 0u64..300,
-        jitter in 0u64..100,
-    ) {
+#[test]
+fn psi_oracle_conforms_consensus_mode() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x0009_510C + case);
+        let pattern = gen_pattern(&mut rng, 4, 200);
+        let seed = rng.gen_range(10_000);
+        let switch = rng.gen_range(300);
+        let jitter = rng.gen_range(100);
         let mut o = PsiOracle::new(&pattern, PsiMode::OmegaSigma, switch, jitter, seed);
         let h = sample(&mut o, 4, switch + jitter + 500, 3);
-        prop_assert!(check_psi(&h, &pattern).is_ok());
+        assert!(check_psi(&h, &pattern).is_ok(), "case {case}");
     }
+}
 
-    #[test]
-    fn psi_oracle_conforms_fs_mode(
-        pattern in pattern_strategy(4, 200)
-            .prop_filter("needs a failure", |f| f.first_crash_time().is_some()),
-        seed in 0u64..10_000,
-        switch in 0u64..300,
-        jitter in 0u64..100,
-    ) {
+#[test]
+fn psi_oracle_conforms_fs_mode() {
+    let mut produced = 0u64;
+    let mut case = 0u64;
+    // FS mode needs a pattern with at least one crash: redraw until the
+    // sweep has produced `CASES` crashing patterns.
+    while produced < CASES {
+        let mut rng = SimRng::new(0x0009_51F5 + case);
+        case += 1;
+        let pattern = gen_pattern(&mut rng, 4, 200);
+        if pattern.first_crash_time().is_none() {
+            continue;
+        }
+        produced += 1;
+        let seed = rng.gen_range(10_000);
+        let switch = rng.gen_range(300);
+        let jitter = rng.gen_range(100);
         let mut o = PsiOracle::new(&pattern, PsiMode::Fs, switch, jitter, seed);
         let h = sample(&mut o, 4, switch + jitter + 700, 3);
-        prop_assert!(check_psi(&h, &pattern).is_ok());
+        assert!(check_psi(&h, &pattern).is_ok(), "case {case}");
     }
 }

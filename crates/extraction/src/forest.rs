@@ -68,6 +68,119 @@ pub fn evaluate_forest<F: QcFamily>(
         .collect()
 }
 
+/// Incremental evaluator for the simulation forest: caches the live
+/// runner of every undecided tree so that re-evaluating a *grown* window
+/// only feeds the freshly-appended samples instead of replaying the whole
+/// window from scratch (the dominant cost of the Figure 3 host, which
+/// re-evaluates its forest every eval-interval).
+///
+/// [`ForestEvaluator::evaluate`] is observationally identical to
+/// [`evaluate_forest`] on every window: it verifies that the new window
+/// still extends the consumed prefix (samples are keyed by `(time,
+/// process)`, and a late-flooded sample may land *before* the consumed
+/// frontier) and transparently falls back to a full replay when it does
+/// not.
+pub struct ForestEvaluator<F: QcFamily> {
+    n: usize,
+    /// Live runner per undecided tree; `None` once the tree decided
+    /// (a canonical run stops at its first decision, so decided trees
+    /// are final).
+    runners: Vec<Option<Runner<F::Binary>>>,
+    runs: Vec<TreeRun<F::Fd>>,
+    /// Samples consumed so far and the `(time, process)` key of the last
+    /// one — used to detect windows that are not prefix-extensions.
+    consumed: usize,
+    frontier: Option<(wfd_sim::Time, ProcessId)>,
+}
+
+// Manual impl: a derived one would require `F::Binary: Debug`, which
+// `QcFamily` does not (and need not) promise.
+impl<F: QcFamily> std::fmt::Debug for ForestEvaluator<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ForestEvaluator")
+            .field("n", &self.n)
+            .field("consumed", &self.consumed)
+            .field("frontier", &self.frontier)
+            .field(
+                "decided",
+                &self.runs.iter().filter(|r| r.decision.is_some()).count(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: QcFamily> ForestEvaluator<F> {
+    /// A fresh evaluator for the `n + 1` trees of a system of `n`
+    /// processes.
+    pub fn new(family: &F, n: usize) -> Self {
+        let mut ev = ForestEvaluator {
+            n,
+            runners: Vec::new(),
+            runs: Vec::new(),
+            consumed: 0,
+            frontier: None,
+        };
+        ev.reset(family);
+        ev
+    }
+
+    /// Discard all cached state, returning to the empty-window state.
+    pub fn reset(&mut self, family: &F) {
+        self.runners = (0..=self.n)
+            .map(|ones| {
+                let procs: Vec<F::Binary> = (0..self.n).map(|_| family.binary()).collect();
+                Some(Runner::new(procs, initial_proposals(self.n, ones)))
+            })
+            .collect();
+        self.runs = (0..=self.n)
+            .map(|ones| TreeRun {
+                ones,
+                decision: None,
+                schedule: Vec::new(),
+            })
+            .collect();
+        self.consumed = 0;
+        self.frontier = None;
+    }
+
+    /// Samples consumed since the last reset (for instrumentation).
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Evaluate all trees over `window` (sorted by `(time, process)`, as
+    /// [`crate::sampling::SampleStore`] yields it). If `window` extends
+    /// the previously-evaluated one, only the delta is fed to the
+    /// still-undecided trees; otherwise the forest is re-run from
+    /// scratch. The result equals `evaluate_forest(family, n, window)`.
+    pub fn evaluate(&mut self, family: &F, window: &[Sample<F::Fd>]) -> &[TreeRun<F::Fd>] {
+        let extends = window.len() >= self.consumed
+            && (self.consumed == 0
+                || window.get(self.consumed - 1).map(|s| (s.t, s.q)) == self.frontier);
+        if !extends {
+            self.reset(family);
+        }
+        for s in &window[self.consumed..] {
+            debug_assert!(
+                self.frontier.is_none_or(|f| f < (s.t, s.q)),
+                "window must be sorted by (time, process)"
+            );
+            self.frontier = Some((s.t, s.q));
+            for (runner_slot, run) in self.runners.iter_mut().zip(self.runs.iter_mut()) {
+                let Some(runner) = runner_slot else { continue };
+                runner.step(s.q, s.val.clone());
+                run.schedule.push((s.q, s.val.clone()));
+                if let Some((_, ConsensusOutput::Decided(d))) = runner.outputs().first() {
+                    run.decision = Some(d.clone());
+                    *runner_slot = None; // final: stop feeding this tree
+                }
+            }
+        }
+        self.consumed = window.len();
+        &self.runs
+    }
+}
+
 /// Locate a *critical pair* in fully-decided forest results: adjacent
 /// trees `i`, `i+1` (initial configurations differing only in `p_i`'s
 /// proposal) whose canonical runs decided 0 and 1 (in either order).
@@ -123,14 +236,8 @@ mod tests {
 
     #[test]
     fn initial_proposals_shape() {
-        assert_eq!(
-            initial_proposals(3, 0),
-            vec![Some(0), Some(0), Some(0)]
-        );
-        assert_eq!(
-            initial_proposals(3, 2),
-            vec![Some(1), Some(1), Some(0)]
-        );
+        assert_eq!(initial_proposals(3, 0), vec![Some(0), Some(0), Some(0)]);
+        assert_eq!(initial_proposals(3, 2), vec![Some(1), Some(1), Some(0)]);
     }
 
     #[test]
@@ -184,6 +291,55 @@ mod tests {
             run.schedule.len() < 3_000,
             "canonical run should stop at the first decision"
         );
+    }
+
+    /// Compare two forest results field by field (TreeRun has no PartialEq
+    /// because schedules can be large; tests want exact equality anyway).
+    fn assert_runs_eq(a: &[TreeRun<PsiValue>], b: &[TreeRun<PsiValue>]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.ones, y.ones);
+            assert_eq!(x.decision, y.decision, "tree {}", x.ones);
+            assert_eq!(x.schedule, y.schedule, "tree {}", x.ones);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_scratch_on_growing_windows() {
+        let n = 3;
+        let pattern = FailurePattern::failure_free(n);
+        let window = psi_window(&pattern, PsiMode::OmegaSigma, 0, 2_000);
+        let mut eval = ForestEvaluator::new(&PsiQcFamily, n);
+        for upto in [0, 100, 101, 500, 1_200, 2_000] {
+            let scratch = evaluate_forest(&PsiQcFamily, n, &window[..upto]);
+            let inc = eval.evaluate(&PsiQcFamily, &window[..upto]);
+            assert_runs_eq(inc, &scratch);
+        }
+        assert_eq!(eval.consumed(), 2_000);
+    }
+
+    #[test]
+    fn incremental_detects_non_prefix_window_and_replays() {
+        let n = 3;
+        let pattern = FailurePattern::failure_free(n);
+        let window = psi_window(&pattern, PsiMode::OmegaSigma, 0, 600);
+        let mut eval = ForestEvaluator::new(&PsiQcFamily, n);
+        eval.evaluate(&PsiQcFamily, &window[..400]);
+
+        // A sample flooded late lands *before* the consumed frontier:
+        // the prefix the evaluator consumed is no longer a prefix of the
+        // new window, so it must fall back to a full replay.
+        let mut shifted = window.clone();
+        let moved = shifted.remove(10);
+        assert!(moved.t < shifted[398].t);
+        let scratch = evaluate_forest(&PsiQcFamily, n, &shifted[..450]);
+        let inc = eval.evaluate(&PsiQcFamily, &shifted[..450]);
+        assert_runs_eq(inc, &scratch);
+
+        // Shrinking the window is also a non-extension.
+        let scratch = evaluate_forest(&PsiQcFamily, n, &window[..50]);
+        let inc = eval.evaluate(&PsiQcFamily, &window[..50]);
+        assert_runs_eq(inc, &scratch);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! [`check_psi`](wfd_detectors::check::check_psi).
 
 use crate::family::QcFamily;
-use crate::forest::{critical_pair, evaluate_forest, initial_proposals};
+use crate::forest::{critical_pair, initial_proposals, ForestEvaluator};
 use crate::runner::Runner;
 use crate::sampling::{Sample, SampleStore};
 use std::fmt::Debug;
@@ -101,6 +101,13 @@ pub struct PsiExtraction<F: QcFamily> {
     eval_interval: u64,
     out_interval: u64,
     real_decision_seen: bool,
+    /// Incremental forest over the whole store (Task 1, line 8). Created
+    /// lazily because `n` is only known once a step context exists.
+    sim_forest: Option<ForestEvaluator<F>>,
+    /// Incremental forest over the current fresh-sample window, tagged
+    /// with the watermark it started from (lines 22/24–32); replaced
+    /// whenever the watermark advances.
+    round_forest: Option<(Time, ForestEvaluator<F>)>,
 }
 
 impl<F: QcFamily> PsiExtraction<F> {
@@ -117,6 +124,8 @@ impl<F: QcFamily> PsiExtraction<F> {
             eval_interval: 64,
             out_interval: 8,
             real_decision_seen: false,
+            sim_forest: None,
+            round_forest: None,
         }
     }
 
@@ -163,7 +172,11 @@ impl<F: QcFamily> PsiExtraction<F> {
         }
     }
 
-    fn with_real(&mut self, ctx: &mut Ctx<Self>, f: impl FnOnce(&mut F::Multi, &mut Ctx<F::Multi>)) {
+    fn with_real(
+        &mut self,
+        ctx: &mut Ctx<Self>,
+        f: impl FnOnce(&mut F::Multi, &mut Ctx<F::Multi>),
+    ) {
         let fd = ctx.fd().clone();
         let mut ictx = Ctx::<F::Multi>::detached(ctx.me(), ctx.n(), ctx.now(), fd);
         f(&mut self.real, &mut ictx);
@@ -210,17 +223,20 @@ impl<F: QcFamily> PsiExtraction<F> {
     fn try_finish_simulating(&mut self, ctx: &mut Ctx<Self>) {
         let n = ctx.n();
         let window: Vec<Sample<F::Fd>> = self.store.iter().collect();
-        let runs = evaluate_forest(&self.family, n, &window);
+        // The store only grows, so the cached evaluator usually just
+        // consumes the delta; a late-flooded sample landing before its
+        // frontier triggers a transparent full replay.
+        let forest = self
+            .sim_forest
+            .get_or_insert_with(|| ForestEvaluator::new(&self.family, n));
+        let runs = forest.evaluate(&self.family, &window);
         if !runs.iter().all(|r| r.decision.is_some()) {
             return;
         }
-        let proposal = if runs
-            .iter()
-            .any(|r| r.decision == Some(QcDecision::Quit))
-        {
+        let proposal = if runs.iter().any(|r| r.decision == Some(QcDecision::Quit)) {
             // Line 11: a simulated Q decision licenses proposing 0.
             ExtractProposal::Zero
-        } else if let Some((zero_tree, one_tree)) = critical_pair(&runs) {
+        } else if let Some((zero_tree, one_tree)) = critical_pair(runs) {
             ExtractProposal::Tuple(CriticalTuple {
                 zero_tree,
                 one_tree,
@@ -233,6 +249,7 @@ impl<F: QcFamily> PsiExtraction<F> {
             // be defensive: keep simulating.
             return;
         };
+        self.sim_forest = None; // simulation phase over — free the cache
         self.phase = Phase::RealExec;
         self.with_real(ctx, |real, ictx| real.on_invoke(ictx, proposal));
     }
@@ -242,7 +259,10 @@ impl<F: QcFamily> PsiExtraction<F> {
     /// yet decide everything it must.
     fn try_extraction_round(&mut self, ctx: &mut Ctx<Self>) {
         let n = ctx.n();
-        let Phase::OmegaSigma { tuple, watermark, .. } = &self.phase else {
+        let Phase::OmegaSigma {
+            tuple, watermark, ..
+        } = &self.phase
+        else {
             return;
         };
         let tuple = tuple.clone();
@@ -252,8 +272,18 @@ impl<F: QcFamily> PsiExtraction<F> {
             return;
         }
 
-        // Ω: re-evaluate the critical index on the fresh window.
-        let runs = evaluate_forest(&self.family, n, &window);
+        // Ω: re-evaluate the critical index on the fresh window. Until
+        // the round completes the watermark is fixed and the window only
+        // grows, so a cached evaluator consumes just the delta.
+        if self
+            .round_forest
+            .as_ref()
+            .is_none_or(|(wm, _)| *wm != watermark)
+        {
+            self.round_forest = Some((watermark, ForestEvaluator::new(&self.family, n)));
+        }
+        let (_, forest) = self.round_forest.as_mut().expect("just ensured");
+        let runs = forest.evaluate(&self.family, &window);
         if !runs.iter().all(|r| r.decision.is_some()) {
             return; // window not yet rich enough — wait for more samples
         }
@@ -263,7 +293,7 @@ impl<F: QcFamily> PsiExtraction<F> {
             // with a mode-consistent Ψ-style D; defensive for exotic Ds).
             return;
         }
-        let Some((zero_tree, one_tree)) = critical_pair(&runs) else {
+        let Some((zero_tree, one_tree)) = critical_pair(runs) else {
             return;
         };
         let leader = ProcessId(zero_tree.min(one_tree));
@@ -293,6 +323,7 @@ impl<F: QcFamily> PsiExtraction<F> {
             // Next round must use strictly fresher samples (line 27).
             *wm = window.last().expect("non-empty window").t;
         }
+        self.round_forest = None; // round done — next one starts fresh
         ctx.output(PsiValue::OmegaSigma(OmegaSigma { leader, quorum }));
     }
 
@@ -309,8 +340,11 @@ impl<F: QcFamily> PsiExtraction<F> {
     ) -> Option<ProcessSet> {
         let procs: Vec<F::Binary> = (0..n).map(|_| self.family.binary()).collect();
         let mut runner = Runner::replay(procs, initial_proposals(n, ones), prefix);
-        let decided =
-            |r: &Runner<F::Binary>| r.outputs().iter().any(|(_, o)| matches!(o, ConsensusOutput::Decided(_)));
+        let decided = |r: &Runner<F::Binary>| {
+            r.outputs()
+                .iter()
+                .any(|(_, o)| matches!(o, ConsensusOutput::Decided(_)))
+        };
         if decided(&runner) {
             return Some(ProcessSet::new());
         }
@@ -428,8 +462,7 @@ mod tests {
         let pattern = FailurePattern::failure_free(n);
         for seed in 0..2 {
             let h = run_extraction(&pattern, PsiMode::OmegaSigma, 10, seed, 120_000);
-            let stats = check_psi(&h, &pattern)
-                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+            let stats = check_psi(&h, &pattern).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
             assert_eq!(
                 stats.phase,
                 PsiPhase::OmegaSigma,
@@ -444,8 +477,7 @@ mod tests {
         let pattern = FailurePattern::failure_free(n).with_crash(ProcessId(2), 30);
         for seed in 0..2 {
             let h = run_extraction(&pattern, PsiMode::Fs, 40, seed, 60_000);
-            let stats = check_psi(&h, &pattern)
-                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+            let stats = check_psi(&h, &pattern).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
             assert_eq!(
                 stats.phase,
                 PsiPhase::Fs,
@@ -489,9 +521,7 @@ mod tests {
         let mut sim = Sim::new(
             SimConfig::new(n).with_horizon(150_000),
             (0..n)
-                .map(|_| {
-                    PsiExtraction::new(OmegaSigmaQcFamily).with_eval_interval(48)
-                })
+                .map(|_| PsiExtraction::new(OmegaSigmaQcFamily).with_eval_interval(48))
                 .collect(),
             pattern.clone(),
             fd,

@@ -23,15 +23,9 @@ use wfd_quittable::QcDecision;
 use wfd_sim::{Ctx, ProcessId, Protocol};
 
 /// Bound on the QC interface Figure 4 needs.
-pub trait QcAlgorithm:
-    Protocol<Inv = u8, Output = ConsensusOutput<QcDecision<u8>>>
-{
-}
+pub trait QcAlgorithm: Protocol<Inv = u8, Output = ConsensusOutput<QcDecision<u8>>> {}
 
-impl<T> QcAlgorithm for T where
-    T: Protocol<Inv = u8, Output = ConsensusOutput<QcDecision<u8>>>
-{
-}
+impl<T> QcAlgorithm for T where T: Protocol<Inv = u8, Output = ConsensusOutput<QcDecision<u8>>> {}
 
 /// Messages: flooded votes plus wrapped QC traffic.
 #[derive(Clone, Debug, PartialEq)]

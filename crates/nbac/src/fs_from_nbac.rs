@@ -68,12 +68,7 @@ impl<N: NbacAlgorithm> FsFromNbac<N> {
         self.current
     }
 
-    fn with_instance(
-        &mut self,
-        ctx: &mut Ctx<Self>,
-        k: u64,
-        f: impl FnOnce(&mut N, &mut Ctx<N>),
-    ) {
+    fn with_instance(&mut self, ctx: &mut Ctx<Self>, k: u64, f: impl FnOnce(&mut N, &mut Ctx<N>)) {
         let fd = ctx.fd().clone();
         let mut ictx = Ctx::<N>::detached(ctx.me(), ctx.n(), ctx.now(), fd);
         let make = &mut self.make;
@@ -213,7 +208,10 @@ mod tests {
                 stats.first_red.is_some(),
                 "seed {seed}: a crash must eventually turn FS red"
             );
-            assert!(stats.first_red.unwrap() >= 400, "seed {seed}: red is truthful");
+            assert!(
+                stats.first_red.unwrap() >= 400,
+                "seed {seed}: red is truthful"
+            );
         }
     }
 

@@ -188,22 +188,13 @@ where
                         for q in wfd_sim::ProcessId::all(pattern.n()) {
                             match votes.get(&q) {
                                 Some((vt, Vote::Yes)) if *vt <= t => {}
-                                _ => {
-                                    return Err(NbacViolation::InvalidCommit {
-                                        p,
-                                        t,
-                                        missing: q,
-                                    })
-                                }
+                                _ => return Err(NbacViolation::InvalidCommit { p, t, missing: q }),
                             }
                         }
                     }
                     Decision::Abort => {
-                        let no_by_t = votes
-                            .values()
-                            .any(|(vt, v)| *v == Vote::No && *vt <= t);
-                        let failure_by_t =
-                            pattern.first_crash_time().is_some_and(|fc| fc <= t);
+                        let no_by_t = votes.values().any(|(vt, v)| *v == Vote::No && *vt <= t);
+                        let failure_by_t = pattern.first_crash_time().is_some_and(|fc| fc <= t);
                         if !no_by_t && !failure_by_t {
                             return Err(NbacViolation::InvalidAbort { p, t });
                         }

@@ -194,8 +194,8 @@ mod tests {
         for seed in 0..5 {
             let trace = run_roundtrip(&pattern, &proposals, PsiMode::OmegaSigma, seed, 80_000);
             let props: Vec<Option<u8>> = proposals.clone();
-            let stats = check_qc(&trace, &props, &pattern)
-                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+            let stats =
+                check_qc(&trace, &props, &pattern).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
             // Unanimous-Yes failure-free NBAC commits, so QC decides the
             // smallest proposal: 0.
             assert_eq!(stats.decision, Some(QcDecision::Value(0)), "seed {seed}");
@@ -210,8 +210,8 @@ mod tests {
         for seed in 0..3 {
             let trace = run_roundtrip(&pattern, &proposals, PsiMode::Fs, seed, 60_000);
             let props: Vec<Option<u8>> = proposals.clone();
-            let stats = check_qc(&trace, &props, &pattern)
-                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+            let stats =
+                check_qc(&trace, &props, &pattern).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
             assert_eq!(stats.decision, Some(QcDecision::Quit), "seed {seed}");
         }
     }

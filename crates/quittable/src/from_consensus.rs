@@ -106,8 +106,7 @@ mod tests {
                     .all(|(i, p)| !correct.contains(ProcessId(i)) || p.decision().is_some())
             });
             let props: Vec<Option<u64>> = (0..n).map(|p| Some(100 + p as u64)).collect();
-            let stats =
-                check_qc(sim.trace(), &props, &pattern).unwrap_or_else(|v| panic!("{v}"));
+            let stats = check_qc(sim.trace(), &props, &pattern).unwrap_or_else(|v| panic!("{v}"));
             assert!(
                 matches!(stats.decision, Some(QcDecision::Value(_))),
                 "the adapter must never quit"

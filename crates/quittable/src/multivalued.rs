@@ -88,7 +88,13 @@ impl<V: Clone + Debug + PartialEq> MultivaluedQc<V> {
         let inst = self.instances.entry(j).or_default();
         f(inst, &mut ictx);
         for (to, msg) in ictx.take_sends() {
-            ctx.send(to, MvQcMsg::Bin { instance: j, inner: msg });
+            ctx.send(
+                to,
+                MvQcMsg::Bin {
+                    instance: j,
+                    inner: msg,
+                },
+            );
         }
         for out in ictx.take_outputs() {
             let ConsensusOutput::Decided(d) = out;
@@ -144,10 +150,7 @@ impl<V: Clone + Debug + PartialEq> MultivaluedQc<V> {
         }
         let j = self.current;
         let owner = (j % ctx.n() as u64) as usize;
-        let decided_one = self
-            .instances
-            .get(&j)
-            .and_then(|i| i.decision().cloned())
+        let decided_one = self.instances.get(&j).and_then(|i| i.decision().cloned())
             == Some(QcDecision::Value(1));
         if decided_one {
             if let Some(v) = self.values[owner].clone() {
@@ -246,8 +249,8 @@ mod tests {
         for seed in 0..3 {
             let trace = run_mv(&pattern, PsiMode::OmegaSigma, &proposals, seed, 120_000);
             let props: Vec<Option<&str>> = proposals.iter().copied().map(Some).collect();
-            let stats = check_qc(&trace, &props, &pattern)
-                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+            let stats =
+                check_qc(&trace, &props, &pattern).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
             match stats.decision {
                 Some(QcDecision::Value(v)) => assert!(proposals.contains(&v)),
                 other => panic!("seed {seed}: expected a value, got {other:?}"),

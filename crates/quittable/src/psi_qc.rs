@@ -95,7 +95,7 @@ impl<V: Clone + Debug + PartialEq> PsiQc<V> {
             return;
         }
         match ctx.fd().clone() {
-            PsiValue::Bot => {} // line 1: nop
+            PsiValue::Bot => {}                                    // line 1: nop
             PsiValue::Fs(_) => self.decide(ctx, QcDecision::Quit), // lines 2–4
             PsiValue::OmegaSigma(_) => {
                 // lines 5–6: run the (Ω, Σ) consensus on our proposal.
@@ -193,8 +193,8 @@ mod tests {
         for seed in 0..5 {
             let trace = run_qc(&pattern, PsiMode::OmegaSigma, 60, &proposals, seed, 60_000);
             let props: Vec<Option<u64>> = proposals.iter().copied().map(Some).collect();
-            let stats = check_qc(&trace, &props, &pattern)
-                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+            let stats =
+                check_qc(&trace, &props, &pattern).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
             assert!(
                 matches!(stats.decision, Some(QcDecision::Value(_))),
                 "consensus mode must not decide Q"
@@ -210,8 +210,8 @@ mod tests {
         for seed in 0..5 {
             let trace = run_qc(&pattern, PsiMode::Fs, 80, &proposals, seed, 30_000);
             let props: Vec<Option<u64>> = proposals.iter().copied().map(Some).collect();
-            let stats = check_qc(&trace, &props, &pattern)
-                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+            let stats =
+                check_qc(&trace, &props, &pattern).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
             assert_eq!(stats.decision, Some(QcDecision::Quit));
         }
     }

@@ -82,7 +82,10 @@ impl<V: Debug> fmt::Display for QcViolation<V> {
                 p.0, p.1, q.0, q.1
             ),
             QcViolation::UnproposedValue { p, value } => {
-                write!(f, "QC validity(a) violated: {p} decided unproposed {value:?}")
+                write!(
+                    f,
+                    "QC validity(a) violated: {p} decided unproposed {value:?}"
+                )
             }
             QcViolation::UnjustifiedQuit { p, t } => write!(
                 f,
@@ -196,10 +199,12 @@ mod tests {
 
     #[test]
     fn value_decision_passes() {
-        let trace = trace_with(2, &[(3, 0, QcDecision::Value(1)), (5, 1, QcDecision::Value(1))]);
+        let trace = trace_with(
+            2,
+            &[(3, 0, QcDecision::Value(1)), (5, 1, QcDecision::Value(1))],
+        );
         let props = vec![Some(1), Some(0)];
-        let stats =
-            check_qc(&trace, &props, &FailurePattern::failure_free(2)).expect("valid");
+        let stats = check_qc(&trace, &props, &FailurePattern::failure_free(2)).expect("valid");
         assert_eq!(stats.decision, Some(QcDecision::Value(1)));
     }
 
@@ -235,10 +240,7 @@ mod tests {
     #[test]
     fn mixed_value_and_quit_is_disagreement() {
         let pattern = FailurePattern::failure_free(2).with_crash(ProcessId(0), 1);
-        let trace = trace_with(
-            2,
-            &[(5, 0, QcDecision::Value(0)), (6, 1, QcDecision::Quit)],
-        );
+        let trace = trace_with(2, &[(5, 0, QcDecision::Value(0)), (6, 1, QcDecision::Quit)]);
         let props = vec![Some(0), Some(1)];
         assert!(matches!(
             check_qc(&trace, &props, &pattern),

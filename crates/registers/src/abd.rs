@@ -439,7 +439,16 @@ mod tests {
         ops_per_proc: u64,
         horizon: u64,
     ) -> OpHistory {
-        run_register_spaced(n, rule, pattern, sigma_stabilize, sched, ops_per_proc, horizon, 40)
+        run_register_spaced(
+            n,
+            rule,
+            pattern,
+            sigma_stabilize,
+            sched,
+            ops_per_proc,
+            horizon,
+            40,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -485,7 +494,10 @@ mod tests {
                 3,
                 6_000,
             );
-            assert!(h.completed().count() >= 15, "seed {seed}: ops should complete");
+            assert!(
+                h.completed().count() >= 15,
+                "seed {seed}: ops should complete"
+            );
             check_linearizable(&h).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{h}"));
         }
     }
@@ -533,15 +545,12 @@ mod tests {
     #[test]
     fn majority_abd_is_linearizable_with_minority_crashes() {
         let n = 5;
-        let pattern =
-            FailurePattern::with_crashes(n, &[(ProcessId(0), 300), (ProcessId(3), 500)]);
+        let pattern = FailurePattern::with_crashes(n, &[(ProcessId(0), 300), (ProcessId(3), 500)]);
         for seed in 0..5 {
             let sigma = ConstDetector::new(ProcessSet::new());
             let mut sim = Sim::new(
                 SimConfig::new(n).with_horizon(15_000),
-                (0..n)
-                    .map(|_| Reg::new(QuorumRule::Majority, 0))
-                    .collect(),
+                (0..n).map(|_| Reg::new(QuorumRule::Majority, 0)).collect(),
                 pattern.clone(),
                 sigma,
                 RandomFair::new(seed),
@@ -563,13 +572,15 @@ mod tests {
         let n = 5;
         let pattern = FailurePattern::with_crashes(
             n,
-            &[(ProcessId(0), 100), (ProcessId(1), 100), (ProcessId(2), 100)],
+            &[
+                (ProcessId(0), 100),
+                (ProcessId(1), 100),
+                (ProcessId(2), 100),
+            ],
         );
         let mut sim = Sim::new(
             SimConfig::new(n).with_horizon(10_000),
-            (0..n)
-                .map(|_| Reg::new(QuorumRule::Majority, 0))
-                .collect(),
+            (0..n).map(|_| Reg::new(QuorumRule::Majority, 0)).collect(),
             pattern,
             ConstDetector::new(ProcessSet::new()),
             RandomFair::new(3),
@@ -578,7 +589,11 @@ mod tests {
         sim.schedule_invoke(ProcessId(3), 500, AbdOp::Write(7));
         sim.run();
         let h = op_history_from_trace(sim.trace(), 0);
-        let op = h.ops.iter().find(|o| o.id == (ProcessId(3), 0)).expect("invoked");
+        let op = h
+            .ops
+            .iter()
+            .find(|o| o.id == (ProcessId(3), 0))
+            .expect("invoked");
         assert!(
             !op.is_complete(),
             "majority ABD must block without a live majority (got {op})"
@@ -653,9 +668,18 @@ mod tests {
 
     #[test]
     fn timestamps_order_lexicographically() {
-        let a = Ts { seq: 1, writer: ProcessId(2) };
-        let b = Ts { seq: 2, writer: ProcessId(0) };
-        let c = Ts { seq: 1, writer: ProcessId(3) };
+        let a = Ts {
+            seq: 1,
+            writer: ProcessId(2),
+        };
+        let b = Ts {
+            seq: 2,
+            writer: ProcessId(0),
+        };
+        let c = Ts {
+            seq: 1,
+            writer: ProcessId(3),
+        };
         assert!(a < b);
         assert!(a < c, "same seq breaks ties by writer id");
     }

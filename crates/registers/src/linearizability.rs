@@ -55,7 +55,11 @@ impl fmt::Display for LinearizabilityError {
                 best_prefix.len()
             ),
             LinearizabilityError::MalformedRead { op } => {
-                write!(f, "operation {}#{} is a read with a write response", op.0, op.1)
+                write!(
+                    f,
+                    "operation {}#{} is a read with a write response",
+                    op.0, op.1
+                )
             }
         }
     }
@@ -220,7 +224,16 @@ pub fn check_linearizable(h: &OpHistory) -> Result<Vec<OpId>, LinearizabilityErr
             };
             mask.set(i);
             path.push(i);
-            if dfs(h, m, completed_mask, visited, mask, next_value, path, best_prefix) {
+            if dfs(
+                h,
+                m,
+                completed_mask,
+                visited,
+                mask,
+                next_value,
+                path,
+                best_prefix,
+            ) {
                 return true;
             }
             path.pop();
@@ -253,13 +266,7 @@ mod tests {
     use crate::spec::OpRecord;
     use wfd_sim::{ProcessId, ProcessSet, Time};
 
-    fn op(
-        pid: usize,
-        seq: u64,
-        op: RegOp,
-        inv: Time,
-        resp: Option<(Time, RegResp)>,
-    ) -> OpRecord {
+    fn op(pid: usize, seq: u64, op: RegOp, inv: Time, resp: Option<(Time, RegResp)>) -> OpRecord {
         OpRecord {
             id: (ProcessId(pid), seq),
             op,
@@ -334,7 +341,13 @@ mod tests {
 
     #[test]
     fn initial_value_read_is_fine() {
-        let h = hist(vec![op(0, 0, RegOp::Read, 0, Some((1, RegResp::ReadOk(0))))]);
+        let h = hist(vec![op(
+            0,
+            0,
+            RegOp::Read,
+            0,
+            Some((1, RegResp::ReadOk(0))),
+        )]);
         assert!(check_linearizable(&h).is_ok());
     }
 
@@ -441,7 +454,13 @@ mod tests {
         let mut ops = Vec::new();
         let mut t = 0;
         for k in 0..30u64 {
-            ops.push(op(0, k, RegOp::Write(k + 1), t, Some((t + 1, RegResp::WriteOk))));
+            ops.push(op(
+                0,
+                k,
+                RegOp::Write(k + 1),
+                t,
+                Some((t + 1, RegResp::WriteOk)),
+            ));
             ops.push(op(
                 1,
                 k,

@@ -43,15 +43,9 @@ pub fn initial_e_value(n: usize) -> EValue {
 /// Bound on the register-algorithm interface Figure 1 needs: a protocol
 /// whose invocations are register operations over [`EValue`] and whose
 /// outputs are the corresponding completions.
-pub trait RegisterAlgorithm:
-    Protocol<Inv = AbdOp<EValue>, Output = AbdOutput<EValue>>
-{
-}
+pub trait RegisterAlgorithm: Protocol<Inv = AbdOp<EValue>, Output = AbdOutput<EValue>> {}
 
-impl<T> RegisterAlgorithm for T where
-    T: Protocol<Inv = AbdOp<EValue>, Output = AbdOutput<EValue>>
-{
-}
+impl<T> RegisterAlgorithm for T where T: Protocol<Inv = AbdOp<EValue>, Output = AbdOutput<EValue>> {}
 
 /// Messages of the transformation: wrapped register-instance traffic plus
 /// the probe/ack pairs of Figure 1's lines 14–18.
@@ -161,20 +155,24 @@ impl<A: RegisterAlgorithm> SigmaExtraction<A> {
         let mut inner_ctx = Ctx::<A>::detached(ctx.me(), ctx.n(), ctx.now(), ctx.fd().clone());
         f(&mut self.regs[idx], &mut inner_ctx);
         for (to, msg) in inner_ctx.take_sends() {
-            ctx.send(to, ExtractionMsg::Reg { instance: idx, inner: msg });
+            ctx.send(
+                to,
+                ExtractionMsg::Reg {
+                    instance: idx,
+                    inner: msg,
+                },
+            );
         }
         for out in inner_ctx.take_outputs() {
             self.on_instance_output(ctx, idx, out);
         }
     }
 
-    fn on_instance_output(
-        &mut self,
-        ctx: &mut Ctx<Self>,
-        idx: usize,
-        out: AbdOutput<EValue>,
-    ) {
-        let AbdOutput::Completed { resp, participants, .. } = out else {
+    fn on_instance_output(&mut self, ctx: &mut Ctx<Self>, idx: usize, out: AbdOutput<EValue>) {
+        let AbdOutput::Completed {
+            resp, participants, ..
+        } = out
+        else {
             return; // `Invoked` echoes are uninteresting here
         };
         match (&self.stage, resp) {
@@ -209,7 +207,12 @@ impl<A: RegisterAlgorithm> SigmaExtraction<A> {
     fn send_probe(&mut self, ctx: &mut Ctx<Self>, set: &ProcessSet) {
         self.probe_nonce += 1;
         for q in set.iter() {
-            ctx.send(q, ExtractionMsg::Probe { nonce: self.probe_nonce });
+            ctx.send(
+                q,
+                ExtractionMsg::Probe {
+                    nonce: self.probe_nonce,
+                },
+            );
         }
     }
 
@@ -263,9 +266,7 @@ impl<A: RegisterAlgorithm> Protocol for SigmaExtraction<A> {
     fn on_message(&mut self, ctx: &mut Ctx<Self>, from: ProcessId, msg: Self::Msg) {
         match msg {
             ExtractionMsg::Reg { instance, inner } => {
-                self.with_instance(ctx, instance, |reg, ictx| {
-                    reg.on_message(ictx, from, inner)
-                });
+                self.with_instance(ctx, instance, |reg, ictx| reg.on_message(ictx, from, inner));
             }
             ExtractionMsg::Probe { nonce } => {
                 // Task 2 (line 18): always answer probes.
@@ -275,7 +276,12 @@ impl<A: RegisterAlgorithm> Protocol for SigmaExtraction<A> {
                 if nonce != self.probe_nonce {
                     return; // stale ack for an earlier probe
                 }
-                if let Stage::Probing { j, current, remaining } = &mut self.stage {
+                if let Stage::Probing {
+                    j,
+                    current,
+                    remaining,
+                } = &mut self.stage
+                {
                     if !current.contains(from) {
                         return;
                     }
@@ -305,9 +311,7 @@ mod tests {
     use wfd_detectors::check::check_sigma;
     use wfd_detectors::history::history_from_outputs;
     use wfd_detectors::oracles::SigmaOracle;
-    use wfd_sim::{
-        Adversarial, FailurePattern, RandomFair, Scheduler, Sim, SimConfig,
-    };
+    use wfd_sim::{Adversarial, FailurePattern, RandomFair, Scheduler, Sim, SimConfig};
 
     type Host = SigmaExtraction<AbdRegister<EValue>>;
 
@@ -366,7 +370,10 @@ mod tests {
         for seed in 0..3 {
             let (h, iters) = run_extraction(n, &pattern, seed, RandomFair::new(seed), 40_000);
             check_sigma(&h, &pattern).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
-            assert!(iters[0] >= 2 && iters[1] >= 2, "correct processes keep looping");
+            assert!(
+                iters[0] >= 2 && iters[1] >= 2,
+                "correct processes keep looping"
+            );
         }
     }
 

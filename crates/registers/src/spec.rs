@@ -151,13 +151,7 @@ impl fmt::Display for OpHistory {
 mod tests {
     use super::*;
 
-    fn rec(
-        pid: usize,
-        seq: u64,
-        op: RegOp,
-        inv: Time,
-        resp: Option<(Time, RegResp)>,
-    ) -> OpRecord {
+    fn rec(pid: usize, seq: u64, op: RegOp, inv: Time, resp: Option<(Time, RegResp)>) -> OpRecord {
         OpRecord {
             id: (ProcessId(pid), seq),
             op,
@@ -188,7 +182,8 @@ mod tests {
     #[test]
     fn history_partitions() {
         let mut h = OpHistory::new(0);
-        h.ops.push(rec(0, 0, RegOp::Write(1), 0, Some((2, RegResp::WriteOk))));
+        h.ops
+            .push(rec(0, 0, RegOp::Write(1), 0, Some((2, RegResp::WriteOk))));
         h.ops.push(rec(0, 1, RegOp::Read, 3, None));
         assert_eq!(h.len(), 2);
         assert_eq!(h.completed().count(), 1);

@@ -25,7 +25,7 @@
 //! applies to it unchanged — and so it can even be slotted back into the
 //! Figure 1 extraction as "algorithm A".
 
-use crate::abd::{AbdMsg, AbdOp, AbdOutput, AbdResp, AbdRegister, QuorumRule, Ts};
+use crate::abd::{AbdMsg, AbdOp, AbdOutput, AbdRegister, AbdResp, QuorumRule, Ts};
 use std::collections::VecDeque;
 use std::fmt::Debug;
 use wfd_sim::{Ctx, ProcessId, ProcessSet, Protocol};
@@ -67,19 +67,22 @@ impl<V: Clone + Debug + PartialEq> Protocol for SwmrRegister<V> {
             self.owner,
             ctx.me()
         );
-        let mut ictx = Ctx::<AbdRegister<V>>::detached(ctx.me(), ctx.n(), ctx.now(), ctx.fd().clone());
+        let mut ictx =
+            Ctx::<AbdRegister<V>>::detached(ctx.me(), ctx.n(), ctx.now(), ctx.fd().clone());
         self.inner.on_invoke(&mut ictx, inv);
         relay(ctx, &mut ictx);
     }
 
     fn on_tick(&mut self, ctx: &mut Ctx<Self>) {
-        let mut ictx = Ctx::<AbdRegister<V>>::detached(ctx.me(), ctx.n(), ctx.now(), ctx.fd().clone());
+        let mut ictx =
+            Ctx::<AbdRegister<V>>::detached(ctx.me(), ctx.n(), ctx.now(), ctx.fd().clone());
         self.inner.on_tick(&mut ictx);
         relay(ctx, &mut ictx);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<Self>, from: ProcessId, msg: AbdMsg<V>) {
-        let mut ictx = Ctx::<AbdRegister<V>>::detached(ctx.me(), ctx.n(), ctx.now(), ctx.fd().clone());
+        let mut ictx =
+            Ctx::<AbdRegister<V>>::detached(ctx.me(), ctx.n(), ctx.now(), ctx.fd().clone());
         self.inner.on_message(&mut ictx, from, msg);
         relay(ctx, &mut ictx);
     }
@@ -165,7 +168,13 @@ impl<V: Clone + Debug + PartialEq> MwmrFromSwmr<V> {
             Ctx::<SwmrRegister<Cell<V>>>::detached(ctx.me(), ctx.n(), ctx.now(), ctx.fd().clone());
         f(&mut self.regs[idx], &mut ictx);
         for (to, msg) in ictx.take_sends() {
-            ctx.send(to, MwMsg { instance: idx, inner: msg });
+            ctx.send(
+                to,
+                MwMsg {
+                    instance: idx,
+                    inner: msg,
+                },
+            );
         }
         for out in ictx.take_outputs() {
             self.on_instance_output(ctx, idx, out);
@@ -199,15 +208,16 @@ impl<V: Clone + Debug + PartialEq> MwmrFromSwmr<V> {
                 let best = if cell.0 > best.0 { cell } else { best };
                 if j + 1 < ctx.n() {
                     self.stage = MwStage::Collect { op, j: j + 1, best };
-                    self.with_instance(ctx, j + 1, |reg, ictx| {
-                        reg.on_invoke(ictx, AbdOp::Read)
-                    });
+                    self.with_instance(ctx, j + 1, |reg, ictx| reg.on_invoke(ictx, AbdOp::Read));
                 } else {
                     // All registers read: derive what to write to our own.
                     let me = ctx.me();
                     let (ts, resp, val) = match op {
                         AbdOp::Write(v) => (
-                            Ts { seq: best.0.seq + 1, writer: me },
+                            Ts {
+                                seq: best.0.seq + 1,
+                                writer: me,
+                            },
                             AbdResp::WriteOk,
                             Some(v),
                         ),
@@ -262,9 +272,7 @@ impl<V: Clone + Debug + PartialEq> Protocol for MwmrFromSwmr<V> {
 
     fn on_message(&mut self, ctx: &mut Ctx<Self>, from: ProcessId, msg: MwMsg<V>) {
         let MwMsg { instance, inner } = msg;
-        self.with_instance(ctx, instance, |reg, ictx| {
-            reg.on_message(ictx, from, inner)
-        });
+        self.with_instance(ctx, instance, |reg, ictx| reg.on_message(ictx, from, inner));
     }
 }
 
@@ -313,7 +321,9 @@ mod tests {
         let sigma = SigmaOracle::new(&pattern, 100, seed).with_jitter(50);
         let mut sim = Sim::new(
             SimConfig::new(n).with_horizon(60_000),
-            (0..n).map(|_| Mw::new(n, QuorumRule::Detector, 0)).collect(),
+            (0..n)
+                .map(|_| Mw::new(n, QuorumRule::Detector, 0))
+                .collect(),
             pattern,
             sigma,
             RandomFair::new(seed),
@@ -322,7 +332,11 @@ mod tests {
         // never-written-read panic.
         sim.schedule_invoke(ProcessId(0), 0, AbdOp::Write(1_000));
         for p in 0..n {
-            sim.schedule_invoke(ProcessId(p), 400 + 10 * p as u64, AbdOp::Write(2_000 + p as u64));
+            sim.schedule_invoke(
+                ProcessId(p),
+                400 + 10 * p as u64,
+                AbdOp::Write(2_000 + p as u64),
+            );
             sim.schedule_invoke(ProcessId(p), 500, AbdOp::Read);
             sim.schedule_invoke(ProcessId(p), 1_500, AbdOp::Read);
         }
@@ -357,27 +371,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "single-writer register owned by")]
     fn swmr_rejects_foreign_writer() {
-        let mut reg: SwmrRegister<u64> =
-            SwmrRegister::new(ProcessId(0), QuorumRule::Majority, 0);
-        let mut ctx = Ctx::<SwmrRegister<u64>>::detached(
-            ProcessId(1),
-            2,
-            0,
-            ProcessSet::full(2),
-        );
+        let mut reg: SwmrRegister<u64> = SwmrRegister::new(ProcessId(0), QuorumRule::Majority, 0);
+        let mut ctx = Ctx::<SwmrRegister<u64>>::detached(ProcessId(1), 2, 0, ProcessSet::full(2));
         reg.on_invoke(&mut ctx, AbdOp::Write(5));
     }
 
     #[test]
     fn swmr_allows_owner_writes_and_any_reads() {
-        let mut reg: SwmrRegister<u64> =
-            SwmrRegister::new(ProcessId(0), QuorumRule::Majority, 0);
+        let mut reg: SwmrRegister<u64> = SwmrRegister::new(ProcessId(0), QuorumRule::Majority, 0);
         assert_eq!(reg.owner(), ProcessId(0));
-        let mut wctx =
-            Ctx::<SwmrRegister<u64>>::detached(ProcessId(0), 2, 0, ProcessSet::full(2));
+        let mut wctx = Ctx::<SwmrRegister<u64>>::detached(ProcessId(0), 2, 0, ProcessSet::full(2));
         reg.on_invoke(&mut wctx, AbdOp::Write(5));
-        let mut rctx =
-            Ctx::<SwmrRegister<u64>>::detached(ProcessId(1), 2, 1, ProcessSet::full(2));
+        let mut rctx = Ctx::<SwmrRegister<u64>>::detached(ProcessId(1), 2, 1, ProcessSet::full(2));
         reg.on_invoke(&mut rctx, AbdOp::Read);
     }
 }

@@ -5,7 +5,7 @@ use crate::id::{ProcessId, Time};
 use crate::oracle::FdOracle;
 use crate::protocol::{Ctx, Protocol};
 use crate::scheduler::{MsgMeta, Scheduler};
-use crate::trace::{EventKind, Trace};
+use crate::trace::{EventKind, Trace, TraceMode, TraceSummary};
 use std::collections::VecDeque;
 
 /// Static parameters of a simulation.
@@ -20,11 +20,13 @@ pub struct SimConfig {
     pub max_delay: Time,
     /// Fairness bound: a live process takes a step at least this often.
     pub max_step_gap: Time,
+    /// How much of the run to record (default: everything).
+    pub trace_mode: TraceMode,
 }
 
 impl SimConfig {
     /// Defaults scaled to the system size: delay and step-gap bounds of
-    /// `4·n`, horizon of 50 000 steps.
+    /// `4·n`, horizon of 50 000 steps, full tracing.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "a system needs at least one process");
         SimConfig {
@@ -32,7 +34,15 @@ impl SimConfig {
             horizon: 50_000,
             max_delay: 4 * n as Time,
             max_step_gap: 4 * n as Time,
+            trace_mode: TraceMode::Full,
         }
+    }
+
+    /// Override how much of the run is recorded. The executed schedule is
+    /// identical in every mode; only the record (and its cost) changes.
+    pub fn with_trace_mode(mut self, mode: TraceMode) -> Self {
+        self.trace_mode = mode;
+        self
     }
 
     /// Override the run horizon (total steps).
@@ -100,11 +110,17 @@ pub struct Sim<P: Protocol, D, S> {
     inboxes: Vec<VecDeque<Envelope<P::Msg>>>,
     invocations: Vec<VecDeque<(Time, P::Inv)>>,
     trace: Trace<P::Msg, P::Output>,
+    stats: TraceSummary,
     now: Time,
     started: Vec<bool>,
     crash_logged: Vec<bool>,
     last_step: Vec<Time>,
     next_msg_id: u64,
+    // Reused per-step scratch buffers: the delivery loop allocates nothing.
+    alive_buf: Vec<ProcessId>,
+    metas_buf: Vec<MsgMeta>,
+    send_buf: Vec<(ProcessId, P::Msg)>,
+    out_buf: Vec<P::Output>,
 }
 
 impl<P, D, S> Sim<P, D, S>
@@ -131,11 +147,16 @@ where
             inboxes: (0..cfg.n).map(|_| VecDeque::new()).collect(),
             invocations: vec![VecDeque::new(); cfg.n],
             trace: Trace::new(cfg.n),
+            stats: TraceSummary::default(),
             now: 0,
             started: vec![false; cfg.n],
             crash_logged: vec![false; cfg.n],
             last_step: vec![0; cfg.n],
             next_msg_id: 0,
+            alive_buf: Vec::with_capacity(cfg.n),
+            metas_buf: Vec::new(),
+            send_buf: Vec::new(),
+            out_buf: Vec::new(),
             cfg,
             procs,
             pattern,
@@ -171,9 +192,22 @@ where
         &self.pattern
     }
 
-    /// The run trace so far.
+    /// The run trace so far. What it records depends on
+    /// [`SimConfig::trace_mode`]; see [`Sim::stats`] for mode-independent
+    /// aggregate counters.
     pub fn trace(&self) -> &Trace<P::Msg, P::Output> {
         &self.trace
+    }
+
+    /// Aggregate run counters (steps, messages, outputs, crashes),
+    /// maintained exactly in every [`TraceMode`] — in
+    /// [`TraceMode::Full`] they equal `trace().summary()` except for the
+    /// event total, which counts recorded events only.
+    pub fn stats(&self) -> TraceSummary {
+        TraceSummary {
+            events: self.trace.len(),
+            ..self.stats
+        }
     }
 
     /// The protocol instances (post-run state inspection).
@@ -234,34 +268,55 @@ where
 
     /// Execute one step of one process. Returns `false` if no process is
     /// alive (nothing happened).
+    ///
+    /// The step schedule is a pure function of the inputs — the
+    /// [`TraceMode`] never influences which process steps or which message
+    /// it receives, only what gets recorded.
     pub fn step_once(&mut self) -> bool {
         self.log_new_crashes();
+        let record_msgs = self.cfg.trace_mode.records_messages();
+        let record_outs = self.cfg.trace_mode.records_outputs();
 
-        let alive: Vec<ProcessId> = ProcessId::all(self.cfg.n)
-            .filter(|&p| !self.pattern.is_crashed(p, self.now))
-            .collect();
+        let mut alive = std::mem::take(&mut self.alive_buf);
+        alive.clear();
+        alive.extend(ProcessId::all(self.cfg.n).filter(|&p| !self.pattern.is_crashed(p, self.now)));
         if alive.is_empty() {
+            self.alive_buf = alive;
             return false;
         }
 
         let actor = self.choose_actor(&alive);
+        self.alive_buf = alive;
         self.last_step[actor.index()] = self.now;
+        self.stats.steps += 1;
 
         let fd = self.detector.query(actor, self.now);
-        let mut ctx = Ctx::<P>::detached(actor, self.cfg.n, self.now, fd);
+        let mut ctx = Ctx::<P>::with_buffers(
+            actor,
+            self.cfg.n,
+            self.now,
+            fd,
+            std::mem::take(&mut self.send_buf),
+            std::mem::take(&mut self.out_buf),
+        );
 
         // Decide the step kind: start > pending invocation > message/λ.
         if !self.started[actor.index()] {
             self.started[actor.index()] = true;
-            self.trace.push(self.now, actor, EventKind::Start);
+            if record_msgs {
+                self.trace.push(self.now, actor, EventKind::Start);
+            }
             self.procs[actor.index()].on_start(&mut ctx);
-        } else if self
-            .invocations[actor.index()]
+        } else if self.invocations[actor.index()]
             .front()
             .is_some_and(|(t, _)| *t <= self.now)
         {
-            let (_, inv) = self.invocations[actor.index()].pop_front().expect("checked");
-            self.trace.push(self.now, actor, EventKind::Invoke);
+            let (_, inv) = self.invocations[actor.index()]
+                .pop_front()
+                .expect("checked");
+            if record_msgs {
+                self.trace.push(self.now, actor, EventKind::Invoke);
+            }
             self.procs[actor.index()].on_invoke(&mut ctx, inv);
         } else {
             match self.choose_message(actor) {
@@ -269,33 +324,42 @@ where
                     let env = self.inboxes[actor.index()]
                         .remove(pos)
                         .expect("chosen message position is valid");
-                    self.trace.push(
-                        self.now,
-                        actor,
-                        EventKind::Deliver {
-                            from: env.from,
-                            msg: env.msg.clone(),
-                        },
-                    );
+                    self.stats.messages_delivered += 1;
+                    if record_msgs {
+                        self.trace.push(
+                            self.now,
+                            actor,
+                            EventKind::Deliver {
+                                from: env.from,
+                                msg: env.msg.clone(),
+                            },
+                        );
+                    }
                     self.procs[actor.index()].on_message(&mut ctx, env.from, env.msg);
                 }
                 None => {
-                    self.trace.push(self.now, actor, EventKind::Lambda);
+                    if record_msgs {
+                        self.trace.push(self.now, actor, EventKind::Lambda);
+                    }
                     self.procs[actor.index()].on_tick(&mut ctx);
                 }
             }
         }
 
-        for (to, msg) in ctx.take_sends() {
+        let (mut sends, mut outs) = ctx.into_buffers();
+        self.stats.messages_sent += sends.len();
+        for (to, msg) in sends.drain(..) {
             assert!(to.index() < self.cfg.n, "send to unknown process {to}");
-            self.trace.push(
-                self.now,
-                actor,
-                EventKind::Send {
-                    to,
-                    msg: msg.clone(),
-                },
-            );
+            if record_msgs {
+                self.trace.push(
+                    self.now,
+                    actor,
+                    EventKind::Send {
+                        to,
+                        msg: msg.clone(),
+                    },
+                );
+            }
             // Inboxes of already-crashed receivers are a black hole.
             if !self.pattern.is_crashed(to, self.now) {
                 self.inboxes[to.index()].push_back(Envelope {
@@ -307,9 +371,14 @@ where
             }
             self.next_msg_id += 1;
         }
-        for out in ctx.take_outputs() {
-            self.trace.push(self.now, actor, EventKind::Output(out));
+        self.stats.outputs += outs.len();
+        for out in outs.drain(..) {
+            if record_outs {
+                self.trace.push(self.now, actor, EventKind::Output(out));
+            }
         }
+        self.send_buf = sends;
+        self.out_buf = outs;
 
         self.now += 1;
         true
@@ -319,8 +388,14 @@ where
         for p in ProcessId::all(self.cfg.n) {
             if !self.crash_logged[p.index()] && self.pattern.is_crashed(p, self.now) {
                 self.crash_logged[p.index()] = true;
-                let t = self.pattern.crash_time(p).expect("crashed implies crash time");
-                self.trace.push(t, p, EventKind::Crash);
+                self.stats.crashes += 1;
+                let t = self
+                    .pattern
+                    .crash_time(p)
+                    .expect("crashed implies crash time");
+                if self.cfg.trace_mode.records_outputs() {
+                    self.trace.push(t, p, EventKind::Crash);
+                }
                 // Reliable links do not deliver to crashed processes — drop
                 // their inbox so the fairness logic ignores those messages.
                 self.inboxes[p.index()].clear();
@@ -338,8 +413,7 @@ where
             .filter(|p| {
                 let last = self.last_step[p.index()];
                 self.started[p.index()] && self.now.saturating_sub(last) >= self.cfg.max_step_gap
-                    || !self.started[p.index()]
-                        && self.now >= self.cfg.max_step_gap
+                    || !self.started[p.index()] && self.now >= self.cfg.max_step_gap
             })
             .min_by_key(|p| self.last_step[p.index()]);
         if let Some(p) = overdue {
@@ -373,22 +447,22 @@ where
         // within the window plus the overdue rule above preserves
         // fairness.
         const POLICY_WINDOW: usize = 32;
-        let metas: Vec<MsgMeta> = inbox
-            .iter()
-            .take(POLICY_WINDOW)
-            .map(|e| MsgMeta {
-                id: e.id,
-                from: e.from,
-                sent_at: e.sent_at,
-            })
-            .collect();
-        match self.sched.pick_message(self.now, actor, &metas) {
+        let mut metas = std::mem::take(&mut self.metas_buf);
+        metas.clear();
+        metas.extend(inbox.iter().take(POLICY_WINDOW).map(|e| MsgMeta {
+            id: e.id,
+            from: e.from,
+            sent_at: e.sent_at,
+        }));
+        let choice = match self.sched.pick_message(self.now, actor, &metas) {
             Some(k) => {
                 assert!(k < metas.len(), "scheduler returned out-of-range message");
                 Some(k)
             }
             None => None,
-        }
+        };
+        self.metas_buf = metas;
+        choice
     }
 }
 
@@ -500,9 +574,7 @@ mod tests {
             .events()
             .iter()
             .filter(|e| {
-                e.pid == ProcessId(0)
-                    && e.time >= crash_t
-                    && !matches!(e.kind, EventKind::Crash)
+                e.pid == ProcessId(0) && e.time >= crash_t && !matches!(e.kind, EventKind::Crash)
             })
             .count();
         assert_eq!(late_steps, 0, "no events from p0 at/after its crash time");
@@ -553,10 +625,7 @@ mod tests {
             let steps = sim.trace().steps_of(p);
             // With max_step_gap = 16 and 4000 steps, each process must step
             // at least every 16 time units.
-            assert!(
-                steps >= 4_000 / (16 + 1),
-                "{p} starved: only {steps} steps"
-            );
+            assert!(steps >= 4_000 / (16 + 1), "{p} starved: only {steps} steps");
         }
     }
 

@@ -1,8 +1,7 @@
 //! Failure patterns `F : T → 2^Π` and environments `E ⊆ {failure patterns}`.
 
 use crate::id::{ProcessId, ProcessSet, Time};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SimRng;
 use std::fmt;
 
 /// A failure pattern: for each process, the time at which it crashes (if
@@ -216,7 +215,7 @@ impl fmt::Display for Environment {
 pub struct PatternSampler {
     n: usize,
     env: Environment,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl PatternSampler {
@@ -226,7 +225,7 @@ impl PatternSampler {
         PatternSampler {
             n,
             env,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::new(seed),
         }
     }
 
@@ -243,12 +242,12 @@ impl PatternSampler {
                 Environment::Any => self.n,
                 _ => self.n.saturating_sub(1),
             };
-            let k = self.rng.gen_range(0..=max_crashes);
+            let k = self.rng.gen_range(max_crashes as u64 + 1) as usize;
             let mut ids: Vec<usize> = (0..self.n).collect();
             for i in 0..k {
-                let j = self.rng.gen_range(i..self.n);
+                let j = i + self.rng.pick(self.n - i);
                 ids.swap(i, j);
-                let t = self.rng.gen_range(0..horizon.max(1));
+                let t = self.rng.gen_range(horizon.max(1));
                 f = f.with_crash(ProcessId(ids[i]), t);
             }
             if self.env.contains(&f) {
@@ -324,10 +323,7 @@ mod tests {
     fn alive_at_complements_crashed_at() {
         let f = FailurePattern::with_crashes(4, &[(ProcessId(3), 2)]);
         for t in 0..5 {
-            assert_eq!(
-                f.alive_at(t).union(&f.crashed_at(t)),
-                ProcessSet::full(4)
-            );
+            assert_eq!(f.alive_at(t).union(&f.crashed_at(t)), ProcessSet::full(4));
         }
     }
 
@@ -382,6 +378,9 @@ mod tests {
     fn sampler_any_environment_can_crash_everyone() {
         let mut s = PatternSampler::new(3, Environment::Any, 1);
         let saw_all_crash = (0..200).any(|_| s.sample(50).correct().is_empty());
-        assert!(saw_all_crash, "Environment::Any should include all-crash patterns");
+        assert!(
+            saw_all_crash,
+            "Environment::Any should include all-crash patterns"
+        );
     }
 }

@@ -69,6 +69,7 @@ mod failure;
 mod id;
 mod oracle;
 mod protocol;
+mod rng;
 mod scheduler;
 mod trace;
 
@@ -78,5 +79,6 @@ pub use failure::{Environment, FailurePattern, PatternSampler};
 pub use id::{ProcessId, ProcessSet, Time};
 pub use oracle::{ConstDetector, FdOracle, FnDetector, NoDetector};
 pub use protocol::{Ctx, Protocol};
+pub use rng::SimRng;
 pub use scheduler::{Adversarial, RandomFair, RoundRobin, Scheduler};
-pub use trace::{Event, EventKind, Trace, TraceSummary};
+pub use trace::{Event, EventKind, Trace, TraceMode, TraceSummary};

@@ -58,6 +58,10 @@ pub struct Ctx<P: Protocol> {
     outputs: Vec<P::Output>,
 }
 
+/// A queue of `(destination, message)` pairs — the engine recycles one
+/// such buffer across all steps of a run.
+pub type SendBuf<P> = Vec<(ProcessId, <P as Protocol>::Msg)>;
+
 impl<P: Protocol> Ctx<P> {
     /// Build a stand-alone context, e.g. for unit-testing a protocol
     /// handler or for hosting a protocol inside another protocol
@@ -68,14 +72,40 @@ impl<P: Protocol> Ctx<P> {
     /// cannot read the global clock), and none of the protocols in this
     /// workspace do.
     pub fn detached(me: ProcessId, n: usize, now: Time, fd: P::Fd) -> Self {
+        Self::with_buffers(me, n, now, fd, Vec::new(), Vec::new())
+    }
+
+    /// Like [`Ctx::detached`], but reusing previously-allocated send and
+    /// output buffers (which must be empty). The engine recycles one pair
+    /// of buffers across all steps of a run, so the per-step delivery
+    /// loop allocates nothing; recover the buffers with
+    /// [`Ctx::into_buffers`].
+    pub fn with_buffers(
+        me: ProcessId,
+        n: usize,
+        now: Time,
+        fd: P::Fd,
+        sends: Vec<(ProcessId, P::Msg)>,
+        outputs: Vec<P::Output>,
+    ) -> Self {
+        debug_assert!(
+            sends.is_empty() && outputs.is_empty(),
+            "buffers must be empty"
+        );
         Ctx {
             me,
             n,
             now,
             fd,
-            sends: Vec::new(),
-            outputs: Vec::new(),
+            sends,
+            outputs,
         }
+    }
+
+    /// Consume the context, returning `(sends, outputs)` with their
+    /// queued contents (and their allocations, for recycling).
+    pub fn into_buffers(self) -> (SendBuf<P>, Vec<P::Output>) {
+        (self.sends, self.outputs)
     }
 
     /// This process's id.
@@ -111,19 +141,30 @@ impl<P: Protocol> Ctx<P> {
     }
 
     /// Send `msg` to every process, *including* the sender — the "send to
-    /// all" of the paper's pseudocode.
+    /// all" of the paper's pseudocode. Fans out with `n − 1` clones (the
+    /// last recipient takes the original by move).
     pub fn broadcast(&mut self, msg: P::Msg) {
-        for q in ProcessId::all(self.n) {
-            self.sends.push((q, msg.clone()));
-        }
+        self.fan_out(msg, None);
     }
 
     /// Send `msg` to every process except the sender.
     pub fn broadcast_others(&mut self, msg: P::Msg) {
-        let me = self.me;
-        for q in ProcessId::all(self.n).filter(|&q| q != me) {
-            self.sends.push((q, msg.clone()));
+        self.fan_out(msg, Some(self.me));
+    }
+
+    /// Queue `msg` for every process except `skip`, cloning one time
+    /// fewer than the recipient count.
+    fn fan_out(&mut self, msg: P::Msg, skip: Option<ProcessId>) {
+        let mut recipients = ProcessId::all(self.n).filter(|&q| Some(q) != skip);
+        let Some(first) = recipients.next() else {
+            return;
+        };
+        let mut carry = first;
+        for q in recipients {
+            self.sends.push((carry, msg.clone()));
+            carry = q;
         }
+        self.sends.push((carry, msg));
     }
 
     /// Emit an observable output (decision, operation response, detector

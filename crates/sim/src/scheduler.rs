@@ -7,8 +7,7 @@
 //! paper's model.
 
 use crate::id::{ProcessId, Time};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SimRng;
 
 /// Metadata about a deliverable in-flight message, shown to policies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,9 +88,9 @@ impl Scheduler for RoundRobin {
 
 /// Seeded uniformly-random fair scheduling — the workhorse for sweeping
 /// over "all runs" in property tests.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct RandomFair {
-    rng: StdRng,
+    rng: SimRng,
     /// Probability (in percent) of taking a λ step even when messages are
     /// deliverable; keeps `on_tick`-driven protocols making progress.
     lambda_pct: u32,
@@ -101,7 +100,7 @@ impl RandomFair {
     /// Create a random-fair scheduler from a seed.
     pub fn new(seed: u64) -> Self {
         RandomFair {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::new(seed),
             lambda_pct: 25,
         }
     }
@@ -117,7 +116,7 @@ impl RandomFair {
 
 impl Scheduler for RandomFair {
     fn pick_actor(&mut self, _now: Time, candidates: &[ProcessId]) -> usize {
-        self.rng.gen_range(0..candidates.len())
+        self.rng.pick(candidates.len())
     }
 
     fn pick_message(
@@ -126,10 +125,10 @@ impl Scheduler for RandomFair {
         _actor: ProcessId,
         deliverable: &[MsgMeta],
     ) -> Option<usize> {
-        if deliverable.is_empty() || self.rng.gen_range(0..100) < self.lambda_pct {
+        if deliverable.is_empty() || self.rng.chance(self.lambda_pct) {
             None
         } else {
-            Some(self.rng.gen_range(0..deliverable.len()))
+            Some(self.rng.pick(deliverable.len()))
         }
     }
 }
@@ -141,9 +140,9 @@ impl Scheduler for RandomFair {
 /// This is the schedule family under which asynchronous consensus is
 /// impossible without a detector, so it is the right stress test for the
 /// detector-based algorithms.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Adversarial {
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl Adversarial {
@@ -151,7 +150,7 @@ impl Adversarial {
     /// ties, the adversary itself is systematic).
     pub fn new(seed: u64) -> Self {
         Adversarial {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::new(seed),
         }
     }
 }
@@ -161,8 +160,8 @@ impl Scheduler for Adversarial {
         // Prefer the highest-id candidate (starving low ids until the
         // engine forces them), with occasional random deviation so seeds
         // explore different starvation orders.
-        if self.rng.gen_range(0..4) == 0 {
-            self.rng.gen_range(0..candidates.len())
+        if self.rng.gen_range(4) == 0 {
+            self.rng.pick(candidates.len())
         } else {
             candidates.len() - 1
         }
@@ -179,7 +178,7 @@ impl Scheduler for Adversarial {
         }
         // Delay messages as long as allowed: usually take a λ step; when a
         // message is taken, take the *newest* one (maximal reordering).
-        if self.rng.gen_range(0..4) == 0 {
+        if self.rng.gen_range(4) == 0 {
             Some(deliverable.len() - 1)
         } else {
             None
@@ -261,7 +260,10 @@ mod tests {
         let high_picks = (0..100)
             .filter(|_| s.pick_actor(0, &cands) == cands.len() - 1)
             .count();
-        assert!(high_picks > 50, "adversary should usually pick the last candidate");
+        assert!(
+            high_picks > 50,
+            "adversary should usually pick the last candidate"
+        );
         let delays = (0..100)
             .filter(|_| s.pick_message(0, ProcessId(0), &metas(2)).is_none())
             .count();

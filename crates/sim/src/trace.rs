@@ -4,6 +4,39 @@
 use crate::id::{ProcessId, Time};
 use std::fmt::Debug;
 
+/// How much of a run the engine records.
+///
+/// Sweeps that only inspect end-state (process fields, decision getters,
+/// aggregate counters) should run with [`TraceMode::Off`]: the engine
+/// then pays zero tracing cost — no event pushes, no per-event message
+/// clones — while executing the byte-identical schedule. Outputs-driven
+/// checkers (history validators) need [`TraceMode::OutputsOnly`]; only
+/// message-level analyses need [`TraceMode::Full`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Record every event (steps, sends, deliveries, outputs, crashes).
+    #[default]
+    Full,
+    /// Record only [`EventKind::Output`] and [`EventKind::Crash`] events —
+    /// enough for every history-based spec checker in the workspace.
+    OutputsOnly,
+    /// Record nothing; aggregate counters (see `Sim::stats`) stay exact.
+    Off,
+}
+
+impl TraceMode {
+    /// Whether step/send/deliver events are recorded (and their message
+    /// payloads cloned into the trace).
+    pub fn records_messages(self) -> bool {
+        matches!(self, TraceMode::Full)
+    }
+
+    /// Whether output and crash events are recorded.
+    pub fn records_outputs(self) -> bool {
+        !matches!(self, TraceMode::Off)
+    }
+}
+
 /// What happened in one trace event.
 #[derive(Clone, Debug, PartialEq)]
 pub enum EventKind<M, O> {
@@ -166,8 +199,9 @@ impl<M: Clone + Debug, O: Clone + Debug> Trace<M, O> {
     }
 }
 
-/// Aggregate counts of a run, produced by [`Trace::summary`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Aggregate counts of a run, produced by [`Trace::summary`] (and
+/// maintained exactly by the engine in every [`TraceMode`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TraceSummary {
     /// Total trace events.
     pub events: usize,
@@ -200,12 +234,22 @@ mod tests {
     fn sample() -> Trace<u8, &'static str> {
         let mut t = Trace::new(2);
         t.push(0, ProcessId(0), EventKind::Start);
-        t.push(0, ProcessId(0), EventKind::Send { to: ProcessId(1), msg: 9 });
+        t.push(
+            0,
+            ProcessId(0),
+            EventKind::Send {
+                to: ProcessId(1),
+                msg: 9,
+            },
+        );
         t.push(1, ProcessId(1), EventKind::Start);
         t.push(
             2,
             ProcessId(1),
-            EventKind::Deliver { from: ProcessId(0), msg: 9 },
+            EventKind::Deliver {
+                from: ProcessId(0),
+                msg: 9,
+            },
         );
         t.push(2, ProcessId(1), EventKind::Output("got"));
         t.push(3, ProcessId(0), EventKind::Lambda);

@@ -2,8 +2,8 @@
 //! interleavings, fairness-bound extremes, and stop-condition priorities.
 
 use wfd_sim::{
-    Ctx, EventKind, FailurePattern, NoDetector, ProcessId, Protocol, RandomFair, RoundRobin,
-    Sim, SimConfig, StopReason,
+    Ctx, EventKind, FailurePattern, NoDetector, ProcessId, Protocol, RandomFair, RoundRobin, Sim,
+    SimConfig, StopReason,
 };
 
 /// Echoes invocations as outputs and pings itself on start.
@@ -66,9 +66,7 @@ fn invocation_for_crashed_process_never_fires() {
     sim.schedule_invoke(ProcessId(1), 50, 9); // after its crash
     sim.run();
     assert!(
-        !sim.trace()
-            .outputs_of(ProcessId(1))
-            .any(|(_, o)| *o == 90),
+        !sim.trace().outputs_of(ProcessId(1)).any(|(_, o)| *o == 90),
         "a crashed process cannot consume invocations"
     );
 }

@@ -1,0 +1,132 @@
+//! The [`TraceMode`] contract: the executed schedule is a pure function
+//! of the inputs, so turning tracing down (or off) must change *what is
+//! recorded* and nothing else — same outputs, same decisions, same
+//! aggregate counters.
+
+use wfd_sim::{
+    Adversarial, Ctx, EventKind, FailurePattern, NoDetector, ProcessId, Protocol, RandomFair,
+    RoundRobin, Scheduler, Sim, SimConfig, TraceMode,
+};
+
+/// Ring ping protocol with a per-process step/message account — enough
+/// end state to compare runs without any trace.
+#[derive(Debug, Default)]
+struct Ring {
+    pings_seen: u64,
+    steps: u64,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct Ping(u64);
+
+impl Protocol for Ring {
+    type Msg = Ping;
+    type Output = u64;
+    type Inv = ();
+    type Fd = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<Self>) {
+        let next = ProcessId((ctx.me().index() + 1) % ctx.n());
+        ctx.send(next, Ping(0));
+    }
+
+    fn on_tick(&mut self, _ctx: &mut Ctx<Self>) {
+        self.steps += 1;
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Self>, _from: ProcessId, msg: Ping) {
+        self.steps += 1;
+        self.pings_seen += 1;
+        ctx.output(self.pings_seen);
+        let next = ProcessId((ctx.me().index() + 1) % ctx.n());
+        ctx.send(next, Ping(msg.0 + 1));
+    }
+}
+
+fn run<S: Scheduler>(n: usize, mode: TraceMode, sched: S) -> Sim<Ring, NoDetector, S> {
+    let mut sim = Sim::new(
+        SimConfig::new(n).with_horizon(3_000).with_trace_mode(mode),
+        (0..n).map(|_| Ring::default()).collect(),
+        FailurePattern::failure_free(n).with_crash(ProcessId(0), 700),
+        NoDetector,
+        sched,
+    );
+    sim.run();
+    sim
+}
+
+/// End state (the full observable account of a run without its trace).
+fn end_state(sim: &Sim<Ring, NoDetector, impl Scheduler>) -> Vec<(u64, u64)> {
+    sim.processes()
+        .iter()
+        .map(|p| (p.pings_seen, p.steps))
+        .collect()
+}
+
+#[test]
+fn off_runs_the_same_schedule_as_full() {
+    let n = 4;
+    for seed in 0..5 {
+        let full = run(n, TraceMode::Full, RandomFair::new(seed));
+        let off = run(n, TraceMode::Off, RandomFair::new(seed));
+        assert_eq!(end_state(&full), end_state(&off), "seed {seed}");
+        assert_eq!(full.stats(), {
+            // Event counts legitimately differ (that is the point);
+            // every schedule-determined counter must not.
+            let mut s = off.stats();
+            s.events = full.stats().events;
+            s
+        });
+        assert!(off.trace().is_empty(), "Off must record nothing");
+    }
+}
+
+#[test]
+fn outputs_only_records_exactly_outputs_and_crashes() {
+    let n = 3;
+    let full = run(n, TraceMode::Full, RoundRobin::new());
+    let outs = run(n, TraceMode::OutputsOnly, RoundRobin::new());
+
+    // Identical output stream (time, pid, value)...
+    let full_outs: Vec<_> = full.trace().outputs().map(|(t, p, o)| (t, p, *o)).collect();
+    let only_outs: Vec<_> = outs.trace().outputs().map(|(t, p, o)| (t, p, *o)).collect();
+    assert_eq!(full_outs, only_outs);
+    // ... identical crash events ...
+    assert_eq!(
+        full.trace().crashes().collect::<Vec<_>>(),
+        outs.trace().crashes().collect::<Vec<_>>()
+    );
+    // ... and nothing else.
+    assert!(outs
+        .trace()
+        .events()
+        .iter()
+        .all(|e| matches!(e.kind, EventKind::Output(_) | EventKind::Crash)));
+    assert!(full.trace().len() > outs.trace().len());
+}
+
+#[test]
+fn stats_match_trace_summary_in_full_mode() {
+    for seed in [0, 9] {
+        let sim = run(5, TraceMode::Full, Adversarial::new(seed));
+        assert_eq!(sim.stats(), sim.trace().summary(), "seed {seed}");
+    }
+}
+
+#[test]
+fn stats_are_exact_in_every_mode() {
+    let reference = run(4, TraceMode::Full, RandomFair::new(42))
+        .trace()
+        .summary();
+    for mode in [TraceMode::OutputsOnly, TraceMode::Off] {
+        let stats = run(4, mode, RandomFair::new(42)).stats();
+        assert_eq!(stats.steps, reference.steps, "{mode:?}");
+        assert_eq!(stats.messages_sent, reference.messages_sent, "{mode:?}");
+        assert_eq!(
+            stats.messages_delivered, reference.messages_delivered,
+            "{mode:?}"
+        );
+        assert_eq!(stats.outputs, reference.outputs, "{mode:?}");
+        assert_eq!(stats.crashes, reference.crashes, "{mode:?}");
+    }
+}

@@ -76,8 +76,14 @@ fn main() {
     }
 
     // And the punchline: the free lunch ends where Theorem 1 begins.
-    let hostile =
-        FailurePattern::with_crashes(n, &[(ProcessId(0), 200), (ProcessId(1), 200), (ProcessId(2), 200)]);
+    let hostile = FailurePattern::with_crashes(
+        n,
+        &[
+            (ProcessId(0), 200),
+            (ProcessId(1), 200),
+            (ProcessId(2), 200),
+        ],
+    );
     let mut sim = Sim::new(
         SimConfig::new(n).with_horizon(20_000),
         (0..n).map(|_| MajoritySigma::new(n, 2)).collect(),

@@ -17,17 +17,22 @@ fn main() {
     // Three of five processes crash — no majority survives.
     let pattern = FailurePattern::with_crashes(
         n,
-        &[(ProcessId(0), 400), (ProcessId(1), 700), (ProcessId(2), 1_000)],
+        &[
+            (ProcessId(0), 400),
+            (ProcessId(1), 700),
+            (ProcessId(2), 1_000),
+        ],
     );
     println!("environment: {pattern} (majority crashes!)\n");
 
-    for (name, rule) in [("Σ-based ABD", QuorumRule::Detector), ("majority ABD", QuorumRule::Majority)] {
+    for (name, rule) in [
+        ("Σ-based ABD", QuorumRule::Detector),
+        ("majority ABD", QuorumRule::Majority),
+    ] {
         let sigma = SigmaOracle::new(&pattern, 1_200, 42).with_jitter(300);
         let mut sim = Sim::new(
             SimConfig::new(n).with_horizon(40_000),
-            (0..n)
-                .map(|_| AbdRegister::new(rule, 0u64))
-                .collect(),
+            (0..n).map(|_| AbdRegister::new(rule, 0u64)).collect(),
             pattern.clone(),
             sigma,
             RandomFair::new(7),

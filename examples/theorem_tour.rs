@@ -19,7 +19,11 @@ fn main() {
     // is out of its depth.
     let pattern = FailurePattern::with_crashes(
         5,
-        &[(ProcessId(0), 150), (ProcessId(1), 300), (ProcessId(2), 450)],
+        &[
+            (ProcessId(0), 150),
+            (ProcessId(1), 300),
+            (ProcessId(2), 450),
+        ],
     );
     println!("environment: {pattern}\n");
     let setup = RunSetup::new(pattern.clone())
@@ -28,7 +32,10 @@ fn main() {
 
     println!("— Theorem 1: Σ is the weakest detector for atomic registers —");
     let suf = theorems::sigma_implements_registers(&setup);
-    println!("  sufficiency  (ABD over Σ, linearizability-checked): {}", verdict(&suf));
+    println!(
+        "  sufficiency  (ABD over Σ, linearizability-checked): {}",
+        verdict(&suf)
+    );
     if let Ok(ev) = &suf {
         println!(
             "               {} ops completed ({} after the last crash)",
@@ -36,11 +43,17 @@ fn main() {
         );
     }
     let nec = theorems::registers_yield_sigma(&setup);
-    println!("  necessity    (Figure 1 extraction, Σ-spec-checked):  {}", verdict(&nec));
+    println!(
+        "  necessity    (Figure 1 extraction, Σ-spec-checked):  {}",
+        verdict(&nec)
+    );
 
     println!("\n— Corollary 4: (Ω, Σ) is the weakest detector for consensus —");
     let cons = theorems::omega_sigma_solves_consensus(&setup, &[10, 20, 30, 40, 50]);
-    println!("  quorum route (Paxos on Σ-quorums, Ω leader):         {}", verdict(&cons));
+    println!(
+        "  quorum route (Paxos on Σ-quorums, Ω leader):         {}",
+        verdict(&cons)
+    );
     if let Ok(stats) = &cons {
         println!(
             "               decided {:?} with latency {:?} steps",
@@ -48,10 +61,15 @@ fn main() {
         );
     }
     let via_regs = theorems::consensus_via_registers(
-        &RunSetup::new(pattern.clone()).with_seed(11).with_horizon(400_000),
+        &RunSetup::new(pattern.clone())
+            .with_seed(11)
+            .with_horizon(400_000),
         &[10, 20, 30, 40, 50],
     );
-    println!("  paper route  (Σ → ABD registers → Disk-Paxos + Ω):   {}", verdict(&via_regs));
+    println!(
+        "  paper route  (Σ → ABD registers → Disk-Paxos + Ω):   {}",
+        verdict(&via_regs)
+    );
     // For the baseline the majority must be gone *before* it can decide,
     // so crash them at the very start.
     let early = FailurePattern::with_crashes(
@@ -72,25 +90,42 @@ fn main() {
 
     println!("\n— Corollary 7: Ψ is the weakest detector for quittable consensus —");
     let qc_cons = theorems::psi_solves_qc(&setup, PsiMode::OmegaSigma, &[1, 0, 1, 0, 1]);
-    println!("  Figure 2, Ψ in (Ω,Σ) mode:                           {}", verdict(&qc_cons));
+    println!(
+        "  Figure 2, Ψ in (Ω,Σ) mode:                           {}",
+        verdict(&qc_cons)
+    );
     let qc_fs = theorems::psi_solves_qc(&setup, PsiMode::Fs, &[1, 0, 1, 0, 1]);
-    println!("  Figure 2, Ψ in FS mode (decides Q):                  {}", verdict(&qc_fs));
+    println!(
+        "  Figure 2, Ψ in FS mode (decides Q):                  {}",
+        verdict(&qc_fs)
+    );
     let small = RunSetup::new(FailurePattern::failure_free(3))
         .with_seed(11)
         .with_horizon(120_000);
     let psi_x = theorems::qc_yields_psi(&small, PsiMode::OmegaSigma);
-    println!("  Figure 3 extraction (n = 3, Ψ-spec-checked):         {}", verdict(&psi_x));
+    println!(
+        "  Figure 3 extraction (n = 3, Ψ-spec-checked):         {}",
+        verdict(&psi_x)
+    );
 
     println!("\n— Corollary 10: (Ψ, FS) is the weakest detector for NBAC —");
     let votes: Vec<Option<Vote>> = (0..5).map(|_| Some(Vote::Yes)).collect();
     let nbac = theorems::qc_fs_solve_nbac(&setup, PsiMode::Fs, &votes);
-    println!("  Figure 4 (QC + FS → NBAC):                           {}", verdict(&nbac));
+    println!(
+        "  Figure 4 (QC + FS → NBAC):                           {}",
+        verdict(&nbac)
+    );
     let qc_back = theorems::nbac_yields_qc(
-        &RunSetup::new(FailurePattern::failure_free(5)).with_seed(2).with_horizon(150_000),
+        &RunSetup::new(FailurePattern::failure_free(5))
+            .with_seed(2)
+            .with_horizon(150_000),
         PsiMode::OmegaSigma,
         &[Some(1), Some(0), Some(1), Some(1), Some(0)],
     );
-    println!("  Figure 5 (NBAC → QC):                                {}", verdict(&qc_back));
+    println!(
+        "  Figure 5 (NBAC → QC):                                {}",
+        verdict(&qc_back)
+    );
     let fs_back = theorems::nbac_yields_fs(
         &RunSetup::new(FailurePattern::with_crashes(3, &[(ProcessId(2), 600)]))
             .with_seed(2)
@@ -98,5 +133,8 @@ fn main() {
             .with_stabilize(50),
         PsiMode::OmegaSigma,
     );
-    println!("  NBAC → FS (repeated Yes-voting):                     {}", verdict(&fs_back));
+    println!(
+        "  NBAC → FS (repeated Yes-voting):                     {}",
+        verdict(&fs_back)
+    );
 }

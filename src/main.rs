@@ -22,15 +22,42 @@ use weakest_failure_detectors::core::theorems::{self, RunSetup};
 use weakest_failure_detectors::prelude::*;
 
 const HARNESSES: &[(&str, &str)] = &[
-    ("registers", "Theorem 1 sufficiency: ABD over Σ, linearizability-checked"),
-    ("fig1-sigma", "Theorem 1 necessity: Figure 1 extraction, Σ-checked"),
-    ("consensus", "Corollary 4 sufficiency: (Ω,Σ) consensus, spec-checked"),
-    ("consensus-via-regs", "Corollary 2 route: Σ → registers → Disk-Paxos + Ω"),
-    ("chandra-toueg", "baseline: ◇S rotating coordinator (majority only)"),
-    ("qc", "Corollary 7 sufficiency: Figure 2 Ψ-QC (consensus mode)"),
-    ("fig3-psi", "Corollary 7 necessity: Figure 3 extraction, Ψ-checked"),
-    ("nbac", "Corollary 10: Figure 4 NBAC with unanimous Yes votes"),
-    ("corollary3", "necessity chain: consensus → SMR registers → Fig 1 → Σ"),
+    (
+        "registers",
+        "Theorem 1 sufficiency: ABD over Σ, linearizability-checked",
+    ),
+    (
+        "fig1-sigma",
+        "Theorem 1 necessity: Figure 1 extraction, Σ-checked",
+    ),
+    (
+        "consensus",
+        "Corollary 4 sufficiency: (Ω,Σ) consensus, spec-checked",
+    ),
+    (
+        "consensus-via-regs",
+        "Corollary 2 route: Σ → registers → Disk-Paxos + Ω",
+    ),
+    (
+        "chandra-toueg",
+        "baseline: ◇S rotating coordinator (majority only)",
+    ),
+    (
+        "qc",
+        "Corollary 7 sufficiency: Figure 2 Ψ-QC (consensus mode)",
+    ),
+    (
+        "fig3-psi",
+        "Corollary 7 necessity: Figure 3 extraction, Ψ-checked",
+    ),
+    (
+        "nbac",
+        "Corollary 10: Figure 4 NBAC with unanimous Yes votes",
+    ),
+    (
+        "corollary3",
+        "necessity chain: consensus → SMR registers → Fig 1 → Σ",
+    ),
 ];
 
 fn usage() -> ExitCode {
@@ -61,10 +88,7 @@ fn parse_pattern(args: &[String]) -> Option<FailurePattern> {
     Some(pattern)
 }
 
-fn report<T: std::fmt::Debug, E: std::fmt::Display>(
-    what: &str,
-    r: Result<T, E>,
-) -> ExitCode {
+fn report<T: std::fmt::Debug, E: std::fmt::Display>(what: &str, r: Result<T, E>) -> ExitCode {
     match r {
         Ok(stats) => {
             println!("{what}: holds ✓");
@@ -105,8 +129,14 @@ fn main() -> ExitCode {
     let setup = RunSetup::new(pattern).with_seed(7).with_horizon(250_000);
     let proposals: Vec<u64> = (0..n as u64).map(|i| 10 + i).collect();
     match cmd.as_str() {
-        "registers" => report("Σ-ABD linearizability", theorems::sigma_implements_registers(&setup)),
-        "fig1-sigma" => report("Figure 1 Σ-extraction", theorems::registers_yield_sigma(&setup)),
+        "registers" => report(
+            "Σ-ABD linearizability",
+            theorems::sigma_implements_registers(&setup),
+        ),
+        "fig1-sigma" => report(
+            "Figure 1 Σ-extraction",
+            theorems::registers_yield_sigma(&setup),
+        ),
         "consensus" => report(
             "(Ω,Σ) consensus",
             theorems::omega_sigma_solves_consensus(&setup, &proposals),
@@ -142,7 +172,10 @@ fn main() -> ExitCode {
                 theorems::qc_fs_solve_nbac(&setup, PsiMode::OmegaSigma, &votes),
             )
         }
-        "corollary3" => report("Corollary 3 Σ-chain", theorems::consensus_yields_sigma(&setup)),
+        "corollary3" => report(
+            "Corollary 3 Σ-chain",
+            theorems::consensus_yields_sigma(&setup),
+        ),
         _ => usage(),
     }
 }
@@ -174,8 +207,14 @@ mod tests {
     #[test]
     fn parse_rejects_bad_input() {
         assert!(parse_pattern(&strs(&["0"])).is_none(), "empty system");
-        assert!(parse_pattern(&strs(&["3", "9:1"])).is_none(), "pid out of range");
-        assert!(parse_pattern(&strs(&["3", "junk"])).is_none(), "malformed spec");
+        assert!(
+            parse_pattern(&strs(&["3", "9:1"])).is_none(),
+            "pid out of range"
+        );
+        assert!(
+            parse_pattern(&strs(&["3", "junk"])).is_none(),
+            "malformed spec"
+        );
         assert!(parse_pattern(&strs(&["x"])).is_none(), "non-numeric n");
     }
 }

@@ -13,8 +13,7 @@ use weakest_failure_detectors::registers::spec::{RegOp, RegResp};
 fn crash_mid_write(offset: u64, seed: u64) -> OpHistory {
     let n = 3;
     let write_at = 100;
-    let pattern =
-        FailurePattern::failure_free(n).with_crash(ProcessId(0), write_at + offset);
+    let pattern = FailurePattern::failure_free(n).with_crash(ProcessId(0), write_at + offset);
     let sigma = SigmaOracle::new(&pattern, 300, seed).with_jitter(50);
     let mut sim = Sim::new(
         SimConfig::new(n).with_horizon(15_000),
@@ -137,8 +136,8 @@ fn crash_during_vote_collection() {
                 .enumerate()
                 .all(|(i, p)| !correct.contains(ProcessId(i)) || p.decision().is_some())
         });
-        let stats = check_nbac(sim.trace(), &pattern)
-            .unwrap_or_else(|v| panic!("crash_t {crash_t}: {v}"));
+        let stats =
+            check_nbac(sim.trace(), &pattern).unwrap_or_else(|v| panic!("crash_t {crash_t}: {v}"));
         assert!(
             stats.decision.is_some(),
             "crash_t {crash_t}: survivors must decide"

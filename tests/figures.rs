@@ -125,12 +125,8 @@ fn figure4_nbac_validity_matrix() {
 fn figure5_qc_from_nbac_roundtrip() {
     let pattern = FailurePattern::failure_free(3);
     let setup = RunSetup::new(pattern).with_seed(4).with_horizon(150_000);
-    let stats = theorems::nbac_yields_qc(
-        &setup,
-        PsiMode::OmegaSigma,
-        &[Some(1), Some(1), Some(0)],
-    )
-    .expect("QC conforms");
+    let stats = theorems::nbac_yields_qc(&setup, PsiMode::OmegaSigma, &[Some(1), Some(1), Some(0)])
+        .expect("QC conforms");
     // Commit path: the smallest proposal wins.
     assert_eq!(stats.decision, Some(QcDecision::Value(0)));
 }

@@ -122,7 +122,9 @@ fn abd_register_linearizable_in_every_interleaving() {
                     }
                 }
             }
-            check_linearizable(&h).map(|_| ()).map_err(|e| e.to_string())
+            check_linearizable(&h)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
         },
     );
     if let Some((msg, schedule)) = report.violation {

@@ -1,50 +1,55 @@
-//! Property-based tests: safety must hold on *every* run, so we let
-//! proptest draw failure patterns, schedules (seeds) and workloads, and
-//! require the specification checkers to pass on each.
+//! Randomised-sweep tests: safety must hold on *every* run, so we draw
+//! failure patterns, schedules (seeds) and workloads from a deterministic
+//! PRNG sweep and require the specification checkers to pass on each case.
 //!
 //! Liveness assertions are kept out of the random sweeps (they depend on
 //! horizon/stabilisation tuning) except where the deterministic harness
 //! parameters guarantee them.
 
-use proptest::prelude::*;
 use weakest_failure_detectors::prelude::*;
 use weakest_failure_detectors::registers::abd::{op_history_from_trace, AbdOp};
+use weakest_failure_detectors::sim::SimRng;
 
-/// Strategy: a failure pattern on `n` processes with at least one correct
-/// process, crash times below `max_t`.
-fn pattern_strategy(n: usize, max_t: u64) -> impl Strategy<Value = FailurePattern> {
-    proptest::collection::vec(proptest::option::of(0..max_t), n).prop_filter_map(
-        "at least one correct process",
-        move |crashes| {
-            if crashes.iter().all(|c| c.is_some()) {
-                return None;
-            }
-            let mut f = FailurePattern::failure_free(crashes.len());
-            for (i, c) in crashes.iter().enumerate() {
-                if let Some(t) = c {
-                    f = f.with_crash(ProcessId(i), *t);
-                }
-            }
-            Some(f)
-        },
-    )
+/// Cases per property. Every case is a pure function of the property's
+/// seed constant, so failures reproduce exactly.
+const CASES: u64 = 12;
+
+/// Draw a failure pattern on `n` processes with at least one correct
+/// process and crash times below `max_t` (~40% crash probability each).
+fn gen_pattern(rng: &mut SimRng, n: usize, max_t: u64) -> FailurePattern {
+    let mut crashes: Vec<Option<u64>> = (0..n)
+        .map(|_| rng.chance(40).then(|| rng.gen_range(max_t)))
+        .collect();
+    if crashes.iter().all(|c| c.is_some()) {
+        let keep = rng.pick(n);
+        crashes[keep] = None;
+    }
+    let mut f = FailurePattern::failure_free(n);
+    for (i, c) in crashes.iter().enumerate() {
+        if let Some(t) = c {
+            f = f.with_crash(ProcessId(i), *t);
+        }
+    }
+    f
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Σ-ABD is linearizable on every pattern × seed × workload.
-    #[test]
-    fn abd_sigma_always_linearizable(
-        pattern in pattern_strategy(4, 800),
-        seed in 0u64..1_000,
-        writes in proptest::collection::vec(1u64..1_000, 1..5),
-    ) {
+/// Σ-ABD is linearizable on every pattern × seed × workload.
+#[test]
+fn abd_sigma_always_linearizable() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0xA8D0 + case);
+        let pattern = gen_pattern(&mut rng, 4, 800);
+        let seed = rng.gen_range(1_000);
+        let writes: Vec<u64> = (0..1 + rng.pick(4))
+            .map(|_| 1 + rng.gen_range(999))
+            .collect();
         let n = pattern.n();
         let sigma = SigmaOracle::new(&pattern, 900, seed).with_jitter(200);
         let mut sim = Sim::new(
             SimConfig::new(n).with_horizon(12_000),
-            (0..n).map(|_| AbdRegister::new(QuorumRule::Detector, 0u64)).collect(),
+            (0..n)
+                .map(|_| AbdRegister::new(QuorumRule::Detector, 0u64))
+                .collect(),
             pattern,
             sigma,
             RandomFair::new(seed),
@@ -58,19 +63,23 @@ proptest! {
         }
         sim.run();
         let h = op_history_from_trace(sim.trace(), 0);
-        prop_assert!(check_linearizable(&h).is_ok(),
-            "linearizability violated: {h}");
+        assert!(
+            check_linearizable(&h).is_ok(),
+            "case {case}: linearizability violated: {h}"
+        );
     }
+}
 
-    /// (Ω,Σ)-consensus never violates agreement/validity/integrity, on
-    /// any pattern and schedule — even when the horizon is too short to
-    /// guarantee termination.
-    #[test]
-    fn consensus_safety_on_all_runs(
-        pattern in pattern_strategy(4, 400),
-        seed in 0u64..1_000,
-        horizon in 1_000u64..8_000,
-    ) {
+/// (Ω,Σ)-consensus never violates agreement/validity/integrity, on
+/// any pattern and schedule — even when the horizon is too short to
+/// guarantee termination.
+#[test]
+fn consensus_safety_on_all_runs() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x00C0_5EED + case);
+        let pattern = gen_pattern(&mut rng, 4, 400);
+        let seed = rng.gen_range(1_000);
+        let horizon = 1_000 + rng.gen_range(7_000);
         let n = pattern.n();
         let fd = PairOracle::new(
             OmegaOracle::new(&pattern, 500, seed).with_jitter(100),
@@ -93,17 +102,19 @@ proptest! {
             // Termination may legitimately fail on a short horizon;
             // everything else is a genuine bug.
             Err(ConsensusViolation::Termination { .. }) => {}
-            Err(v) => prop_assert!(false, "safety violated: {v}"),
+            Err(v) => panic!("case {case}: safety violated: {v}"),
         }
     }
+}
 
-    /// Quorums sampled from the Σ oracle always pairwise intersect, no
-    /// matter the pattern (its defining safety property).
-    #[test]
-    fn sigma_oracle_intersection_invariant(
-        pattern in pattern_strategy(5, 300),
-        seed in 0u64..1_000,
-    ) {
+/// Quorums sampled from the Σ oracle always pairwise intersect, no
+/// matter the pattern (its defining safety property).
+#[test]
+fn sigma_oracle_intersection_invariant() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x516A + case);
+        let pattern = gen_pattern(&mut rng, 5, 300);
+        let seed = rng.gen_range(1_000);
         let mut sigma = SigmaOracle::new(&pattern, 200, seed).with_jitter(150);
         let mut quorums = Vec::new();
         for t in (0..500).step_by(13) {
@@ -113,18 +124,25 @@ proptest! {
         }
         for a in &quorums {
             for b in &quorums {
-                prop_assert!(a.intersects(b), "Σ intersection violated: {a} vs {b}");
+                assert!(
+                    a.intersects(b),
+                    "case {case}: Σ intersection violated: {a} vs {b}"
+                );
             }
         }
     }
+}
 
-    /// The linearizability checker accepts every genuinely sequential
-    /// history and rejects every stale-read corruption of it.
-    #[test]
-    fn linearizability_checker_soundness(
-        ops in proptest::collection::vec((0usize..3, 1u64..100), 2..12),
-    ) {
-        use weakest_failure_detectors::registers::spec::{OpHistory, OpRecord, RegOp, RegResp};
+/// The linearizability checker accepts every genuinely sequential
+/// history and rejects every stale-read corruption of it.
+#[test]
+fn linearizability_checker_soundness() {
+    use weakest_failure_detectors::registers::spec::{OpHistory, OpRecord, RegOp, RegResp};
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x011E_AB1E + case);
+        let ops: Vec<(usize, u64)> = (0..2 + rng.pick(10))
+            .map(|_| (rng.pick(3), 1 + rng.gen_range(99)))
+            .collect();
         let mut h = OpHistory::new(0);
         let mut t = 0;
         let mut current = 0u64;
@@ -154,7 +172,7 @@ proptest! {
             }
             t += 2;
         }
-        prop_assert!(check_linearizable(&h).is_ok());
+        assert!(check_linearizable(&h).is_ok(), "case {case}");
 
         // Corrupt the last read (if any) with a provably-stale value.
         if values.len() >= 2 {
@@ -166,23 +184,25 @@ proptest! {
                 let stale = values[0];
                 if stale != last_value && read.invoked_at > 4 {
                     read.response = Some((read.invoked_at + 1, RegResp::ReadOk(stale)));
-                    prop_assert!(
+                    assert!(
                         check_linearizable(&h).is_err(),
-                        "stale read must be rejected: {h}"
+                        "case {case}: stale read must be rejected: {h}"
                     );
                 }
             }
         }
     }
+}
 
-    /// NBAC safety on random vote vectors and patterns: the Figure 4
-    /// transformation never produces an invalid Commit/Abort, on any run.
-    #[test]
-    fn nbac_safety_on_all_runs(
-        pattern in pattern_strategy(3, 200),
-        seed in 0u64..1_000,
-        votes in proptest::collection::vec(proptest::bool::ANY, 3),
-    ) {
+/// NBAC safety on random vote vectors and patterns: the Figure 4
+/// transformation never produces an invalid Commit/Abort, on any run.
+#[test]
+fn nbac_safety_on_all_runs() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x4BAC + case);
+        let pattern = gen_pattern(&mut rng, 3, 200);
+        let seed = rng.gen_range(1_000);
+        let votes: Vec<bool> = (0..3).map(|_| rng.chance(50)).collect();
         let n = pattern.n();
         let fd = PairOracle::new(
             FsOracle::new(&pattern, 30, seed),
@@ -190,7 +210,9 @@ proptest! {
         );
         let mut sim = Sim::new(
             SimConfig::new(n).with_horizon(8_000),
-            (0..n).map(|_| NbacFromQc::new(n, PsiQc::<u8>::new())).collect(),
+            (0..n)
+                .map(|_| NbacFromQc::new(n, PsiQc::<u8>::new()))
+                .collect(),
             pattern.clone(),
             fd,
             RandomFair::new(seed),
@@ -198,28 +220,26 @@ proptest! {
         for (p, yes) in votes.iter().enumerate() {
             // Processes crashed at t=0 never vote.
             if !pattern.is_crashed(ProcessId(p), 0) {
-                sim.schedule_invoke(
-                    ProcessId(p),
-                    0,
-                    if *yes { Vote::Yes } else { Vote::No },
-                );
+                sim.schedule_invoke(ProcessId(p), 0, if *yes { Vote::Yes } else { Vote::No });
             }
         }
         sim.run();
         match check_nbac(sim.trace(), &pattern) {
             Ok(_) => {}
             Err(NbacViolation::Termination { .. }) => {} // short horizon
-            Err(v) => prop_assert!(false, "NBAC safety violated: {v}"),
+            Err(v) => panic!("case {case}: NBAC safety violated: {v}"),
         }
     }
+}
 
-    /// QC safety under random patterns: Ψ-QC in consensus mode never
-    /// decides Q and never violates agreement/validity.
-    #[test]
-    fn psi_qc_safety_on_all_runs(
-        pattern in pattern_strategy(3, 300),
-        seed in 0u64..1_000,
-    ) {
+/// QC safety under random patterns: Ψ-QC in consensus mode never
+/// decides Q and never violates agreement/validity.
+#[test]
+fn psi_qc_safety_on_all_runs() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x09C0_5AFE + case);
+        let pattern = gen_pattern(&mut rng, 3, 300);
+        let seed = rng.gen_range(1_000);
         let n = pattern.n();
         let psi = PsiOracle::new(&pattern, PsiMode::OmegaSigma, 400, 100, seed);
         let mut sim = Sim::new(
@@ -235,12 +255,12 @@ proptest! {
         sim.run();
         let props: Vec<Option<u64>> = (0..n).map(|p| Some(p as u64)).collect();
         match check_qc(sim.trace(), &props, &pattern) {
-            Ok(stats) => prop_assert!(
+            Ok(stats) => assert!(
                 !matches!(stats.decision, Some(QcDecision::Quit)),
-                "consensus-mode Ψ must never quit"
+                "case {case}: consensus-mode Ψ must never quit"
             ),
             Err(QcViolation::Termination { .. }) => {} // short horizon
-            Err(v) => prop_assert!(false, "QC safety violated: {v}"),
+            Err(v) => panic!("case {case}: QC safety violated: {v}"),
         }
     }
 }
