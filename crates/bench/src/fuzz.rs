@@ -1,0 +1,428 @@
+//! Randomized fuzz campaigns with replayable, shrinkable counterexamples.
+//!
+//! The paper's claims are "for all runs" statements; the fuzz campaign is
+//! the falsification side of the experiment suite. It sweeps a grid of
+//! (seed × failure pattern × scheduler) runs of the (Ω, Σ) quorum
+//! consensus target through the parallel sweep engine, with every run's
+//! scheduler wrapped in [`RecordedSchedule`] so that any checker failure
+//! can be written out as a [`Repro`] artifact, re-executed byte-identically
+//! from the decision log, and minimized with [`wfd_sim::shrink`].
+//!
+//! Every run also performs a record→replay round-trip — the recorded
+//! decision log is replayed against a fresh simulation and the two traces
+//! compared — so the campaign continuously proves the repro machinery
+//! itself, even when (as expected) zero violations are found.
+//!
+//! The artifact is protocol-agnostic; this module owns the mapping from
+//! the artifact's `protocol` / `checker` / `oracle` names to concrete
+//! types ([`replay_repro`]).
+
+use crate::sweep::Sweep;
+use std::fmt::Debug;
+use wfd_consensus::{check_consensus, ConsensusOutput, ConsensusViolation, OmegaSigmaConsensus};
+use wfd_detectors::oracles::{OmegaOracle, PairOracle, SigmaOracle};
+use wfd_sim::{
+    shrink, FailurePattern, OracleSpec, ProcessId, RecordedSchedule, ReplaySchedule, Repro,
+    ReproDecisions, ReproInvocation, ReproSource, SchedulerSpec, ShrinkReport, Sim, SimConfig,
+    Time, Trace,
+};
+
+/// Protocol tag of the fuzz target: (Ω, Σ) quorum consensus over `u64`.
+pub const PROTOCOL_CONSENSUS: &str = "consensus-omega-sigma";
+/// Oracle tag of the Ω × Σ product detector.
+pub const ORACLE_OMEGA_SIGMA: &str = "omega+sigma";
+/// Checker tag meaning "all consensus clauses" (agreement, validity,
+/// integrity, termination). A violation is recorded under its specific
+/// clause, e.g. `consensus:agreement`.
+pub const CHECKER_CONSENSUS: &str = "consensus";
+/// The intentionally broken fixture checker: it *fails whenever any
+/// process decides*, so a healthy consensus run always violates it. Used
+/// to exercise the record → repro → shrink pipeline end to end without
+/// needing a real protocol bug.
+pub const CHECKER_FIXTURE: &str = "fixture:no-decision";
+
+/// One fuzz run specification — a pure function of these fields.
+#[derive(Clone, Debug)]
+pub struct FuzzSpec {
+    /// System size.
+    pub n: usize,
+    /// Seed for the detector oracles, the scheduler and proposal values.
+    pub seed: u64,
+    /// Per-process crash time (`None` = correct).
+    pub crashes: Vec<Option<Time>>,
+    /// Scheduling policy.
+    pub scheduler: SchedulerSpec,
+    /// Step horizon.
+    pub horizon: u64,
+    /// Time at which Ω/Σ stabilize.
+    pub stabilize_at: Time,
+    /// Checker to apply: [`CHECKER_CONSENSUS`] or [`CHECKER_FIXTURE`].
+    pub checker: String,
+}
+
+impl FuzzSpec {
+    /// The failure pattern of this run.
+    pub fn pattern(&self) -> FailurePattern {
+        let mut f = FailurePattern::failure_free(self.n);
+        for (i, c) in self.crashes.iter().enumerate() {
+            if let Some(t) = c {
+                f = f.with_crash(ProcessId(i), *t);
+            }
+        }
+        f
+    }
+
+    /// The (distinct, seed-dependent) value process `p` proposes.
+    pub fn proposal(&self, p: usize) -> u64 {
+        (p as u64 + 1) * 10 + self.seed % 10
+    }
+
+    /// A short human-readable grid label.
+    pub fn label(&self) -> String {
+        let crashes: Vec<String> = self
+            .crashes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|t| format!("p{i}@{t}")))
+            .collect();
+        format!(
+            "n={} seed={} crashes=[{}] sched={}",
+            self.n,
+            self.seed,
+            crashes.join(","),
+            self.scheduler.name()
+        )
+    }
+}
+
+/// Outcome of one fuzz run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// [`FuzzSpec::label`] of the run.
+    pub label: String,
+    /// Steps the recorded run executed.
+    pub steps: u64,
+    /// Scheduler consultations recorded.
+    pub decisions: usize,
+    /// Whether replaying the decision log reproduced the trace
+    /// byte-identically with zero divergences.
+    pub replay_identical: bool,
+    /// The checker failure as a replayable artifact, if the run violated
+    /// its checker.
+    pub violation: Option<Repro>,
+}
+
+fn violation_checker(v: &ConsensusViolation<u64>) -> &'static str {
+    match v {
+        ConsensusViolation::Agreement { .. } => "consensus:agreement",
+        ConsensusViolation::Validity { .. } => "consensus:validity",
+        ConsensusViolation::Integrity { .. } => "consensus:integrity",
+        ConsensusViolation::Termination { .. } => "consensus:termination",
+    }
+}
+
+/// Apply `checker` to a finished trace. Returns the specific violated
+/// clause tag plus a message, or `None` if the run is clean.
+fn evaluate<M: Clone + Debug>(
+    checker: &str,
+    trace: &Trace<M, ConsensusOutput<u64>>,
+    proposals: &[Option<u64>],
+    pattern: &FailurePattern,
+) -> Option<(String, String)> {
+    if checker == CHECKER_FIXTURE {
+        return trace.outputs().next().map(|(t, p, out)| {
+            (
+                CHECKER_FIXTURE.to_string(),
+                format!("fixture violated: {p} produced {out:?} at t={t}"),
+            )
+        });
+    }
+    match check_consensus(trace, proposals, pattern) {
+        Ok(_) => None,
+        Err(v) => Some((violation_checker(&v).to_string(), v.to_string())),
+    }
+}
+
+type ConsensusOracle = PairOracle<OmegaOracle, SigmaOracle>;
+
+fn consensus_oracle(pattern: &FailurePattern, stabilize_at: Time, seed: u64) -> ConsensusOracle {
+    PairOracle::new(
+        OmegaOracle::new(pattern, stabilize_at, seed),
+        SigmaOracle::new(pattern, stabilize_at, seed),
+    )
+}
+
+fn consensus_procs(n: usize) -> Vec<OmegaSigmaConsensus<u64>> {
+    (0..n).map(|_| OmegaSigmaConsensus::new()).collect()
+}
+
+/// Execute one fuzz run: record it, check it, and round-trip the decision
+/// log through a replay to prove determinism.
+pub fn run_spec(spec: &FuzzSpec) -> RunReport {
+    let pattern = spec.pattern();
+    let cfg = SimConfig::new(spec.n).with_horizon(spec.horizon);
+    let mut sim = Sim::new(
+        cfg,
+        consensus_procs(spec.n),
+        pattern.clone(),
+        consensus_oracle(&pattern, spec.stabilize_at, spec.seed),
+        RecordedSchedule::new(spec.scheduler.build()),
+    );
+    let proposals: Vec<Option<u64>> = (0..spec.n).map(|p| Some(spec.proposal(p))).collect();
+    for p in 0..spec.n {
+        sim.schedule_invoke(ProcessId(p), 0, spec.proposal(p));
+    }
+    let outcome = sim.run();
+    let log = sim.scheduler().log().to_vec();
+
+    // Record → replay round-trip: the decision log must reproduce the run
+    // byte-identically, without a single divergence fallback.
+    let mut replayed = Sim::new(
+        cfg,
+        consensus_procs(spec.n),
+        pattern.clone(),
+        consensus_oracle(&pattern, spec.stabilize_at, spec.seed),
+        ReplaySchedule::new(log.clone()),
+    );
+    for p in 0..spec.n {
+        replayed.schedule_invoke(ProcessId(p), 0, spec.proposal(p));
+    }
+    replayed.run();
+    let replay_identical = replayed.scheduler().divergences() == 0
+        && format!("{:?}", replayed.trace().events()) == format!("{:?}", sim.trace().events());
+
+    let violation =
+        evaluate(&spec.checker, sim.trace(), &proposals, &pattern).map(|(checker, message)| {
+            Repro {
+                protocol: PROTOCOL_CONSENSUS.to_string(),
+                checker,
+                violation: message,
+                n: spec.n,
+                horizon: spec.horizon,
+                max_delay: cfg.max_delay,
+                max_step_gap: cfg.max_step_gap,
+                crashes: spec.crashes.clone(),
+                oracle: OracleSpec::new(ORACLE_OMEGA_SIGMA)
+                    .with("stabilize_at", spec.stabilize_at)
+                    .with("seed", spec.seed),
+                scheduler: spec.scheduler.clone(),
+                invocations: (0..spec.n)
+                    .map(|p| ReproInvocation {
+                        pid: p,
+                        at: 0,
+                        payload: spec.proposal(p).to_string(),
+                    })
+                    .collect(),
+                decisions: ReproDecisions::Engine(log.clone()),
+                source: ReproSource::Fuzz,
+            }
+        });
+
+    RunReport {
+        label: spec.label(),
+        steps: outcome.steps,
+        decisions: log.len(),
+        replay_identical,
+        violation,
+    }
+}
+
+/// Re-execute a fuzz-sourced artifact and re-run its violated checker.
+///
+/// Returns `Ok(Some(message))` if the same checker clause still fails,
+/// `Ok(None)` if the run is now clean (or fails a *different* clause —
+/// that is a different bug), and `Err` if the artifact names a protocol,
+/// oracle or checker this harness does not know how to build.
+pub fn replay_repro(repro: &Repro) -> Result<Option<String>, String> {
+    if repro.source != ReproSource::Fuzz {
+        return Err("explore-sourced artifacts replay via wfd_sim::replay_explore".to_string());
+    }
+    if repro.protocol != PROTOCOL_CONSENSUS {
+        return Err(format!("unknown protocol {:?}", repro.protocol));
+    }
+    if repro.oracle.name != ORACLE_OMEGA_SIGMA {
+        return Err(format!("unknown oracle {:?}", repro.oracle.name));
+    }
+    let stabilize_at = repro
+        .oracle
+        .param("stabilize_at")
+        .ok_or("oracle is missing stabilize_at")?;
+    let seed = repro.oracle.param("seed").ok_or("oracle is missing seed")?;
+    let pattern = repro.pattern();
+    let mut sim = Sim::new(
+        repro.sim_config(),
+        consensus_procs(repro.n),
+        pattern.clone(),
+        consensus_oracle(&pattern, stabilize_at, seed),
+        repro.replay_schedule(),
+    );
+    let mut proposals: Vec<Option<u64>> = vec![None; repro.n];
+    for inv in &repro.invocations {
+        if inv.pid >= repro.n {
+            return Err(format!("invocation pid {} out of range", inv.pid));
+        }
+        let v: u64 = inv
+            .payload
+            .parse()
+            .map_err(|e| format!("bad proposal payload {:?}: {e}", inv.payload))?;
+        proposals[inv.pid] = Some(v);
+        sim.schedule_invoke(ProcessId(inv.pid), inv.at, v);
+    }
+    sim.run();
+    let base = if repro.checker == CHECKER_FIXTURE {
+        CHECKER_FIXTURE
+    } else {
+        CHECKER_CONSENSUS
+    };
+    Ok(evaluate(base, sim.trace(), &proposals, &pattern)
+        .and_then(|(checker, message)| (checker == repro.checker).then_some(message)))
+}
+
+/// Minimize a fuzz-sourced artifact, re-running its violated checker (via
+/// [`replay_repro`]) as the shrink oracle.
+pub fn shrink_repro(repro: &Repro) -> ShrinkReport {
+    shrink(repro, |candidate| replay_repro(candidate).ok().flatten())
+}
+
+/// Campaign-level knobs, overridable from the environment:
+/// `WFD_FUZZ_N`, `WFD_FUZZ_SEEDS`, `WFD_FUZZ_HORIZON`, `WFD_FUZZ_STABILIZE`.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// System size.
+    pub n: usize,
+    /// Number of seeds per (pattern × scheduler) cell.
+    pub seeds: u64,
+    /// Step horizon per run.
+    pub horizon: u64,
+    /// Detector stabilization time.
+    pub stabilize_at: Time,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            n: 3,
+            seeds: 6,
+            horizon: 40_000,
+            stabilize_at: 50,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Defaults with environment overrides applied.
+    pub fn from_env() -> Self {
+        fn env_u64(key: &str, default: u64) -> u64 {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        }
+        let d = CampaignConfig::default();
+        CampaignConfig {
+            n: env_u64("WFD_FUZZ_N", d.n as u64).max(2) as usize,
+            seeds: env_u64("WFD_FUZZ_SEEDS", d.seeds).max(1),
+            horizon: env_u64("WFD_FUZZ_HORIZON", d.horizon).max(100),
+            stabilize_at: env_u64("WFD_FUZZ_STABILIZE", d.stabilize_at),
+        }
+    }
+}
+
+/// The default campaign grid: seeds × failure patterns (failure-free, one
+/// early crash, one late crash, `n − 1` crashes) × schedulers
+/// (random-fair, adversarial), all under the full consensus checker.
+pub fn default_grid(cfg: &CampaignConfig) -> Vec<FuzzSpec> {
+    let n = cfg.n;
+    let mut patterns: Vec<Vec<Option<Time>>> = vec![vec![None; n]];
+    let mut one_early = vec![None; n];
+    one_early[0] = Some(5);
+    patterns.push(one_early);
+    let mut one_late = vec![None; n];
+    one_late[n - 1] = Some(cfg.stabilize_at + 25);
+    patterns.push(one_late);
+    // Everyone but the last process crashes: f = n − 1 < n, still solvable
+    // with (Ω, Σ).
+    let worst: Vec<Option<Time>> = (0..n)
+        .map(|i| (i + 1 < n).then(|| 5 + 10 * i as Time))
+        .collect();
+    patterns.push(worst);
+
+    let mut specs = Vec::new();
+    for seed in 0..cfg.seeds {
+        for crashes in &patterns {
+            for scheduler in [
+                SchedulerSpec::RandomFair {
+                    seed,
+                    lambda_pct: 25,
+                },
+                SchedulerSpec::Adversarial { seed },
+            ] {
+                specs.push(FuzzSpec {
+                    n,
+                    seed,
+                    crashes: crashes.clone(),
+                    scheduler,
+                    horizon: cfg.horizon,
+                    stabilize_at: cfg.stabilize_at,
+                    checker: CHECKER_CONSENSUS.to_string(),
+                });
+            }
+        }
+    }
+    specs
+}
+
+/// Fan the grid across all cores; reports come back in grid order.
+pub fn run_campaign(specs: &[FuzzSpec]) -> Vec<RunReport> {
+    Sweep::over(specs.to_vec()).run_parallel(run_spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(checker: &str) -> FuzzSpec {
+        FuzzSpec {
+            n: 3,
+            seed: 1,
+            crashes: vec![None, Some(30), None],
+            scheduler: SchedulerSpec::RandomFair {
+                seed: 1,
+                lambda_pct: 25,
+            },
+            horizon: 4_000,
+            stabilize_at: 20,
+            checker: checker.to_string(),
+        }
+    }
+
+    #[test]
+    fn healthy_run_is_clean_and_replay_identical() {
+        let report = run_spec(&tiny_spec(CHECKER_CONSENSUS));
+        assert!(report.violation.is_none(), "target protocol is correct");
+        assert!(report.replay_identical);
+        assert!(report.decisions > 0);
+    }
+
+    #[test]
+    fn fixture_checker_produces_a_replayable_repro() {
+        let report = run_spec(&tiny_spec(CHECKER_FIXTURE));
+        let repro = report.violation.expect("fixture always fails");
+        assert_eq!(repro.checker, CHECKER_FIXTURE);
+        assert!(!repro.decisions.is_empty());
+        // The artifact replays to the same failure...
+        let msg = replay_repro(&repro).unwrap().expect("still fails");
+        assert_eq!(msg, repro.violation);
+        // ...and survives a JSON round-trip.
+        let parsed = Repro::from_json(&repro.to_json()).unwrap();
+        assert_eq!(replay_repro(&parsed).unwrap().unwrap(), repro.violation);
+    }
+
+    #[test]
+    fn replay_rejects_unknown_targets() {
+        let report = run_spec(&tiny_spec(CHECKER_FIXTURE));
+        let mut repro = report.violation.unwrap();
+        repro.protocol = "no-such-protocol".to_string();
+        assert!(replay_repro(&repro).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end tests of the fuzz → repro → shrink pipeline against the
+//! real (Ω, Σ) consensus target.
+
+use wfd_bench::fuzz::{
+    default_grid, replay_repro, run_spec, shrink_repro, CampaignConfig, FuzzSpec,
+    CHECKER_CONSENSUS, CHECKER_FIXTURE,
+};
+use wfd_sim::{Repro, SchedulerSpec, Time};
+
+fn spec(scheduler: SchedulerSpec, crashes: Vec<Option<Time>>, checker: &str) -> FuzzSpec {
+    FuzzSpec {
+        n: 3,
+        seed: 11,
+        crashes,
+        scheduler,
+        horizon: 3_000,
+        stabilize_at: 20,
+        checker: checker.to_string(),
+    }
+}
+
+/// Acceptance: record → replay is byte-identical (zero divergences, equal
+/// traces) for both randomized schedulers, with and without crashes.
+#[test]
+fn record_replay_round_trip_is_byte_identical() {
+    for scheduler in [
+        SchedulerSpec::RandomFair {
+            seed: 11,
+            lambda_pct: 25,
+        },
+        SchedulerSpec::Adversarial { seed: 11 },
+    ] {
+        for crashes in [vec![None, None, None], vec![None, Some(40), None]] {
+            let report = run_spec(&spec(scheduler.clone(), crashes, CHECKER_CONSENSUS));
+            assert!(
+                report.replay_identical,
+                "replay diverged for {}",
+                report.label
+            );
+            assert!(report.violation.is_none(), "target protocol is correct");
+        }
+    }
+}
+
+/// Acceptance: on an intentionally broken checker the shrinker produces a
+/// strictly smaller artifact (fewer decisions AND fewer crashes) that
+/// still fails the same checker.
+#[test]
+fn shrinker_minimizes_fixture_counterexample() {
+    let report = run_spec(&spec(
+        SchedulerSpec::RandomFair {
+            seed: 11,
+            lambda_pct: 25,
+        },
+        vec![None, Some(150), None],
+        CHECKER_FIXTURE,
+    ));
+    let original = report.violation.expect("fixture always fails");
+    assert!(original.decisions.len() > 10);
+    assert_eq!(original.crashes.iter().flatten().count(), 1);
+
+    let shrunk = shrink_repro(&original);
+    assert!(
+        shrunk.repro.decisions.len() < original.decisions.len(),
+        "decisions must strictly shrink"
+    );
+    assert!(
+        shrunk.repro.crashes.iter().flatten().count() < original.crashes.iter().flatten().count(),
+        "crashes must strictly shrink"
+    );
+    assert_eq!(shrunk.repro.checker, CHECKER_FIXTURE);
+    let message = replay_repro(&shrunk.repro)
+        .expect("known target")
+        .expect("shrunk artifact must still fail");
+    assert_eq!(message, shrunk.repro.violation);
+}
+
+/// A saved artifact reproduces its failure after a disk round-trip.
+#[test]
+fn saved_artifact_replays_from_disk() {
+    let report = run_spec(&spec(
+        SchedulerSpec::Adversarial { seed: 11 },
+        vec![None, None, None],
+        CHECKER_FIXTURE,
+    ));
+    let repro = report.violation.expect("fixture always fails");
+    let dir = std::env::temp_dir().join("wfd-fuzz-repro-test");
+    let path = repro.save(&dir).expect("save");
+    let loaded = Repro::load(&path).expect("load");
+    assert_eq!(loaded, repro);
+    assert_eq!(
+        replay_repro(&loaded).unwrap().as_deref(),
+        Some(repro.violation.as_str())
+    );
+    std::fs::remove_file(path).ok();
+}
+
+/// The default campaign grid covers both randomized schedulers and at
+/// least one multi-crash pattern, and every cell is clean.
+#[test]
+fn default_grid_smoke_campaign_is_clean() {
+    let cfg = CampaignConfig {
+        n: 3,
+        seeds: 2,
+        horizon: 3_000,
+        stabilize_at: 20,
+    };
+    let specs = default_grid(&cfg);
+    assert!(specs.len() >= 8);
+    assert!(specs
+        .iter()
+        .any(|s| matches!(s.scheduler, SchedulerSpec::Adversarial { .. })));
+    assert!(specs
+        .iter()
+        .any(|s| s.crashes.iter().flatten().count() == cfg.n - 1));
+    for s in &specs {
+        let report = run_spec(s);
+        assert!(report.violation.is_none(), "violation in {}", report.label);
+        assert!(
+            report.replay_identical,
+            "replay diverged in {}",
+            report.label
+        );
+    }
+}

@@ -221,6 +221,17 @@ where
         &mut self.detector
     }
 
+    /// The scheduling policy (e.g. to read a recorded decision log after
+    /// the run; see [`crate::RecordedSchedule`]).
+    pub fn scheduler(&self) -> &S {
+        &self.sched
+    }
+
+    /// Mutable access to the scheduling policy.
+    pub fn scheduler_mut(&mut self) -> &mut S {
+        &mut self.sched
+    }
+
     /// Consume the simulation, returning `(processes, detector, trace)`.
     pub fn into_parts(self) -> (Vec<P>, D, Trace<P::Msg, P::Output>) {
         (self.procs, self.detector, self.trace)

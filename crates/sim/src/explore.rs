@@ -13,6 +13,11 @@
 //! to the depth bound over message-delivery orders. Liveness is out of
 //! scope by construction.
 //!
+//! A violation comes back as an [`ExploreViolation`] carrying the full
+//! decision list `(actor, message choice)` of the counterexample branch;
+//! [`replay_explore`] re-executes such a list deterministically, and
+//! [`crate::repro`] packages it as a portable artifact.
+//!
 //! ```
 //! use wfd_sim::{explore, Ctx, ExploreConfig, FailurePattern, NoDetector,
 //!               ProcessId, Protocol};
@@ -44,7 +49,7 @@ use crate::failure::FailurePattern;
 use crate::id::{ProcessId, Time};
 use crate::oracle::FdOracle;
 use crate::protocol::{Ctx, Protocol};
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::fmt::Debug;
 
 /// Bounds for an exploration.
@@ -52,10 +57,13 @@ use std::fmt::Debug;
 pub struct ExploreConfig {
     /// Maximum schedule depth (steps along one branch).
     pub max_depth: usize,
-    /// Cap on distinct states visited (safety net for the caller).
+    /// Cap on state expansions (safety net for the caller).
     pub max_states: usize,
     /// Deduplicate states by their `Debug` rendering (costs memory,
-    /// collapses converging interleavings).
+    /// collapses converging interleavings). A state is pruned only when it
+    /// was already expanded at an equal-or-lower depth *with the same
+    /// output history*, so dedup never hides a reachable violation within
+    /// the depth bound.
     pub dedup: bool,
 }
 
@@ -74,19 +82,53 @@ impl ExploreConfig {
         self.max_states = cap;
         self
     }
+
+    /// Override deduplication (on by default).
+    pub fn with_dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
+        self
+    }
+}
+
+/// One exploration step: which process acted, and which of its pending
+/// messages it received (`None` ⇒ the first step of the process or a λ
+/// step; `Some(i)` ⇒ the message at inbox position `i` at that moment).
+pub type ExploreDecision = (ProcessId, Option<usize>);
+
+/// A safety violation found by [`explore`]: the predicate's message plus
+/// the complete decision list of the branch that produced it.
+#[derive(Clone, Debug)]
+pub struct ExploreViolation {
+    /// The safety predicate's error message.
+    pub message: String,
+    /// The counterexample branch, one `(actor, message choice)` per step.
+    /// Replayable with [`replay_explore`].
+    pub decisions: Vec<ExploreDecision>,
+}
+
+impl ExploreViolation {
+    /// The actor sequence of the counterexample (the legacy, ambiguous
+    /// rendering — prefer [`ExploreViolation::decisions`]).
+    pub fn schedule(&self) -> Vec<ProcessId> {
+        self.decisions.iter().map(|(p, _)| *p).collect()
+    }
 }
 
 /// Outcome of an exploration.
 #[derive(Clone, Debug)]
 pub struct ExploreReport {
-    /// Distinct states visited (post-dedup).
+    /// States expanded (post-dedup; a state revisited at a strictly lower
+    /// depth is re-expanded and counted again).
     pub states_visited: usize,
     /// Whether some branch hit the depth bound (the space is bigger than
     /// what was explored).
     pub depth_bounded: bool,
-    /// The first safety violation found: the predicate's message plus the
-    /// schedule (process ids in step order) that produced it.
-    pub violation: Option<(String, Vec<ProcessId>)>,
+    /// Whether the exploration stopped early because `max_states` was
+    /// reached (the space was truncated *independently* of the depth
+    /// bound).
+    pub states_capped: bool,
+    /// The first safety violation found.
+    pub violation: Option<ExploreViolation>,
 }
 
 #[derive(Clone)]
@@ -97,7 +139,77 @@ struct State<P: Protocol> {
     pending_inv: Vec<Option<P::Inv>>,
     outputs: Vec<(ProcessId, P::Output)>,
     depth: usize,
-    schedule: Vec<ProcessId>,
+    decisions: Vec<ExploreDecision>,
+}
+
+/// Apply one step to `state`, producing the successor configuration.
+///
+/// `choice` follows the [`ExploreDecision`] convention: `None` for a first
+/// step or λ, `Some(i)` for delivery of the message at inbox position `i`.
+/// Out-of-range choices are clamped deterministically (oldest message), so
+/// shrunk decision lists still define a unique run.
+fn apply_step<P, D>(
+    state: &State<P>,
+    p: ProcessId,
+    choice: Option<usize>,
+    pattern: &FailurePattern,
+    detector: &mut D,
+    n: usize,
+) -> State<P>
+where
+    P: Protocol + Clone,
+    D: FdOracle<Value = P::Fd>,
+{
+    let t = state.depth as Time;
+    let mut next = state.clone();
+    next.depth += 1;
+    let fd = detector.query(p, t);
+    let mut ctx = Ctx::<P>::detached(p, n, t, fd);
+    if !next.started[p.index()] {
+        next.started[p.index()] = true;
+        next.decisions.push((p, None));
+        next.procs[p.index()].on_start(&mut ctx);
+        if let Some(inv) = next.pending_inv[p.index()].take() {
+            next.procs[p.index()].on_invoke(&mut ctx, inv);
+        }
+    } else {
+        let inbox_len = next.inboxes[p.index()].len();
+        match choice {
+            Some(i) if inbox_len > 0 => {
+                let i = i.min(inbox_len - 1);
+                next.decisions.push((p, Some(i)));
+                let (from, msg) = next.inboxes[p.index()].remove(i);
+                next.procs[p.index()].on_message(&mut ctx, from, msg);
+            }
+            _ => {
+                next.decisions.push((p, None));
+                next.procs[p.index()].on_tick(&mut ctx);
+            }
+        }
+    }
+    for (to, msg) in ctx.take_sends() {
+        if !pattern.is_crashed(to, t) {
+            next.inboxes[to.index()].push((p, msg));
+        }
+    }
+    for out in ctx.take_outputs() {
+        next.outputs.push((p, out));
+    }
+    next
+}
+
+fn initial_state<P: Protocol>(procs: Vec<P>, invocations: Vec<Option<P::Inv>>) -> State<P> {
+    let n = procs.len();
+    assert_eq!(invocations.len(), n, "one invocation slot per process");
+    State {
+        procs,
+        inboxes: vec![Vec::new(); n],
+        started: vec![false; n],
+        pending_inv: invocations,
+        outputs: Vec::new(),
+        depth: 0,
+        decisions: Vec::new(),
+    }
 }
 
 /// Exhaustively explore message-delivery interleavings.
@@ -108,7 +220,7 @@ struct State<P: Protocol> {
 ///   the step's time is its depth.
 /// * `safety` is evaluated in every reachable state over the protocol
 ///   states and all outputs emitted so far; returning `Err` stops the
-///   exploration with a counterexample schedule.
+///   exploration with a replayable counterexample.
 pub fn explore<P, D>(
     cfg: ExploreConfig,
     make_procs: impl Fn() -> Vec<P>,
@@ -122,42 +234,54 @@ where
     P::Msg: PartialEq,
     D: FdOracle<Value = P::Fd>,
 {
-    let procs = make_procs();
-    let n = procs.len();
-    assert_eq!(invocations.len(), n, "one invocation slot per process");
-    let root = State::<P> {
-        procs,
-        inboxes: vec![Vec::new(); n],
-        started: vec![false; n],
-        pending_inv: invocations,
-        outputs: Vec::new(),
-        depth: 0,
-        schedule: Vec::new(),
-    };
+    let root = initial_state(make_procs(), invocations);
+    let n = root.procs.len();
 
-    let mut seen: HashSet<String> = HashSet::new();
+    // Dedup map: state key → lowest depth at which it was expanded. A
+    // revisit is pruned only when the previous expansion had an
+    // equal-or-lower depth (i.e. at least as much remaining budget); a
+    // strictly shallower revisit re-expands, because it can reach states
+    // the deeper visit could not before hitting `max_depth`. The key
+    // includes the output history: the safety predicate reads outputs, so
+    // two branches that converge in `(procs, inboxes, started)` but
+    // emitted different outputs are *different* states to the checker.
+    // (`pending_inv` is determined by `started` plus the fixed initial
+    // invocation vector, so it needs no key component.)
+    let mut seen: HashMap<String, usize> = HashMap::new();
     let mut stack = vec![root];
     let mut states_visited = 0usize;
     let mut depth_bounded = false;
+    let mut states_capped = false;
 
     while let Some(state) = stack.pop() {
         if states_visited >= cfg.max_states {
-            depth_bounded = true;
+            states_capped = true;
             break;
         }
         if cfg.dedup {
-            let key = format!("{:?}|{:?}|{:?}", state.procs, state.inboxes, state.started);
-            if !seen.insert(key) {
-                continue;
+            let key = format!(
+                "{:?}|{:?}|{:?}|{:?}",
+                state.procs, state.inboxes, state.started, state.outputs
+            );
+            match seen.get_mut(&key) {
+                Some(prev_depth) if *prev_depth <= state.depth => continue,
+                Some(prev_depth) => *prev_depth = state.depth,
+                None => {
+                    seen.insert(key, state.depth);
+                }
             }
         }
         states_visited += 1;
 
-        if let Err(msg) = safety(&state.procs, &state.outputs) {
+        if let Err(message) = safety(&state.procs, &state.outputs) {
             return ExploreReport {
                 states_visited,
                 depth_bounded,
-                violation: Some((msg, state.schedule)),
+                states_capped,
+                violation: Some(ExploreViolation {
+                    message,
+                    decisions: state.decisions,
+                }),
             };
         }
         if state.depth >= cfg.max_depth {
@@ -181,35 +305,7 @@ where
                     (0..state.inboxes[p.index()].len()).map(Some).collect()
                 };
             for choice in choices {
-                let mut next = state.clone();
-                next.depth += 1;
-                next.schedule.push(p);
-                let fd = detector.query(p, t);
-                let mut ctx = Ctx::<P>::detached(p, n, t, fd);
-                if !next.started[p.index()] {
-                    next.started[p.index()] = true;
-                    next.procs[p.index()].on_start(&mut ctx);
-                    if let Some(inv) = next.pending_inv[p.index()].take() {
-                        next.procs[p.index()].on_invoke(&mut ctx, inv);
-                    }
-                } else {
-                    match choice {
-                        Some(i) => {
-                            let (from, msg) = next.inboxes[p.index()].remove(i);
-                            next.procs[p.index()].on_message(&mut ctx, from, msg);
-                        }
-                        None => next.procs[p.index()].on_tick(&mut ctx),
-                    }
-                }
-                for (to, msg) in ctx.take_sends() {
-                    if !pattern.is_crashed(to, t) {
-                        next.inboxes[to.index()].push((p, msg));
-                    }
-                }
-                for out in ctx.take_outputs() {
-                    next.outputs.push((p, out));
-                }
-                stack.push(next);
+                stack.push(apply_step(&state, p, choice, pattern, &mut detector, n));
             }
         }
     }
@@ -217,8 +313,46 @@ where
     ExploreReport {
         states_visited,
         depth_bounded,
+        states_capped,
         violation: None,
     }
+}
+
+/// Re-execute one decision list under [`explore`]'s step semantics.
+///
+/// Runs the single branch described by `decisions` from the initial
+/// configuration, evaluating `safety` in the initial state and after every
+/// step, and returns the first violation (`Err`) or `Ok(())` if the branch
+/// completes safely. Replaying the decision list of an
+/// [`ExploreViolation`] over the same inputs reproduces its violation
+/// message exactly.
+///
+/// The replay is deterministic even for *mutated* decision lists (as
+/// produced by [`crate::shrink`]): steps by crashed processes are skipped
+/// and out-of-range message choices are clamped to the oldest message.
+pub fn replay_explore<P, D>(
+    decisions: &[ExploreDecision],
+    make_procs: impl Fn() -> Vec<P>,
+    invocations: Vec<Option<P::Inv>>,
+    pattern: &FailurePattern,
+    mut detector: D,
+    mut safety: impl FnMut(&[P], &[(ProcessId, P::Output)]) -> Result<(), String>,
+) -> Result<(), String>
+where
+    P: Protocol + Clone + Debug,
+    D: FdOracle<Value = P::Fd>,
+{
+    let mut state = initial_state(make_procs(), invocations);
+    let n = state.procs.len();
+    safety(&state.procs, &state.outputs)?;
+    for &(p, choice) in decisions {
+        if p.index() >= n || pattern.is_crashed(p, state.depth as Time) {
+            continue;
+        }
+        state = apply_step(&state, p, choice, pattern, &mut detector, n);
+        safety(&state.procs, &state.outputs)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -286,10 +420,89 @@ mod tests {
                 }
             },
         );
-        let (msg, schedule) = report.violation.expect("must find the violation");
-        assert_eq!(msg, "saw a 2");
-        assert!(!schedule.is_empty(), "counterexample schedule provided");
-        assert!(schedule.contains(&ProcessId(1)), "p1 must have acted");
+        let violation = report.violation.expect("must find the violation");
+        assert_eq!(violation.message, "saw a 2");
+        assert!(
+            !violation.decisions.is_empty(),
+            "counterexample decisions provided"
+        );
+        assert!(
+            violation.schedule().contains(&ProcessId(1)),
+            "p1 must have acted"
+        );
+    }
+
+    #[test]
+    fn violations_replay_to_the_same_message() {
+        let safety = |_: &[Tag], outputs: &[(ProcessId, u8)]| {
+            if outputs.iter().any(|(_, o)| *o == 2) {
+                Err("saw a 2".to_string())
+            } else {
+                Ok(())
+            }
+        };
+        let pattern = FailurePattern::failure_free(2);
+        let report = explore(
+            ExploreConfig::new(8),
+            two_taggers,
+            vec![Some(1), Some(2)],
+            &pattern,
+            NoDetector,
+            safety,
+        );
+        let violation = report.violation.expect("must find the violation");
+        let replayed = replay_explore(
+            &violation.decisions,
+            two_taggers,
+            vec![Some(1), Some(2)],
+            &pattern,
+            NoDetector,
+            safety,
+        );
+        assert_eq!(replayed, Err(violation.message));
+    }
+
+    #[test]
+    fn replay_of_safe_decision_list_is_ok() {
+        // A single p0 step cannot produce any output.
+        let pattern = FailurePattern::failure_free(2);
+        let replayed = replay_explore(
+            &[(ProcessId(0), None)],
+            two_taggers,
+            vec![Some(1), Some(2)],
+            &pattern,
+            NoDetector,
+            |_, outputs| {
+                if outputs.is_empty() {
+                    Ok(())
+                } else {
+                    Err("unexpected output".into())
+                }
+            },
+        );
+        assert_eq!(replayed, Ok(()));
+    }
+
+    #[test]
+    fn replay_tolerates_mutated_decision_lists() {
+        // Out-of-range pids, crashed actors and wild message indices must
+        // not panic — they are skipped or clamped deterministically.
+        let pattern = FailurePattern::failure_free(2).with_crash(ProcessId(1), 0);
+        let decisions = vec![
+            (ProcessId(7), None),
+            (ProcessId(1), Some(3)), // crashed: skipped
+            (ProcessId(0), None),
+            (ProcessId(0), Some(42)), // empty inbox: λ
+        ];
+        let replayed = replay_explore(
+            &decisions,
+            two_taggers,
+            vec![Some(1), Some(2)],
+            &pattern,
+            NoDetector,
+            |_, _| Ok(()),
+        );
+        assert_eq!(replayed, Ok(()));
     }
 
     #[test]
@@ -323,10 +536,11 @@ mod tests {
             |_, _| Ok(()),
         );
         assert!(report.depth_bounded);
+        assert!(!report.states_capped);
     }
 
     #[test]
-    fn state_cap_is_respected() {
+    fn state_cap_is_reported_separately_from_depth_bound() {
         let report = explore(
             ExploreConfig::new(50).with_max_states(3),
             two_taggers,
@@ -336,6 +550,150 @@ mod tests {
             |_, _| Ok(()),
         );
         assert!(report.states_visited <= 3);
-        assert!(report.depth_bounded, "hitting the cap must be reported");
+        assert!(report.states_capped, "hitting the cap must be reported");
+        assert!(
+            !report.depth_bounded,
+            "3 expansions cannot reach depth 50 — the cap must not \
+             masquerade as a depth bound"
+        );
+    }
+
+    /// Regression fixture for the depth-budget dedup bug: p0 must receive
+    /// p1's hello and then tick three times to emit the forbidden output.
+    /// DFS reaches the post-hello state first via a depth-wasting branch
+    /// (p1 tick-cycles with period 2 before p0 starts); the old dedup then
+    /// suppressed the shallower revisit that still had budget to violate.
+    #[derive(Clone, Debug, Default)]
+    struct DepthBug {
+        ready: bool,
+        c0: u8,
+        c1: u8,
+    }
+
+    impl Protocol for DepthBug {
+        type Msg = ();
+        type Output = ();
+        type Inv = ();
+        type Fd = ();
+
+        fn on_start(&mut self, ctx: &mut Ctx<Self>) {
+            if ctx.me() == ProcessId(1) {
+                ctx.send(ProcessId(0), ());
+            }
+        }
+
+        fn on_message(&mut self, _ctx: &mut Ctx<Self>, _from: ProcessId, _msg: ()) {
+            self.ready = true;
+        }
+
+        fn on_tick(&mut self, ctx: &mut Ctx<Self>) {
+            if ctx.me() == ProcessId(0) {
+                if self.ready {
+                    self.c0 += 1;
+                    if self.c0 == 3 {
+                        ctx.output(());
+                    }
+                }
+            } else {
+                self.c1 = (self.c1 + 1) % 2;
+            }
+        }
+    }
+
+    fn depth_bug_report(dedup: bool) -> ExploreReport {
+        explore(
+            ExploreConfig::new(6).with_dedup(dedup),
+            || vec![DepthBug::default(), DepthBug::default()],
+            vec![None, None],
+            &FailurePattern::failure_free(2),
+            NoDetector,
+            |_, outputs| {
+                if outputs.is_empty() {
+                    Ok(())
+                } else {
+                    Err("forbidden output emitted".into())
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn dedup_must_not_prune_shallower_revisits_with_remaining_budget() {
+        // The violation needs depth 6 exactly; without dedup it is found.
+        let no_dedup = depth_bug_report(false);
+        assert!(
+            no_dedup.violation.is_some(),
+            "sanity: the violation is reachable within the depth bound"
+        );
+        // With dedup on, the first visit of the pre-violation state happens
+        // at depth 4 (via p1's tick cycle); the depth-2 revisit must be
+        // re-expanded, not pruned, or the violation is missed.
+        let dedup = depth_bug_report(true);
+        assert!(
+            dedup.violation.is_some(),
+            "dedup pruned a shallower revisit that still had budget \
+             (the documented exhaustive-up-to-depth guarantee is broken)"
+        );
+    }
+
+    /// Regression fixture for the outputs-omitted-from-key dedup bug: both
+    /// delivery orders of p0's two messages converge to identical
+    /// `(procs, inboxes, started)` but different output histories.
+    #[derive(Clone, Debug)]
+    struct EmitBug;
+
+    impl Protocol for EmitBug {
+        type Msg = u8;
+        type Output = u8;
+        type Inv = ();
+        type Fd = ();
+
+        fn on_start(&mut self, ctx: &mut Ctx<Self>) {
+            if ctx.me() == ProcessId(0) {
+                ctx.send(ProcessId(1), 1);
+                ctx.send(ProcessId(1), 2);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<Self>, _from: ProcessId, msg: u8) {
+            ctx.output(msg);
+        }
+    }
+
+    #[test]
+    fn dedup_key_must_distinguish_output_histories() {
+        // DFS explores the "deliver 2 first" order first, so the branch
+        // with output history [1, 2] is the one the old dedup merged away
+        // before the predicate ever saw it.
+        let safety = |_: &[EmitBug], outputs: &[(ProcessId, u8)]| {
+            if outputs.len() == 2 && outputs[0].1 == 1 && outputs[1].1 == 2 {
+                Err("delivered 1 before 2".to_string())
+            } else {
+                Ok(())
+            }
+        };
+        let report = explore(
+            ExploreConfig::new(6),
+            || vec![EmitBug, EmitBug],
+            vec![None, None],
+            &FailurePattern::failure_free(2),
+            NoDetector,
+            safety,
+        );
+        let violation = report
+            .violation
+            .expect("dedup merged two states with different output histories");
+        assert_eq!(violation.message, "delivered 1 before 2");
+        // Both orders sit at the same depth, so this is caught only by the
+        // outputs component of the key — and the counterexample replays.
+        let replayed = replay_explore(
+            &violation.decisions,
+            || vec![EmitBug, EmitBug],
+            vec![None, None],
+            &FailurePattern::failure_free(2),
+            NoDetector,
+            safety,
+        );
+        assert_eq!(replayed, Err(violation.message));
     }
 }

@@ -67,18 +67,27 @@ mod engine;
 pub mod explore;
 mod failure;
 mod id;
+pub mod json;
 mod oracle;
 mod protocol;
+pub mod repro;
 mod rng;
 mod scheduler;
+pub mod shrink;
 mod trace;
 
 pub use engine::{RunOutcome, Sim, SimConfig, StopReason};
-pub use explore::{explore, ExploreConfig, ExploreReport};
+pub use explore::{
+    explore, replay_explore, ExploreConfig, ExploreDecision, ExploreReport, ExploreViolation,
+};
 pub use failure::{Environment, FailurePattern, PatternSampler};
 pub use id::{ProcessId, ProcessSet, Time};
 pub use oracle::{ConstDetector, FdOracle, FnDetector, NoDetector};
 pub use protocol::{Ctx, Protocol};
+pub use repro::{OracleSpec, Repro, ReproDecisions, ReproInvocation, ReproSource, SchedulerSpec};
 pub use rng::SimRng;
-pub use scheduler::{Adversarial, RandomFair, RoundRobin, Scheduler};
+pub use scheduler::{
+    Adversarial, Decision, RandomFair, RecordedSchedule, ReplaySchedule, RoundRobin, Scheduler,
+};
+pub use shrink::{shrink, ShrinkReport};
 pub use trace::{Event, EventKind, Trace, TraceMode, TraceSummary};

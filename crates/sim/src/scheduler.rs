@@ -54,7 +54,8 @@ pub struct RoundRobin {
 }
 
 impl RoundRobin {
-    /// Create a round-robin scheduler starting at `p0`.
+    /// Create a round-robin scheduler. The cursor starts at the lowest
+    /// process id, so in a fresh system `p0` steps first.
     pub fn new() -> Self {
         RoundRobin { next: 0 }
     }
@@ -97,7 +98,8 @@ pub struct RandomFair {
 }
 
 impl RandomFair {
-    /// Create a random-fair scheduler from a seed.
+    /// Create a random-fair scheduler from a seed, with the default 25%
+    /// λ-step probability (see [`RandomFair::with_lambda_pct`]).
     pub fn new(seed: u64) -> Self {
         RandomFair {
             rng: SimRng::new(seed),
@@ -146,8 +148,10 @@ pub struct Adversarial {
 }
 
 impl Adversarial {
-    /// Create an adversarial scheduler from a seed (the seed only breaks
-    /// ties, the adversary itself is systematic).
+    /// Create an adversarial scheduler from a seed. The starvation and
+    /// delay strategy is systematic; the seed drives the occasional random
+    /// deviations that let different seeds explore different starvation
+    /// orders.
     pub fn new(seed: u64) -> Self {
         Adversarial {
             rng: SimRng::new(seed),
@@ -182,6 +186,198 @@ impl Scheduler for Adversarial {
             Some(deliverable.len() - 1)
         } else {
             None
+        }
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn pick_actor(&mut self, now: Time, candidates: &[ProcessId]) -> usize {
+        (**self).pick_actor(now, candidates)
+    }
+
+    fn pick_message(
+        &mut self,
+        now: Time,
+        actor: ProcessId,
+        deliverable: &[MsgMeta],
+    ) -> Option<usize> {
+        (**self).pick_message(now, actor, deliverable)
+    }
+}
+
+/// One recorded scheduling choice.
+///
+/// Actors are recorded by process id and messages by their engine-assigned
+/// [`MsgMeta::id`] (not by index), so a decision log stays meaningful when
+/// a shrinker deletes entries and the candidate lists shift underneath it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// `pick_actor` chose this process.
+    Actor(ProcessId),
+    /// `pick_message` chose this message id, or λ (`None`).
+    Deliver(Option<u64>),
+}
+
+/// A scheduler wrapper that logs every `pick_actor` / `pick_message`
+/// decision of the inner policy.
+///
+/// Because [`Sim`](crate::Sim) runs are deterministic functions of their
+/// inputs, replaying the log with [`ReplaySchedule`] over the same
+/// configuration reproduces the run byte-identically — that is the
+/// foundation of the repro artifacts in [`crate::repro`].
+///
+/// ```
+/// use wfd_sim::{RecordedSchedule, RandomFair, Scheduler, ProcessId};
+/// let mut s = RecordedSchedule::new(RandomFair::new(7));
+/// let cands = [ProcessId(0), ProcessId(1)];
+/// let idx = s.pick_actor(0, &cands);
+/// assert_eq!(s.log().len(), 1);
+/// assert_eq!(s.log()[0], wfd_sim::Decision::Actor(cands[idx]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RecordedSchedule<S> {
+    inner: S,
+    log: Vec<Decision>,
+}
+
+impl<S: Scheduler> RecordedSchedule<S> {
+    /// Wrap `inner`, recording its decisions.
+    pub fn new(inner: S) -> Self {
+        RecordedSchedule {
+            inner,
+            log: Vec::new(),
+        }
+    }
+
+    /// The decisions recorded so far, in consultation order.
+    pub fn log(&self) -> &[Decision] {
+        &self.log
+    }
+
+    /// Consume the wrapper, returning the decision log.
+    pub fn into_log(self) -> Vec<Decision> {
+        self.log
+    }
+
+    /// Consume the wrapper, returning `(inner policy, decision log)`.
+    pub fn into_parts(self) -> (S, Vec<Decision>) {
+        (self.inner, self.log)
+    }
+}
+
+impl<S: Scheduler> Scheduler for RecordedSchedule<S> {
+    fn pick_actor(&mut self, now: Time, candidates: &[ProcessId]) -> usize {
+        let idx = self.inner.pick_actor(now, candidates);
+        self.log.push(Decision::Actor(candidates[idx]));
+        idx
+    }
+
+    fn pick_message(
+        &mut self,
+        now: Time,
+        actor: ProcessId,
+        deliverable: &[MsgMeta],
+    ) -> Option<usize> {
+        let choice = self.inner.pick_message(now, actor, deliverable);
+        self.log
+            .push(Decision::Deliver(choice.map(|k| deliverable[k].id)));
+        choice
+    }
+}
+
+/// A scheduler that replays a recorded decision log.
+///
+/// On an unmodified log over the same simulation inputs every consultation
+/// matches exactly and the run is byte-identical to the recorded one. On a
+/// *shrunk* log (entries deleted or the tail truncated) decisions may stop
+/// matching the current candidates; the replayer then falls back
+/// deterministically — lowest-id actor, oldest message — and counts the
+/// divergence, so mutated logs still define a unique run.
+#[derive(Clone, Debug)]
+pub struct ReplaySchedule {
+    decisions: Vec<Decision>,
+    cursor: usize,
+    divergences: usize,
+}
+
+impl ReplaySchedule {
+    /// Create a replayer over a decision log.
+    pub fn new(decisions: Vec<Decision>) -> Self {
+        ReplaySchedule {
+            decisions,
+            cursor: 0,
+            divergences: 0,
+        }
+    }
+
+    /// How many decisions have been consumed.
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+
+    /// Whether the whole log has been consumed.
+    pub fn exhausted(&self) -> bool {
+        self.cursor >= self.decisions.len()
+    }
+
+    /// How many consultations did not match their recorded decision (0 on
+    /// a faithful replay).
+    pub fn divergences(&self) -> usize {
+        self.divergences
+    }
+
+    fn next(&mut self) -> Option<Decision> {
+        let d = self.decisions.get(self.cursor).copied();
+        if d.is_some() {
+            self.cursor += 1;
+        }
+        d
+    }
+}
+
+impl Scheduler for ReplaySchedule {
+    fn pick_actor(&mut self, _now: Time, candidates: &[ProcessId]) -> usize {
+        match self.next() {
+            Some(Decision::Actor(p)) => match candidates.iter().position(|&c| c == p) {
+                Some(idx) => idx,
+                None => {
+                    self.divergences += 1;
+                    0
+                }
+            },
+            Some(Decision::Deliver(_)) | None => {
+                self.divergences += 1;
+                0
+            }
+        }
+    }
+
+    fn pick_message(
+        &mut self,
+        _now: Time,
+        _actor: ProcessId,
+        deliverable: &[MsgMeta],
+    ) -> Option<usize> {
+        if deliverable.is_empty() {
+            // The engine ignores the choice on an empty window and does not
+            // consult the policy at all in that case, but stay safe.
+            return None;
+        }
+        match self.next() {
+            Some(Decision::Deliver(None)) => None,
+            Some(Decision::Deliver(Some(id))) => {
+                match deliverable.iter().position(|m| m.id == id) {
+                    Some(idx) => Some(idx),
+                    None => {
+                        self.divergences += 1;
+                        Some(0)
+                    }
+                }
+            }
+            Some(Decision::Actor(_)) | None => {
+                self.divergences += 1;
+                Some(0)
+            }
         }
     }
 }
@@ -251,6 +447,78 @@ mod tests {
     #[should_panic(expected = "percentage")]
     fn random_fair_rejects_bad_pct() {
         let _ = RandomFair::new(0).with_lambda_pct(101);
+    }
+
+    #[test]
+    fn recorded_schedule_logs_choices_transparently() {
+        let cands = pids(&[0, 1, 2]);
+        let msgs = metas(3);
+        let mut plain = RandomFair::new(11);
+        let mut recorded = RecordedSchedule::new(RandomFair::new(11));
+        for t in 0..20 {
+            assert_eq!(
+                plain.pick_actor(t, &cands),
+                recorded.pick_actor(t, &cands),
+                "recording must not change the policy"
+            );
+            assert_eq!(
+                plain.pick_message(t, ProcessId(0), &msgs),
+                recorded.pick_message(t, ProcessId(0), &msgs)
+            );
+        }
+        let log = recorded.into_log();
+        assert_eq!(log.len(), 40);
+        assert!(matches!(log[0], Decision::Actor(_)));
+        assert!(matches!(log[1], Decision::Deliver(_)));
+    }
+
+    #[test]
+    fn replay_reproduces_recorded_choices() {
+        let cands = pids(&[0, 1, 2]);
+        let msgs = metas(4);
+        let mut recorded = RecordedSchedule::new(Adversarial::new(5));
+        let picks: Vec<(usize, Option<usize>)> = (0..16)
+            .map(|t| {
+                (
+                    recorded.pick_actor(t, &cands),
+                    recorded.pick_message(t, ProcessId(1), &msgs),
+                )
+            })
+            .collect();
+        let mut replay = ReplaySchedule::new(recorded.into_log());
+        for (t, (actor, msg)) in picks.iter().enumerate() {
+            assert_eq!(replay.pick_actor(t as Time, &cands), *actor);
+            assert_eq!(replay.pick_message(t as Time, ProcessId(1), &msgs), *msg);
+        }
+        assert!(replay.exhausted());
+        assert_eq!(replay.divergences(), 0);
+    }
+
+    #[test]
+    fn replay_falls_back_deterministically_on_divergence() {
+        // Log says p5, but p5 is not a candidate: fall back to index 0.
+        let mut r = ReplaySchedule::new(vec![
+            Decision::Actor(ProcessId(5)),
+            Decision::Deliver(Some(99)),
+        ]);
+        assert_eq!(r.pick_actor(0, &pids(&[0, 1])), 0);
+        // Message id 99 is not deliverable: fall back to the oldest.
+        assert_eq!(r.pick_message(0, ProcessId(0), &metas(2)), Some(0));
+        assert_eq!(r.divergences(), 2);
+        // Log exhausted: keep falling back.
+        assert_eq!(r.pick_actor(1, &pids(&[0, 1])), 0);
+        assert_eq!(r.pick_message(1, ProcessId(0), &metas(1)), Some(0));
+        assert_eq!(r.divergences(), 4);
+        assert!(r.exhausted());
+    }
+
+    #[test]
+    fn boxed_scheduler_delegates() {
+        let mut boxed: Box<dyn Scheduler> = Box::new(RoundRobin::new());
+        let cands = pids(&[0, 1]);
+        assert_eq!(boxed.pick_actor(0, &cands), 0);
+        assert_eq!(boxed.pick_actor(0, &cands), 1);
+        assert_eq!(boxed.pick_message(0, ProcessId(0), &metas(2)), Some(0));
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! Delta-debugging minimizer for [`Repro`] artifacts.
+//!
+//! A freshly recorded counterexample drags along everything the fuzz run
+//! happened to do — hundreds of scheduler decisions, crashes that never
+//! mattered, invocations the failure does not depend on. [`shrink`] applies
+//! ddmin-style greedy mutations and keeps each one only if the caller's
+//! `still_fails` oracle confirms the mutated artifact *still* violates the
+//! checker:
+//!
+//! 1. drop each crash (make the process correct),
+//! 2. lower surviving crash times (try `0`, then repeated halving),
+//! 3. remove scheduled invocations one at a time,
+//! 4. delete chunks of the decision log, halving the chunk size down
+//!    to single decisions (classic ddmin granularity schedule),
+//! 5. halve the horizon.
+//!
+//! Every accepted mutation strictly decreases a well-founded measure
+//! (crash count, total crash time, invocation count, decision count,
+//! horizon), so the pass loop terminates. Replay of a mutated decision
+//! log is always well-defined: [`ReplaySchedule`](crate::ReplaySchedule)
+//! and [`replay_explore`](crate::replay_explore) fall back
+//! deterministically when the log no longer matches the run.
+
+use crate::repro::Repro;
+
+/// The result of a [`shrink`] run.
+#[derive(Clone, Debug)]
+pub struct ShrinkReport {
+    /// The minimized artifact (equal to the input if nothing shrank).
+    pub repro: Repro,
+    /// How many candidate mutations were tried.
+    pub attempts: usize,
+    /// How many of them still failed and were kept.
+    pub accepted: usize,
+}
+
+/// Minimize `original`, preserving the property that `still_fails`
+/// returns `Some(violation message)` for it.
+///
+/// `still_fails` re-runs the violated checker against a candidate
+/// artifact and returns the (possibly updated) violation message if the
+/// candidate still fails, or `None` if the mutation rescued the run. The
+/// accepted artifact's [`Repro::violation`] is refreshed from the
+/// oracle's message each time, so the final artifact describes its own
+/// failure, not the original's.
+///
+/// The input is required to fail: if `still_fails(original)` is `None`
+/// the function returns the original unchanged (zero accepted).
+pub fn shrink(
+    original: &Repro,
+    mut still_fails: impl FnMut(&Repro) -> Option<String>,
+) -> ShrinkReport {
+    let mut report = ShrinkReport {
+        repro: original.clone(),
+        attempts: 1,
+        accepted: 0,
+    };
+    // Establish the baseline; a non-failing input cannot be shrunk.
+    match still_fails(&report.repro) {
+        Some(msg) => report.repro.violation = msg,
+        None => return report,
+    }
+
+    let mut try_candidate = |report: &mut ShrinkReport, candidate: Repro| -> bool {
+        report.attempts += 1;
+        if let Some(msg) = still_fails(&candidate) {
+            report.repro = candidate;
+            report.repro.violation = msg;
+            report.accepted += 1;
+            true
+        } else {
+            false
+        }
+    };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: drop crashes entirely.
+        let mut i = 0;
+        while i < report.repro.crashes.len() {
+            if report.repro.crashes[i].is_some() {
+                let mut candidate = report.repro.clone();
+                candidate.crashes[i] = None;
+                if try_candidate(&mut report, candidate) {
+                    improved = true;
+                    continue; // retry the same slot (now None, will skip)
+                }
+            }
+            i += 1;
+        }
+
+        // Pass 2: lower surviving crash times — earlier crashes are
+        // simpler runs (fewer steps by the crashed process). Try 0
+        // outright, then binary-search downward by halving.
+        for i in 0..report.repro.crashes.len() {
+            let Some(t) = report.repro.crashes[i] else {
+                continue;
+            };
+            if t == 0 {
+                continue;
+            }
+            let mut candidate = report.repro.clone();
+            candidate.crashes[i] = Some(0);
+            if try_candidate(&mut report, candidate) {
+                improved = true;
+                continue;
+            }
+            let mut cur = t;
+            while cur > 1 {
+                let lower = cur / 2;
+                let mut candidate = report.repro.clone();
+                candidate.crashes[i] = Some(lower);
+                if try_candidate(&mut report, candidate) {
+                    improved = true;
+                    cur = lower;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // Pass 3: remove invocations one at a time.
+        let mut i = 0;
+        while i < report.repro.invocations.len() {
+            let mut candidate = report.repro.clone();
+            candidate.invocations.remove(i);
+            if try_candidate(&mut report, candidate) {
+                improved = true;
+                // Same index now names the next invocation; retry it.
+            } else {
+                i += 1;
+            }
+        }
+
+        // Pass 4: ddmin over the decision log — delete chunks, halving the
+        // chunk size until single decisions.
+        let mut chunk = (report.repro.decisions.len() / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start < report.repro.decisions.len() {
+                let end = (start + chunk).min(report.repro.decisions.len());
+                let mut candidate = report.repro.clone();
+                candidate.decisions = report.repro.decisions.without_range(start, end);
+                if try_candidate(&mut report, candidate) {
+                    improved = true;
+                    // The log shifted left; the same start now names fresh
+                    // decisions.
+                } else {
+                    start = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+
+        // Pass 5: halve the horizon while the failure still shows up.
+        while report.repro.horizon > 1 {
+            let mut candidate = report.repro.clone();
+            candidate.horizon = report.repro.horizon / 2;
+            if try_candidate(&mut report, candidate) {
+                improved = true;
+            } else {
+                break;
+            }
+        }
+
+        if !improved {
+            break;
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::ProcessId;
+    use crate::repro::{OracleSpec, ReproDecisions, ReproInvocation, ReproSource, SchedulerSpec};
+    use crate::scheduler::Decision;
+
+    fn bloated_repro() -> Repro {
+        Repro {
+            protocol: "toy".to_string(),
+            checker: "toy-checker".to_string(),
+            violation: "original message".to_string(),
+            n: 4,
+            horizon: 512,
+            max_delay: 8,
+            max_step_gap: 8,
+            crashes: vec![Some(100), Some(7), None, Some(31)],
+            oracle: OracleSpec::new("none"),
+            scheduler: SchedulerSpec::RandomFair {
+                seed: 1,
+                lambda_pct: 25,
+            },
+            invocations: vec![
+                ReproInvocation {
+                    pid: 0,
+                    at: 0,
+                    payload: "1".to_string(),
+                },
+                ReproInvocation {
+                    pid: 1,
+                    at: 0,
+                    payload: "2".to_string(),
+                },
+                ReproInvocation {
+                    pid: 2,
+                    at: 0,
+                    payload: "3".to_string(),
+                },
+            ],
+            decisions: ReproDecisions::Engine(
+                (0..64).map(|i| Decision::Actor(ProcessId(i % 4))).collect(),
+            ),
+            source: ReproSource::Fuzz,
+        }
+    }
+
+    /// The "checker": fails iff the log still schedules p1 at least once
+    /// and p1's crash survives. Everything else is noise the shrinker
+    /// should strip.
+    fn toy_still_fails(r: &Repro) -> Option<String> {
+        let schedules_p1 = r
+            .decisions
+            .as_engine()
+            .unwrap()
+            .contains(&Decision::Actor(ProcessId(1)));
+        let p1_crashes = r.crashes.get(1).copied().flatten().is_some();
+        if schedules_p1 && p1_crashes {
+            Some("p1 stepped then crashed".to_string())
+        } else {
+            None
+        }
+    }
+
+    #[test]
+    fn shrink_strips_everything_the_failure_does_not_need() {
+        let original = bloated_repro();
+        let report = shrink(&original, toy_still_fails);
+        let r = &report.repro;
+
+        // Strictly smaller on both axes the issue requires.
+        assert!(r.decisions.len() < original.decisions.len());
+        assert!(r.crashes.iter().flatten().count() < original.crashes.iter().flatten().count());
+        // And in fact minimal for this toy oracle:
+        assert_eq!(r.decisions.len(), 1, "one Actor(p1) decision survives");
+        assert_eq!(
+            r.decisions.as_engine().unwrap()[0],
+            Decision::Actor(ProcessId(1))
+        );
+        assert_eq!(r.crashes.iter().flatten().count(), 1);
+        assert_eq!(r.crashes[1], Some(0), "crash time lowered to 0");
+        assert!(r.invocations.is_empty());
+        assert_eq!(r.horizon, 1);
+        // Still fails, with the oracle's (refreshed) message.
+        assert!(toy_still_fails(r).is_some());
+        assert_eq!(r.violation, "p1 stepped then crashed");
+        assert!(report.accepted > 0);
+        assert!(report.attempts > report.accepted);
+    }
+
+    #[test]
+    fn shrink_returns_non_failing_input_unchanged() {
+        let original = bloated_repro();
+        let report = shrink(&original, |_| None);
+        assert_eq!(report.repro, original);
+        assert_eq!(report.accepted, 0);
+        assert_eq!(report.attempts, 1);
+    }
+
+    #[test]
+    fn shrink_terminates_on_already_minimal_input() {
+        let mut minimal = bloated_repro();
+        minimal.crashes = vec![None, Some(0), None, None];
+        minimal.invocations.clear();
+        minimal.decisions = ReproDecisions::Engine(vec![Decision::Actor(ProcessId(1))]);
+        minimal.horizon = 1;
+        let report = shrink(&minimal, toy_still_fails);
+        assert_eq!(report.repro.decisions.len(), 1);
+        assert_eq!(report.accepted, 0);
+    }
+
+    #[test]
+    fn shrink_works_on_explore_decisions_too() {
+        let mut r = bloated_repro();
+        r.source = ReproSource::Explore;
+        r.scheduler = SchedulerSpec::Exhaustive;
+        r.decisions = ReproDecisions::Explore((0..16).map(|i| (ProcessId(i % 4), None)).collect());
+        let report = shrink(&r, |c| {
+            c.decisions
+                .as_explore()
+                .unwrap()
+                .iter()
+                .any(|(p, _)| *p == ProcessId(3))
+                .then(|| "p3 steps".to_string())
+        });
+        assert_eq!(report.repro.decisions.len(), 1);
+        assert_eq!(
+            report.repro.decisions.as_explore().unwrap()[0].0,
+            ProcessId(3)
+        );
+    }
+}

@@ -38,9 +38,13 @@ fn consensus_agreement_holds_in_every_interleaving() {
             Ok(())
         },
     );
-    if let Some((msg, schedule)) = report.violation {
-        panic!("violation: {msg}; schedule: {schedule:?}");
+    if let Some(v) = report.violation {
+        panic!("violation: {}; schedule: {:?}", v.message, v.decisions);
     }
+    assert!(
+        !report.states_capped,
+        "state cap hit: the run no longer covers every interleaving"
+    );
     // Dedup collapses converging interleavings aggressively; the distinct
     // state count stays modest even though every delivery order was
     // covered.
@@ -76,6 +80,7 @@ fn consensus_safety_with_immediate_crash_in_every_interleaving() {
         },
     );
     assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(!report.states_capped, "state cap hit");
 }
 
 /// Σ-ABD register, n = 2: the history reconstructed from outputs (with
@@ -127,9 +132,10 @@ fn abd_register_linearizable_in_every_interleaving() {
                 .map_err(|e| e.to_string())
         },
     );
-    if let Some((msg, schedule)) = report.violation {
-        panic!("violation: {msg}; schedule: {schedule:?}");
+    if let Some(v) = report.violation {
+        panic!("violation: {}; schedule: {:?}", v.message, v.decisions);
     }
+    assert!(!report.states_capped, "state cap hit");
     assert!(report.states_visited > 500);
 }
 
@@ -163,6 +169,72 @@ fn psi_qc_never_quits_in_consensus_mode_in_every_interleaving() {
         },
     );
     assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(!report.states_capped, "state cap hit");
+}
+
+/// The explore → repro bridge on the real target: force a "violation"
+/// with an impossible checker, serialize the counterexample branch as a
+/// `Repro`, and replay it through `replay_explore` to the same message.
+#[test]
+fn explore_violations_round_trip_as_repro_artifacts() {
+    use weakest_failure_detectors::sim::{replay_explore, OracleSpec, Repro};
+
+    let n = 2;
+    let pattern = FailurePattern::failure_free(n);
+    let make_procs = || {
+        (0..n)
+            .map(|_| OmegaSigmaConsensus::<u64>::new())
+            .collect::<Vec<_>>()
+    };
+    let mk_detector = || {
+        PairOracle::new(
+            OmegaOracle::new(&pattern, 0, 1),
+            SigmaOracle::new(&pattern, 0, 1),
+        )
+    };
+    // "No process ever decides" is false for a live consensus protocol, so
+    // the explorer must find a counterexample branch.
+    let checker = |_procs: &[OmegaSigmaConsensus<u64>],
+                   outputs: &[(ProcessId, ConsensusOutput<u64>)]|
+     -> Result<(), String> {
+        match outputs.first() {
+            Some((p, ConsensusOutput::Decided(v))) => Err(format!("{p} decided {v}")),
+            None => Ok(()),
+        }
+    };
+    let report = explore(
+        ExploreConfig::new(14).with_max_states(200_000),
+        make_procs,
+        vec![Some(10), Some(20)],
+        &pattern,
+        mk_detector(),
+        checker,
+    );
+    let violation = report.violation.expect("impossible checker must fail");
+
+    let repro = Repro::from_explore(
+        "consensus-omega-sigma",
+        "fixture:no-decision",
+        &violation,
+        14,
+        &pattern,
+        OracleSpec::new("omega+sigma")
+            .with("stabilize_at", 0)
+            .with("seed", 1),
+    );
+    let parsed = Repro::from_json(&repro.to_json()).expect("artifact round-trips");
+    assert_eq!(parsed, repro);
+
+    let err = replay_explore(
+        parsed.decisions.as_explore().expect("explore-sourced"),
+        make_procs,
+        vec![Some(10), Some(20)],
+        &parsed.pattern(),
+        mk_detector(),
+        checker,
+    )
+    .expect_err("replay must reproduce the violation");
+    assert_eq!(err, violation.message);
 }
 
 use weakest_failure_detectors::registers::spec::{RegOp, RegResp};
