@@ -1,0 +1,334 @@
+//! **A4 — model-checker throughput ladder.** States/sec of the bounded
+//! explorer across its optimization axes, written to `BENCH_explore.json`
+//! at the repo root so future PRs have a trajectory to beat:
+//!
+//! * `baseline_string_key` — the PR 2 inner loop verbatim
+//!   ([`wfd_sim::explore_baseline`]): sequential DFS, full `State` clone
+//!   per branch, `format!("{:?}")` `String` dedup keys,
+//! * `baseline_fingerprint` — the same loop with 128-bit fingerprint keys
+//!   (isolates the key-representation axis),
+//! * `optimized_1_thread` — fingerprints + shared-prefix states +
+//!   free-list arena ([`wfd_sim::explore`] at one worker; isolates the
+//!   state-representation axis),
+//! * `optimized_{2,4}_threads` — the parallel frontier on top.
+//!
+//! Every rung explores the *same* workload and the reports are
+//! cross-checked with [`ExploreReport::same_semantics`] before any number
+//! is written — a rung that got faster by visiting fewer states is a bug,
+//! not a result.
+//!
+//! `--smoke` shrinks the workload and skips the artifact write (unless
+//! `WFD_BENCH_OUT` is set) so CI can exercise the binary in seconds.
+//! Override reps with `WFD_EXPLORE_BENCH_REPS`.
+
+use std::time::Instant;
+use wfd_bench::Table;
+use wfd_sim::explore_baseline::explore_baseline;
+use wfd_sim::json::Json;
+use wfd_sim::{
+    explore_with_hasher, Ctx, ExactKeyHasher, ExploreConfig, ExploreReport, FailurePattern,
+    FingerprintHasher, NoDetector, ProcessId, Protocol,
+};
+
+/// The benchmark workload: a token-relay mesh with sustained traffic.
+/// Each process seeds one token on start; every receipt mixes the tag
+/// into a small accumulator and relays a re-tagged token to the next
+/// process, so messages never die out and λ steps advance a local phase
+/// counter. The mixing is coarse (mod 64) so interleavings genuinely
+/// converge and the dedup table works for a living; the branching factor
+/// stays around the process count while depth dominates — exactly the
+/// regime where per-branch O(depth) cloning and `String` keys hurt the
+/// historical loop.
+#[derive(Clone, Debug, PartialEq)]
+struct Relay {
+    acc: u8,
+    phase: u8,
+    emitted: u8,
+}
+
+impl Protocol for Relay {
+    type Msg = u8;
+    type Output = u8;
+    type Inv = ();
+    type Fd = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<Self>) {
+        let me = ctx.me().index() as u8;
+        ctx.send(ProcessId((ctx.me().index() + 1) % ctx.n()), me);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Self>, _from: ProcessId, tag: u8) {
+        self.acc = (self.acc.wrapping_mul(5).wrapping_add(tag)) % 64;
+        ctx.send(ProcessId((ctx.me().index() + 1) % ctx.n()), (tag + 1) % 8);
+        if self.acc == 63 && self.emitted < 2 {
+            self.emitted += 1;
+            ctx.output(self.acc);
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<Self>) {
+        let _ = ctx;
+        self.phase = (self.phase + 1) % 3;
+    }
+}
+
+const N: usize = 3;
+
+fn make_procs() -> Vec<Relay> {
+    (0..N)
+        .map(|_| Relay {
+            acc: 1,
+            phase: 0,
+            emitted: 0,
+        })
+        .collect()
+}
+
+fn safety(_: &[Relay], _: &[(ProcessId, u8)]) -> Result<(), String> {
+    Ok(())
+}
+
+struct Rung {
+    name: &'static str,
+    report: ExploreReport,
+    secs: f64,
+}
+
+impl Rung {
+    fn states_per_sec(&self) -> f64 {
+        self.report.states_visited as f64 / self.secs.max(1e-9)
+    }
+}
+
+/// Best-of-`reps` timing of one exploration mode.
+fn time_rung(name: &'static str, reps: usize, run: impl Fn() -> ExploreReport) -> Rung {
+    let mut best: Option<Rung> = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let report = run();
+        let secs = t0.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|b| secs < b.secs) {
+            best = Some(Rung { name, report, secs });
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let depth = std::env::var("WFD_EXPLORE_BENCH_DEPTH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 6 } else { 23 });
+    let reps = std::env::var("WFD_EXPLORE_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 1 } else { 3 });
+    let pattern = FailurePattern::failure_free(N);
+    let cfg = ExploreConfig::new(depth).with_max_states(10_000_000);
+    let invocations = || vec![None; N];
+
+    let rungs = vec![
+        time_rung("baseline_string_key", reps, || {
+            explore_baseline(
+                cfg,
+                ExactKeyHasher,
+                make_procs,
+                invocations(),
+                &pattern,
+                NoDetector,
+                safety,
+            )
+        }),
+        time_rung("baseline_fingerprint", reps, || {
+            explore_baseline(
+                cfg,
+                FingerprintHasher,
+                make_procs,
+                invocations(),
+                &pattern,
+                NoDetector,
+                safety,
+            )
+        }),
+        time_rung("optimized_1_thread", reps, || {
+            explore_with_hasher(
+                cfg.with_threads(1),
+                FingerprintHasher,
+                make_procs,
+                invocations(),
+                &pattern,
+                NoDetector,
+                safety,
+            )
+        }),
+        time_rung("optimized_2_threads", reps, || {
+            explore_with_hasher(
+                cfg.with_threads(2),
+                FingerprintHasher,
+                make_procs,
+                invocations(),
+                &pattern,
+                NoDetector,
+                safety,
+            )
+        }),
+        time_rung("optimized_4_threads", reps, || {
+            explore_with_hasher(
+                cfg.with_threads(4),
+                FingerprintHasher,
+                make_procs,
+                invocations(),
+                &pattern,
+                NoDetector,
+                safety,
+            )
+        }),
+    ];
+
+    // No rung may change what was decided — only how fast. Between the
+    // baseline (classic DFS) and the optimized loop (batched traversal)
+    // the *visit order* legitimately differs, which moves the
+    // traversal-shaped counters (`states_visited` can shrink because the
+    // batch order commits minimal depths earlier and budget-aware
+    // re-expansion rarely triggers; `dedup_hits`/`max_frontier_len`
+    // follow) — but the verdict, the flags, and the distinct-state
+    // coverage (`dedup_entries`) must be identical. The optimized thread
+    // rungs must agree on *everything*.
+    let anchor = &rungs[0].report;
+    for rung in &rungs[1..] {
+        let r = &rung.report;
+        assert!(
+            anchor.depth_bounded == r.depth_bounded
+                && anchor.states_capped == r.states_capped
+                && anchor.dedup_entries == r.dedup_entries
+                && anchor.violation == r.violation,
+            "{} diverged from the baseline:\n{anchor:?}\nvs\n{r:?}",
+            rung.name,
+        );
+    }
+    assert!(
+        anchor.same_semantics(&rungs[1].report),
+        "the two baseline rungs share a traversal and must agree exactly"
+    );
+    let optimized = &rungs[2].report;
+    for rung in &rungs[3..] {
+        assert!(
+            optimized.same_semantics(&rung.report),
+            "{} diverged from optimized_1_thread:\n{optimized:?}\nvs\n{:?}",
+            rung.name,
+            rung.report
+        );
+    }
+    assert!(
+        anchor.violation.is_none() && !anchor.states_capped,
+        "workload must be clean and uncapped, got {anchor:?}"
+    );
+
+    let mut table = Table::new(
+        "A4-explore-bench",
+        "Bounded-explorer throughput ladder (same workload per rung)",
+        &["rung", "states/sec", "secs", "speedup"],
+    );
+    // Speedup is wall-clock on the identical workload (states/sec is
+    // reported per rung because the batched traversal legitimately needs
+    // fewer visits for the same coverage — that is part of the win).
+    let base_secs = rungs[0].secs;
+    for rung in &rungs {
+        table.row_strings(vec![
+            rung.name.to_string(),
+            format!("{:.0}", rung.states_per_sec()),
+            format!("{:.3}", rung.secs),
+            format!("{:.2}x", base_secs / rung.secs.max(1e-9)),
+        ]);
+    }
+    table.row_strings(vec![
+        "states_visited".into(),
+        anchor.states_visited.to_string(),
+        String::new(),
+        String::new(),
+    ]);
+    table.row_strings(vec![
+        "dedup_entries/hits".into(),
+        format!("{}/{}", anchor.dedup_entries, anchor.dedup_hits),
+        String::new(),
+        String::new(),
+    ]);
+    table.finish();
+
+    let ratio = |slow: &Rung, fast: &Rung| slow.secs / fast.secs.max(1e-9);
+    let fingerprint_gain = ratio(&rungs[0], &rungs[1]);
+    let shared_prefix_gain = ratio(&rungs[1], &rungs[2]);
+    let optimized_gain = ratio(&rungs[0], &rungs[2]);
+    println!(
+        "fingerprint {fingerprint_gain:.2}x · shared-prefix {shared_prefix_gain:.2}x · \
+         combined single-thread {optimized_gain:.2}x over the PR 2 loop"
+    );
+
+    let json = Json::Obj(vec![
+        (
+            "workload".to_string(),
+            Json::Obj(vec![
+                ("protocol".to_string(), Json::str("relay-mesh")),
+                ("n".to_string(), Json::usize(N)),
+                ("depth".to_string(), Json::usize(depth)),
+                (
+                    "states_visited".to_string(),
+                    Json::usize(anchor.states_visited),
+                ),
+                (
+                    "dedup_entries".to_string(),
+                    Json::usize(anchor.dedup_entries),
+                ),
+                ("dedup_hits".to_string(), Json::usize(anchor.dedup_hits)),
+                (
+                    "max_frontier_len".to_string(),
+                    Json::usize(anchor.max_frontier_len),
+                ),
+                ("smoke".to_string(), Json::bool(smoke)),
+            ]),
+        ),
+        (
+            "states_per_sec".to_string(),
+            Json::Obj(
+                rungs
+                    .iter()
+                    .map(|r| {
+                        (
+                            r.name.to_string(),
+                            Json::Num(format!("{:.0}", r.states_per_sec())),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "speedup".to_string(),
+            Json::Obj(vec![
+                (
+                    "fingerprint_vs_string_key".to_string(),
+                    Json::Num(format!("{fingerprint_gain:.2}")),
+                ),
+                (
+                    "shared_prefix_vs_clone".to_string(),
+                    Json::Num(format!("{shared_prefix_gain:.2}")),
+                ),
+                (
+                    "optimized_vs_baseline_single_thread".to_string(),
+                    Json::Num(format!("{optimized_gain:.2}")),
+                ),
+            ]),
+        ),
+    ]);
+
+    let out = std::env::var("WFD_BENCH_OUT").ok();
+    if smoke && out.is_none() {
+        println!("(smoke run: artifact write skipped)");
+        return;
+    }
+    let out = out.unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json").to_string()
+    });
+    std::fs::write(&out, format!("{json}\n")).expect("write BENCH_explore.json");
+    println!("(saved {out})");
+}

@@ -200,6 +200,109 @@ fn selftest() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    explore_selftest()
+}
+
+/// The exhaustive-side counterpart of the recorded-run selftest: drive the
+/// bounded explorer against the same (Ω, Σ) consensus target with the
+/// same broken fixture checker, prove the parallel frontier is invisible
+/// to the report, and round-trip the counterexample through a `Repro`
+/// artifact back into [`wfd_sim::replay_explore`].
+fn explore_selftest() -> ExitCode {
+    use wfd_consensus::{ConsensusOutput, OmegaSigmaConsensus};
+    use wfd_detectors::oracles::{OmegaOracle, PairOracle, SigmaOracle};
+    use wfd_sim::{explore, ExploreConfig, FailurePattern, OracleSpec, ProcessId};
+
+    let n = 2;
+    let depth = 14;
+    let pattern = FailurePattern::failure_free(n);
+    let make_procs = || {
+        (0..n)
+            .map(|_| OmegaSigmaConsensus::<u64>::new())
+            .collect::<Vec<_>>()
+    };
+    let mk_detector = || {
+        PairOracle::new(
+            OmegaOracle::new(&pattern, 0, 1),
+            SigmaOracle::new(&pattern, 0, 1),
+        )
+    };
+    // The fixture checker fails as soon as anyone decides, so a live
+    // consensus protocol guarantees the explorer a counterexample.
+    let checker = |_procs: &[OmegaSigmaConsensus<u64>],
+                   outputs: &[(ProcessId, ConsensusOutput<u64>)]|
+     -> Result<(), String> {
+        match outputs.first() {
+            Some((p, ConsensusOutput::Decided(v))) => Err(format!("{p} decided {v}")),
+            None => Ok(()),
+        }
+    };
+    let run = |threads: usize| {
+        explore(
+            ExploreConfig::new(depth)
+                .with_max_states(200_000)
+                .with_threads(threads),
+            make_procs,
+            vec![Some(10), Some(20)],
+            &pattern,
+            mk_detector(),
+            checker,
+        )
+    };
+    let report = run(1);
+    println!(
+        "\nexplore selftest: {} states visited, {} dedup entries, {} dedup hits, \
+         max frontier {}, {} thread(s), capped {}, depth-bounded {}",
+        report.states_visited,
+        report.dedup_entries,
+        report.dedup_hits,
+        report.max_frontier_len,
+        report.threads_used,
+        report.states_capped,
+        report.depth_bounded
+    );
+    println!("report json: {}", report.to_json());
+
+    let parallel = run(2);
+    let deterministic = report.same_semantics(&parallel) && parallel.threads_used == 2;
+
+    let Some(violation) = report.violation.clone() else {
+        println!("  [FAIL] explorer finds the fixture counterexample");
+        return ExitCode::FAILURE;
+    };
+    let repro = wfd_sim::Repro::from_explore(
+        "consensus-omega-sigma",
+        CHECKER_FIXTURE,
+        &violation,
+        depth,
+        &pattern,
+        OracleSpec::new("omega+sigma")
+            .with("stabilize_at", 0)
+            .with("seed", 1),
+    );
+    let round_trip = wfd_sim::Repro::from_json(&repro.to_json()).as_ref() == Ok(&repro);
+    let replayed = repro.decisions.as_explore().is_some_and(|decisions| {
+        wfd_sim::replay_explore(
+            decisions,
+            make_procs,
+            vec![Some(10), Some(20)],
+            &pattern,
+            mk_detector(),
+            checker,
+        ) == Err(violation.message.clone())
+    });
+
+    for (name, ok) in [
+        ("explorer finds the fixture counterexample", true),
+        ("1- and 2-thread reports agree semantically", deterministic),
+        ("explore artifact JSON round-trips", round_trip),
+        ("replay_explore reproduces the violation", replayed),
+    ] {
+        println!("  [{}] {name}", if ok { "ok" } else { "FAIL" });
+        if !ok {
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 

@@ -18,6 +18,32 @@
 //! [`replay_explore`] re-executes such a list deterministically, and
 //! [`crate::repro`] packages it as a portable artifact.
 //!
+//! ## Performance model
+//!
+//! The inner loop is built for throughput, SPIN-style:
+//!
+//! * **Fingerprinted dedup** — visited states are keyed by a 128-bit
+//!   structural fingerprint ([`FingerprintHasher`]) streamed directly off
+//!   the state's `Debug` rendering, instead of storing the rendering
+//!   itself. [`ExactKeyHasher`] keeps the full `String` key and exists to
+//!   property-test that the fingerprint never changes a verdict; any
+//!   [`StateHasher`] can be plugged in via [`explore_with_hasher`].
+//! * **Shared-prefix states** — the per-branch decision and output
+//!   histories are `Arc`-linked cons-lists sharing their prefix with the
+//!   parent state, materialized into flat vectors only when the safety
+//!   predicate, a violation report, or a replay needs them. Popped states
+//!   are recycled through a free-list arena, so steady-state expansion
+//!   performs no `Vec` growth.
+//! * **Parallel frontier exploration** — states are processed in frontier
+//!   batches fanned across [`crate::par::par_map_with`] workers
+//!   (`WFD_EXPLORE_THREADS`, or [`ExploreConfig::with_threads`]) against
+//!   a sharded seen-table. Batch size and traversal order are independent
+//!   of the worker count, revisit pruning is resolved sequentially in
+//!   batch order, and the reported counterexample is the
+//!   lexicographically-least decision list among the batch's violations —
+//!   so 1 thread and N threads produce identical reports (modulo the
+//!   informational [`ExploreReport::threads_used`]).
+//!
 //! ```
 //! use wfd_sim::{explore, Ctx, ExploreConfig, FailurePattern, NoDetector,
 //!               ProcessId, Protocol};
@@ -47,10 +73,28 @@
 
 use crate::failure::FailurePattern;
 use crate::id::{ProcessId, Time};
+use crate::json::Json;
 use crate::oracle::FdOracle;
-use crate::protocol::{Ctx, Protocol};
+use crate::par::par_map_with;
+use crate::protocol::{Ctx, Protocol, SendBuf};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt::Debug;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shards of the seen-table; workers pick a shard from the fingerprint
+/// prefix, so concurrent pre-reads rarely contend.
+const SHARD_COUNT: usize = 64;
+
+/// Cap on the free-list arena (recycled `State` allocations).
+const POOL_CAP: usize = 2048;
+
+/// Default frontier batch size. Fixed — and in particular independent of
+/// the worker count — because the batch boundaries are part of the
+/// deterministic traversal order.
+const DEFAULT_BATCH: usize = 256;
 
 /// Bounds for an exploration.
 #[derive(Clone, Copy, Debug)]
@@ -59,21 +103,41 @@ pub struct ExploreConfig {
     pub max_depth: usize,
     /// Cap on state expansions (safety net for the caller).
     pub max_states: usize,
-    /// Deduplicate states by their `Debug` rendering (costs memory,
-    /// collapses converging interleavings). A state is pruned only when it
-    /// was already expanded at an equal-or-lower depth *with the same
-    /// output history*, so dedup never hides a reachable violation within
-    /// the depth bound.
+    /// Deduplicate states by structural fingerprint (collapses converging
+    /// interleavings). A state is pruned only when it was already expanded
+    /// at an equal-or-lower depth *with the same output history*, so dedup
+    /// never hides a reachable violation within the depth bound.
     pub dedup: bool,
+    /// Worker threads for frontier batches. `None` (the default) resolves
+    /// `WFD_EXPLORE_THREADS`, falling back to the machine's available
+    /// parallelism. Every value produces the same report, modulo the
+    /// informational [`ExploreReport::threads_used`] field.
+    pub threads: Option<usize>,
+    /// Frontier batch size: how many pending states are deduplicated and
+    /// expanded per round. Part of the deterministic traversal order (and
+    /// therefore *not* derived from the thread count); `1` reproduces a
+    /// plain depth-first search exactly.
+    pub batch: usize,
+    /// The budget-aware revisit rule: a revisited state is re-expanded
+    /// when the new visit is strictly shallower (it has more remaining
+    /// depth budget than the expansion the seen-table remembers). Enabled
+    /// by default — disabling it reintroduces a historical soundness bug
+    /// and exists only so regression tests can prove the fixtures still
+    /// catch it.
+    pub budget_aware: bool,
 }
 
 impl ExploreConfig {
-    /// Defaults: the given depth, one million states, dedup on.
+    /// Defaults: the given depth, one million states, dedup on, automatic
+    /// thread count, batch size 256.
     pub fn new(max_depth: usize) -> Self {
         ExploreConfig {
             max_depth,
             max_states: 1_000_000,
             dedup: true,
+            threads: None,
+            batch: DEFAULT_BATCH,
+            budget_aware: true,
         }
     }
 
@@ -88,6 +152,27 @@ impl ExploreConfig {
         self.dedup = dedup;
         self
     }
+
+    /// Pin the worker count (default: `WFD_EXPLORE_THREADS`, else all
+    /// cores). The report is identical for every choice.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Override the frontier batch size (`1` ⇒ plain DFS order).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Disable the budget-aware revisit rule — **test-only**: this
+    /// deliberately reintroduces the historical "prune shallower revisits"
+    /// dedup bug so regression fixtures can prove they still detect it.
+    pub fn with_budget_aware(mut self, budget_aware: bool) -> Self {
+        self.budget_aware = budget_aware;
+        self
+    }
 }
 
 /// One exploration step: which process acted, and which of its pending
@@ -97,12 +182,13 @@ pub type ExploreDecision = (ProcessId, Option<usize>);
 
 /// A safety violation found by [`explore`]: the predicate's message plus
 /// the complete decision list of the branch that produced it.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExploreViolation {
     /// The safety predicate's error message.
     pub message: String,
-    /// The counterexample branch, one `(actor, message choice)` per step.
-    /// Replayable with [`replay_explore`].
+    /// The counterexample branch, one `(actor, message choice)` per step,
+    /// materialized from the explorer's shared-prefix chain into a flat
+    /// vector. Replayable with [`replay_explore`].
     pub decisions: Vec<ExploreDecision>,
 }
 
@@ -127,75 +213,417 @@ pub struct ExploreReport {
     /// reached (the space was truncated *independently* of the depth
     /// bound).
     pub states_capped: bool,
-    /// The first safety violation found.
+    /// The safety violation, if one was found: the lexicographically-least
+    /// decision list among the violations of the first frontier batch that
+    /// contained any (so the counterexample does not depend on the worker
+    /// count).
     pub violation: Option<ExploreViolation>,
+    /// Distinct keys committed to the dedup seen-table (0 with dedup off).
+    pub dedup_entries: usize,
+    /// States pruned as already-covered revisits (0 with dedup off).
+    pub dedup_hits: usize,
+    /// High-water mark of the pending-state frontier, in states.
+    pub max_frontier_len: usize,
+    /// The resolved worker count. Informational: it is the one field that
+    /// legitimately differs between otherwise identical reports.
+    pub threads_used: usize,
 }
 
-#[derive(Clone)]
+impl ExploreReport {
+    /// Whether two reports agree on every semantic field — everything
+    /// except [`ExploreReport::threads_used`], which records how the work
+    /// was scheduled rather than what was found. The parallel-determinism
+    /// guarantee is exactly: reports from any two worker counts satisfy
+    /// `same_semantics`.
+    pub fn same_semantics(&self, other: &ExploreReport) -> bool {
+        self.states_visited == other.states_visited
+            && self.depth_bounded == other.depth_bounded
+            && self.states_capped == other.states_capped
+            && self.dedup_entries == other.dedup_entries
+            && self.dedup_hits == other.dedup_hits
+            && self.max_frontier_len == other.max_frontier_len
+            && self.violation == other.violation
+    }
+
+    /// The report as a JSON object (decision lists in the same
+    /// `{"step": pid, "msg": index|null}` shape as [`crate::repro`]
+    /// artifacts) — used by experiment binaries to make capped or bounded
+    /// runs diagnosable from their artifacts.
+    pub fn to_json(&self) -> Json {
+        let violation = match &self.violation {
+            None => Json::Null,
+            Some(v) => Json::Obj(vec![
+                ("message".to_string(), Json::str(&v.message)),
+                (
+                    "decisions".to_string(),
+                    Json::Arr(
+                        v.decisions
+                            .iter()
+                            .map(|(p, c)| {
+                                Json::Obj(vec![
+                                    ("step".to_string(), Json::usize(p.index())),
+                                    ("msg".to_string(), c.map_or(Json::Null, Json::usize)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        };
+        Json::Obj(vec![
+            (
+                "states_visited".to_string(),
+                Json::usize(self.states_visited),
+            ),
+            ("depth_bounded".to_string(), Json::bool(self.depth_bounded)),
+            ("states_capped".to_string(), Json::bool(self.states_capped)),
+            ("dedup_entries".to_string(), Json::usize(self.dedup_entries)),
+            ("dedup_hits".to_string(), Json::usize(self.dedup_hits)),
+            (
+                "max_frontier_len".to_string(),
+                Json::usize(self.max_frontier_len),
+            ),
+            ("threads_used".to_string(), Json::usize(self.threads_used)),
+            ("violation".to_string(), violation),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// State fingerprinting
+// ---------------------------------------------------------------------------
+
+/// How the explorer keys a state for deduplication.
+///
+/// The key must be a pure function of the four arguments — which together
+/// determine everything the safety predicate and the expansion can observe
+/// (`pending_inv` is determined by `started` plus the fixed initial
+/// invocation vector, so it needs no key component).
+///
+/// Two implementations ship: [`FingerprintHasher`] (the default — a
+/// 128-bit structural fingerprint, no allocation) and [`ExactKeyHasher`]
+/// (the full rendering as a `String`; collision-free but slow, selected by
+/// equivalence tests to prove the fingerprint never changes a verdict).
+pub trait StateHasher: Sync {
+    /// The dedup key type.
+    type Key: Eq + Hash + Clone + Send;
+
+    /// Key the given state components.
+    fn key<P: Protocol + Debug>(
+        &self,
+        procs: &[P],
+        inboxes: &[Vec<(ProcessId, P::Msg)>],
+        started: &[bool],
+        outputs: &[(ProcessId, P::Output)],
+    ) -> Self::Key;
+
+    /// Which of `shards` seen-table shards a key lives in. The default
+    /// hashes the key; [`FingerprintHasher`] overrides it with the
+    /// fingerprint's top bits.
+    fn shard(key: &Self::Key, shards: usize) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % shards.max(1)
+    }
+}
+
+/// Two independent 64-bit multiply-xor streams over the same byte
+/// stream, mixed one 64-bit word at a time and finalized into a 128-bit
+/// fingerprint. Implements [`std::fmt::Write`] so the state's `Debug`
+/// rendering is hashed as it is produced, without ever materializing the
+/// string; bytes are buffered into words *across* fragment boundaries, so
+/// the fingerprint depends only on the rendered byte stream, never on how
+/// the formatter chose to chunk it.
+#[derive(Debug)]
+struct Fingerprint128 {
+    a: u64,
+    b: u64,
+    /// Partial word being filled, little-endian; `buf_len` bytes valid.
+    buf: u64,
+    buf_len: u32,
+    len: u64,
+}
+
+impl Fingerprint128 {
+    // FNV-64 offset basis / golden ratio as the two stream seeds; the
+    // word mixer below is the MurmurHash3-x64 inner round (multiply,
+    // rotate, multiply, fold), whose rotations diffuse differences
+    // downward as well as upward — a plain multiply-xor stream only
+    // carries differences toward the high bits, and correlated high-bit
+    // differences in two words can then cancel in *both* streams at once
+    // (observed as real collisions on structured `Debug` renderings).
+    const SEED_A: u64 = 0xcbf2_9ce4_8422_2325;
+    const SEED_B: u64 = 0x9e37_79b9_7f4a_7c15;
+    const C1: u64 = 0x87c3_7b91_1142_53d5;
+    const C2: u64 = 0x4cf5_ad43_2745_937f;
+
+    fn new() -> Self {
+        Fingerprint128 {
+            a: Self::SEED_A,
+            b: Self::SEED_B,
+            buf: 0,
+            buf_len: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn mix_word(&mut self, w: u64) {
+        let ka = w
+            .wrapping_mul(Self::C1)
+            .rotate_left(31)
+            .wrapping_mul(Self::C2);
+        self.a ^= ka;
+        self.a = self
+            .a
+            .rotate_left(27)
+            .wrapping_mul(5)
+            .wrapping_add(0x52dc_e729);
+        let kb = w
+            .wrapping_mul(Self::C2)
+            .rotate_left(33)
+            .wrapping_mul(Self::C1);
+        self.b ^= kb;
+        self.b = self
+            .b
+            .rotate_left(31)
+            .wrapping_mul(5)
+            .wrapping_add(0x3855_4107);
+    }
+
+    fn finish(mut self) -> u128 {
+        if self.buf_len > 0 {
+            let w = self.buf;
+            self.mix_word(w);
+        }
+        // Fold in the total byte count: a zero-padded final word must not
+        // collide with explicit trailing NULs or an empty tail.
+        let len = self.len;
+        self.mix_word(len);
+        // splitmix64-style finalizer on each stream so nearby inputs
+        // spread across the whole key space (the top bits pick the shard).
+        fn avalanche(mut x: u64) -> u64 {
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^ (x >> 31)
+        }
+        (u128::from(avalanche(self.a)) << 64) | u128::from(avalanche(self.b))
+    }
+}
+
+impl std::fmt::Write for Fingerprint128 {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        let mut bytes = s.as_bytes();
+        self.len += bytes.len() as u64;
+        // Top up a partial word left by the previous fragment.
+        while self.buf_len > 0 {
+            let Some((&byte, rest)) = bytes.split_first() else {
+                return Ok(());
+            };
+            bytes = rest;
+            self.buf |= u64::from(byte) << (8 * self.buf_len);
+            self.buf_len += 1;
+            if self.buf_len == 8 {
+                let w = self.buf;
+                self.mix_word(w);
+                self.buf = 0;
+                self.buf_len = 0;
+            }
+        }
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.mix_word(w);
+        }
+        for &byte in chunks.remainder() {
+            self.buf |= u64::from(byte) << (8 * self.buf_len);
+            self.buf_len += 1;
+        }
+        Ok(())
+    }
+}
+
+/// The default [`StateHasher`]: a 128-bit structural fingerprint of the
+/// state's `Debug` rendering, computed streaming (no `String` is ever
+/// allocated or stored). Collisions are possible in principle
+/// (2⁻¹²⁸-ish); the `explore_dedup` property suite continuously checks
+/// verdict equivalence against [`ExactKeyHasher`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FingerprintHasher;
+
+impl StateHasher for FingerprintHasher {
+    type Key = u128;
+
+    fn key<P: Protocol + Debug>(
+        &self,
+        procs: &[P],
+        inboxes: &[Vec<(ProcessId, P::Msg)>],
+        started: &[bool],
+        outputs: &[(ProcessId, P::Output)],
+    ) -> u128 {
+        use std::fmt::Write;
+        let mut w = Fingerprint128::new();
+        write!(w, "{procs:?}|{inboxes:?}|{started:?}|{outputs:?}")
+            .expect("fingerprint writer is infallible");
+        w.finish()
+    }
+
+    fn shard(key: &u128, shards: usize) -> usize {
+        ((key >> 96) as usize) % shards.max(1)
+    }
+}
+
+/// The exact (collision-free) [`StateHasher`]: the full `Debug` rendering
+/// as a heap `String` — the PR 2 dedup key, byte for byte. Slow and
+/// memory-hungry; selected by equivalence tests (and available to callers
+/// that want certainty over speed) to cross-check [`FingerprintHasher`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactKeyHasher;
+
+impl StateHasher for ExactKeyHasher {
+    type Key = String;
+
+    fn key<P: Protocol + Debug>(
+        &self,
+        procs: &[P],
+        inboxes: &[Vec<(ProcessId, P::Msg)>],
+        started: &[bool],
+        outputs: &[(ProcessId, P::Output)],
+    ) -> String {
+        format!("{procs:?}|{inboxes:?}|{started:?}|{outputs:?}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared-prefix state representation
+// ---------------------------------------------------------------------------
+
+/// One link of the persistent decision list. Children share their entire
+/// prefix with the parent state; only the head differs.
+struct DecisionNode {
+    decision: ExploreDecision,
+    parent: Option<Arc<DecisionNode>>,
+}
+
+impl Drop for DecisionNode {
+    // Unlink iteratively: a naive recursive drop of a depth-D chain
+    // overflows the stack for the deep explorations this module exists
+    // to make cheap.
+    fn drop(&mut self) {
+        let mut link = self.parent.take();
+        while let Some(node) = link {
+            match Arc::try_unwrap(node) {
+                Ok(mut n) => link = n.parent.take(),
+                Err(_) => break, // still shared: someone else keeps it alive
+            }
+        }
+    }
+}
+
+/// One link of the persistent output-history list.
+struct OutputNode<P: Protocol> {
+    output: (ProcessId, P::Output),
+    parent: Option<Arc<OutputNode<P>>>,
+}
+
+impl<P: Protocol> Drop for OutputNode<P> {
+    fn drop(&mut self) {
+        let mut link = self.parent.take();
+        while let Some(node) = link {
+            match Arc::try_unwrap(node) {
+                Ok(mut n) => link = n.parent.take(),
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// Materialize a decision chain (stored newest-first) into the flat,
+/// oldest-first vector that [`ExploreViolation::decisions`] and
+/// [`replay_explore`] use.
+fn materialize_decisions(link: &Option<Arc<DecisionNode>>) -> Vec<ExploreDecision> {
+    let mut out = Vec::new();
+    let mut cur = link.as_deref();
+    while let Some(node) = cur {
+        out.push(node.decision);
+        cur = node.parent.as_deref();
+    }
+    out.reverse();
+    out
+}
+
+/// Materialize an output chain into `into` (cleared first), oldest-first.
+fn materialize_outputs<P: Protocol>(
+    link: &Option<Arc<OutputNode<P>>>,
+    len: usize,
+    into: &mut Vec<(ProcessId, P::Output)>,
+) {
+    into.clear();
+    into.reserve(len);
+    let mut cur = link.as_deref();
+    while let Some(node) = cur {
+        into.push(node.output.clone());
+        cur = node.parent.as_deref();
+    }
+    into.reverse();
+    debug_assert_eq!(into.len(), len);
+}
+
 struct State<P: Protocol> {
     procs: Vec<P>,
     inboxes: Vec<Vec<(ProcessId, P::Msg)>>,
     started: Vec<bool>,
     pending_inv: Vec<Option<P::Inv>>,
-    outputs: Vec<(ProcessId, P::Output)>,
+    outputs: Option<Arc<OutputNode<P>>>,
+    outputs_len: usize,
     depth: usize,
-    decisions: Vec<ExploreDecision>,
+    decisions: Option<Arc<DecisionNode>>,
 }
 
-/// Apply one step to `state`, producing the successor configuration.
-///
-/// `choice` follows the [`ExploreDecision`] convention: `None` for a first
-/// step or λ, `Some(i)` for delivery of the message at inbox position `i`.
-/// Out-of-range choices are clamped deterministically (oldest message), so
-/// shrunk decision lists still define a unique run.
-fn apply_step<P, D>(
-    state: &State<P>,
-    p: ProcessId,
-    choice: Option<usize>,
-    pattern: &FailurePattern,
-    detector: &mut D,
-    n: usize,
-) -> State<P>
-where
-    P: Protocol + Clone,
-    D: FdOracle<Value = P::Fd>,
-{
-    let t = state.depth as Time;
-    let mut next = state.clone();
-    next.depth += 1;
-    let fd = detector.query(p, t);
-    let mut ctx = Ctx::<P>::detached(p, n, t, fd);
-    if !next.started[p.index()] {
-        next.started[p.index()] = true;
-        next.decisions.push((p, None));
-        next.procs[p.index()].on_start(&mut ctx);
-        if let Some(inv) = next.pending_inv[p.index()].take() {
-            next.procs[p.index()].on_invoke(&mut ctx, inv);
-        }
-    } else {
-        let inbox_len = next.inboxes[p.index()].len();
-        match choice {
-            Some(i) if inbox_len > 0 => {
-                let i = i.min(inbox_len - 1);
-                next.decisions.push((p, Some(i)));
-                let (from, msg) = next.inboxes[p.index()].remove(i);
-                next.procs[p.index()].on_message(&mut ctx, from, msg);
-            }
-            _ => {
-                next.decisions.push((p, None));
-                next.procs[p.index()].on_tick(&mut ctx);
-            }
+impl<P: Protocol> State<P> {
+    /// An empty shell, ready to be [`State::copy_from`]-ed into. Used as
+    /// the free-list element when the arena runs dry.
+    fn blank() -> Self {
+        State {
+            procs: Vec::new(),
+            inboxes: Vec::new(),
+            started: Vec::new(),
+            pending_inv: Vec::new(),
+            outputs: None,
+            outputs_len: 0,
+            depth: 0,
+            decisions: None,
         }
     }
-    for (to, msg) in ctx.take_sends() {
-        if !pattern.is_crashed(to, t) {
-            next.inboxes[to.index()].push((p, msg));
-        }
+
+    /// Overwrite `self` with a copy of `src`, reusing every allocation
+    /// `self` already owns (`clone_from` down to the per-inbox vectors).
+    fn copy_from(&mut self, src: &State<P>)
+    where
+        P: Clone,
+    {
+        self.procs.clone_from(&src.procs);
+        self.inboxes.clone_from(&src.inboxes);
+        self.started.clone_from(&src.started);
+        self.pending_inv.clone_from(&src.pending_inv);
+        self.outputs.clone_from(&src.outputs);
+        self.outputs_len = src.outputs_len;
+        self.depth = src.depth;
+        self.decisions.clone_from(&src.decisions);
     }
-    for out in ctx.take_outputs() {
-        next.outputs.push((p, out));
+}
+
+/// Return a no-longer-needed state to the arena (dropping its shared
+/// history links so unshared chain segments are freed promptly).
+fn recycle<P: Protocol>(mut s: State<P>, pool: &mut Vec<State<P>>) {
+    if pool.len() >= POOL_CAP {
+        return;
     }
-    next
+    s.outputs = None;
+    s.decisions = None;
+    pool.push(s);
 }
 
 fn initial_state<P: Protocol>(procs: Vec<P>, invocations: Vec<Option<P::Inv>>) -> State<P> {
@@ -206,13 +634,142 @@ fn initial_state<P: Protocol>(procs: Vec<P>, invocations: Vec<Option<P::Inv>>) -
         inboxes: vec![Vec::new(); n],
         started: vec![false; n],
         pending_inv: invocations,
-        outputs: Vec::new(),
+        outputs: None,
+        outputs_len: 0,
         depth: 0,
-        decisions: Vec::new(),
+        decisions: None,
     }
 }
 
-/// Exhaustively explore message-delivery interleavings.
+// ---------------------------------------------------------------------------
+// Step application
+// ---------------------------------------------------------------------------
+
+/// Everything a step needs besides the two states: shared between the
+/// parallel expansion workers and the sequential replay.
+struct StepEnv<'a, D> {
+    pattern: &'a FailurePattern,
+    detector: &'a Mutex<D>,
+    n: usize,
+}
+
+/// Apply one step of `src` into `dst` (overwritten; allocations reused).
+///
+/// `choice` follows the [`ExploreDecision`] convention: `None` for a first
+/// step or λ, `Some(i)` for delivery of the message at inbox position `i`.
+/// Out-of-range choices are clamped deterministically (oldest message), so
+/// shrunk decision lists still define a unique run.
+///
+/// `bufs` is the recycled `Ctx` send/output buffer pair — one per worker,
+/// so steady-state stepping allocates nothing.
+fn apply_step_into<P, D>(
+    env: &StepEnv<'_, D>,
+    src: &State<P>,
+    dst: &mut State<P>,
+    p: ProcessId,
+    choice: Option<usize>,
+    bufs: &mut (SendBuf<P>, Vec<P::Output>),
+) where
+    P: Protocol + Clone,
+    D: FdOracle<Value = P::Fd>,
+{
+    let t = src.depth as Time;
+    dst.copy_from(src);
+    dst.depth += 1;
+    // Oracles are pure functions of `(p, t)` (the FdOracle contract), so
+    // serializing queries through a mutex cannot change any answer.
+    let fd = env.detector.lock().expect("detector poisoned").query(p, t);
+    let mut ctx = Ctx::<P>::with_buffers(
+        p,
+        env.n,
+        t,
+        fd,
+        std::mem::take(&mut bufs.0),
+        std::mem::take(&mut bufs.1),
+    );
+    let idx = p.index();
+    let decision;
+    if !dst.started[idx] {
+        dst.started[idx] = true;
+        decision = (p, None);
+        dst.procs[idx].on_start(&mut ctx);
+        if let Some(inv) = dst.pending_inv[idx].take() {
+            dst.procs[idx].on_invoke(&mut ctx, inv);
+        }
+    } else {
+        let inbox_len = dst.inboxes[idx].len();
+        match choice {
+            Some(i) if inbox_len > 0 => {
+                let i = i.min(inbox_len - 1);
+                decision = (p, Some(i));
+                let (from, msg) = dst.inboxes[idx].remove(i);
+                dst.procs[idx].on_message(&mut ctx, from, msg);
+            }
+            _ => {
+                decision = (p, None);
+                dst.procs[idx].on_tick(&mut ctx);
+            }
+        }
+    }
+    dst.decisions = Some(Arc::new(DecisionNode {
+        decision,
+        parent: dst.decisions.take(),
+    }));
+    let (mut sends, mut outs) = ctx.into_buffers();
+    for (to, msg) in sends.drain(..) {
+        if !env.pattern.is_crashed(to, t) {
+            dst.inboxes[to.index()].push((p, msg));
+        }
+    }
+    for out in outs.drain(..) {
+        dst.outputs = Some(Arc::new(OutputNode {
+            output: (p, out),
+            parent: dst.outputs.take(),
+        }));
+        dst.outputs_len += 1;
+    }
+    bufs.0 = sends;
+    bufs.1 = outs;
+}
+
+// ---------------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------------
+
+/// A violation as collected inside a batch, pre-materialized.
+struct FoundViolation {
+    message: String,
+    decisions: Vec<ExploreDecision>,
+}
+
+/// What one expansion chunk hands back to the merge step.
+struct ChunkOut<P: Protocol> {
+    children: Vec<State<P>>,
+    violations: Vec<FoundViolation>,
+    depth_bounded: bool,
+}
+
+/// Contiguous, near-even, in-order split of `0..len` into at most
+/// `chunks` non-empty ranges.
+fn chunk_ranges(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Exhaustively explore message-delivery interleavings with the default
+/// [`FingerprintHasher`]. See [`explore_with_hasher`] for the mechanics.
 ///
 /// * `make_procs` builds the initial configuration (fresh per call).
 /// * `invocations[p]` is consumed at `p`'s first step (with `on_start`).
@@ -226,18 +783,72 @@ pub fn explore<P, D>(
     make_procs: impl Fn() -> Vec<P>,
     invocations: Vec<Option<P::Inv>>,
     pattern: &FailurePattern,
-    mut detector: D,
-    mut safety: impl FnMut(&[P], &[(ProcessId, P::Output)]) -> Result<(), String>,
+    detector: D,
+    safety: impl Fn(&[P], &[(ProcessId, P::Output)]) -> Result<(), String> + Sync,
 ) -> ExploreReport
 where
-    P: Protocol + Clone + Debug,
-    P::Msg: PartialEq,
-    D: FdOracle<Value = P::Fd>,
+    P: Protocol + Clone + Debug + Send + Sync,
+    P::Msg: Send + Sync,
+    P::Output: Send + Sync,
+    P::Inv: Send + Sync,
+    D: FdOracle<Value = P::Fd> + Send,
 {
+    explore_with_hasher(
+        cfg,
+        FingerprintHasher,
+        make_procs,
+        invocations,
+        pattern,
+        detector,
+        safety,
+    )
+}
+
+/// [`explore`] with an explicit [`StateHasher`].
+///
+/// Traversal: batched depth-first. Each round pops up to
+/// [`ExploreConfig::batch`] states off the frontier stack (`batch == 1` is
+/// bit-for-bit the classic DFS), fingerprints them in parallel against
+/// the sharded seen-table, resolves the budget-aware revisit rule
+/// *sequentially in batch order* (the rule is order-dependent), then
+/// fans the survivors across the workers for safety checking and
+/// expansion. Children are merged back onto the stack in survivor order,
+/// and a batch with violations reports the lexicographically-least
+/// decision list among them — every step is either order-independent or
+/// resolved in a fixed order, which is why the worker count cannot
+/// change the report.
+pub fn explore_with_hasher<H, P, D>(
+    cfg: ExploreConfig,
+    hasher: H,
+    make_procs: impl Fn() -> Vec<P>,
+    invocations: Vec<Option<P::Inv>>,
+    pattern: &FailurePattern,
+    detector: D,
+    safety: impl Fn(&[P], &[(ProcessId, P::Output)]) -> Result<(), String> + Sync,
+) -> ExploreReport
+where
+    H: StateHasher,
+    P: Protocol + Clone + Debug + Send + Sync,
+    P::Msg: Send + Sync,
+    P::Output: Send + Sync,
+    P::Inv: Send + Sync,
+    D: FdOracle<Value = P::Fd> + Send,
+{
+    let threads = cfg
+        .threads
+        .unwrap_or_else(crate::par::explore_threads)
+        .max(1);
+    let batch_cap = cfg.batch.max(1);
     let root = initial_state(make_procs(), invocations);
     let n = root.procs.len();
+    let detector = Mutex::new(detector);
+    let env = StepEnv {
+        pattern,
+        detector: &detector,
+        n,
+    };
 
-    // Dedup map: state key → lowest depth at which it was expanded. A
+    // Seen-table: state key → lowest depth at which it was expanded. A
     // revisit is pruned only when the previous expansion had an
     // equal-or-lower depth (i.e. at least as much remaining budget); a
     // strictly shallower revisit re-expands, because it can reach states
@@ -245,112 +856,303 @@ where
     // includes the output history: the safety predicate reads outputs, so
     // two branches that converge in `(procs, inboxes, started)` but
     // emitted different outputs are *different* states to the checker.
-    // (`pending_inv` is determined by `started` plus the fixed initial
-    // invocation vector, so it needs no key component.)
-    let mut seen: HashMap<String, usize> = HashMap::new();
+    let shards: Vec<Mutex<HashMap<H::Key, usize>>> = (0..SHARD_COUNT)
+        .map(|_| Mutex::new(HashMap::new()))
+        .collect();
+
     let mut stack = vec![root];
+    // Free-list arena and child buffers, one slot per worker, persistent
+    // across batches. All hand-offs move `Vec` *headers* (O(1)), never
+    // elements — shuffling states between a shared arena and per-chunk
+    // lists element-wise costs more than the allocations it saves.
+    let free_pools: Vec<Mutex<Vec<State<P>>>> =
+        (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    let child_bufs: Vec<Mutex<Vec<State<P>>>> =
+        (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    let mut next_pool = 0usize;
+    let mut survivors: Vec<State<P>> = Vec::new();
+
     let mut states_visited = 0usize;
     let mut depth_bounded = false;
     let mut states_capped = false;
+    let mut dedup_hits = 0usize;
+    let mut max_frontier_len = 0usize;
+    let halt = AtomicBool::new(false);
 
-    while let Some(state) = stack.pop() {
+    let found = loop {
+        max_frontier_len = max_frontier_len.max(stack.len());
+        if stack.is_empty() {
+            break None;
+        }
         if states_visited >= cfg.max_states {
             states_capped = true;
-            break;
+            break None;
         }
-        if cfg.dedup {
-            let key = format!(
-                "{:?}|{:?}|{:?}|{:?}",
-                state.procs, state.inboxes, state.started, state.outputs
+
+        // The batch is the top `take` states of the stack; batch index
+        // `j` is stack slot `len - 1 - j`, so batch order is pop order
+        // and `batch == 1` reproduces the depth-first order exactly. The
+        // states are keyed *in place* — they move at most once, straight
+        // into `survivors`.
+        let take = batch_cap.min(stack.len());
+        let top = stack.len();
+
+        survivors.clear();
+        let mut recycle_rr = |s: State<P>| {
+            recycle(
+                s,
+                &mut free_pools[next_pool % threads]
+                    .lock()
+                    .expect("free pool poisoned"),
             );
-            match seen.get_mut(&key) {
-                Some(prev_depth) if *prev_depth <= state.depth => continue,
-                Some(prev_depth) => *prev_depth = state.depth,
-                None => {
-                    seen.insert(key, state.depth);
+            next_pool = next_pool.wrapping_add(1);
+        };
+        if cfg.dedup {
+            // Key phase (parallel): fingerprint every batch state and
+            // pre-read the committed table. Committed depths only ever
+            // decrease, so a pre-read prune verdict can never be
+            // invalidated by the sequential pass below — pre-reads are a
+            // pure early-out that moves lookup work into the parallel
+            // section, so with one worker they are skipped outright (the
+            // resolution pass below is authoritative either way).
+            let pre_read = threads > 1;
+            let ranges = chunk_ranges(take, threads);
+            let keyed = par_map_with(&ranges, threads, |_, range| {
+                let mut keys = Vec::with_capacity(range.len());
+                let mut pre_pruned = Vec::with_capacity(range.len());
+                let mut outputs = Vec::new();
+                for j in range.clone() {
+                    let state = &stack[top - 1 - j];
+                    materialize_outputs(&state.outputs, state.outputs_len, &mut outputs);
+                    let key = hasher.key(&state.procs, &state.inboxes, &state.started, &outputs);
+                    let pruned = pre_read && {
+                        let shard = shards[H::shard(&key, SHARD_COUNT)]
+                            .lock()
+                            .expect("shard poisoned");
+                        match shard.get(&key) {
+                            Some(prev) => !cfg.budget_aware || *prev <= state.depth,
+                            None => false,
+                        }
+                    };
+                    keys.push(key);
+                    pre_pruned.push(pruned);
+                }
+                (keys, pre_pruned)
+            });
+
+            // Resolution phase (sequential, batch order): the revisit
+            // rule is order-dependent *within* a batch, so it runs in the
+            // one fixed order every thread count shares.
+            for (keys, pre_pruned) in keyed {
+                for (key, pre) in keys.into_iter().zip(pre_pruned) {
+                    let state = stack.pop().expect("batch within stack");
+                    let keep = !pre && {
+                        let mut shard = shards[H::shard(&key, SHARD_COUNT)]
+                            .lock()
+                            .expect("shard poisoned");
+                        match shard.entry(key) {
+                            Entry::Occupied(mut e) => {
+                                if !cfg.budget_aware || *e.get() <= state.depth {
+                                    false
+                                } else {
+                                    *e.get_mut() = state.depth;
+                                    true
+                                }
+                            }
+                            Entry::Vacant(v) => {
+                                v.insert(state.depth);
+                                true
+                            }
+                        }
+                    };
+                    if keep {
+                        survivors.push(state);
+                    } else {
+                        dedup_hits += 1;
+                        recycle_rr(state);
+                    }
                 }
             }
+        } else {
+            survivors.extend(stack.drain(top - take..).rev());
         }
-        states_visited += 1;
 
-        if let Err(message) = safety(&state.procs, &state.outputs) {
-            return ExploreReport {
-                states_visited,
-                depth_bounded,
-                states_capped,
-                violation: Some(ExploreViolation {
-                    message,
-                    decisions: state.decisions,
-                }),
-            };
+        // Enforce the state cap mid-batch, in batch order, so the set of
+        // expanded states is identical at every thread count.
+        let remaining = cfg.max_states - states_visited;
+        if survivors.len() > remaining {
+            states_capped = true;
+            for s in survivors.drain(remaining..) {
+                recycle_rr(s);
+            }
         }
-        if state.depth >= cfg.max_depth {
-            depth_bounded = true;
+        states_visited += survivors.len();
+        if survivors.is_empty() {
             continue;
         }
 
-        let t = state.depth as Time;
-        for p in ProcessId::all(n) {
-            if pattern.is_crashed(p, t) {
-                continue;
+        // Expansion phase (parallel): safety-check and expand each
+        // survivor chunk; each chunk draws from (and returns to) its own
+        // slot of the free-list arena.
+        let ranges = chunk_ranges(survivors.len(), threads);
+        let outs = par_map_with(&ranges, threads, |slot, range| {
+            let mut free = std::mem::take(&mut *free_pools[slot].lock().expect("pool poisoned"));
+            let mut out = ChunkOut {
+                children: std::mem::take(
+                    &mut *child_bufs[slot].lock().expect("child buf poisoned"),
+                ),
+                violations: Vec::new(),
+                depth_bounded: false,
+            };
+            let mut outputs = Vec::new();
+            let mut bufs: (SendBuf<P>, Vec<P::Output>) = (Vec::new(), Vec::new());
+            for state in &survivors[range.clone()] {
+                materialize_outputs(&state.outputs, state.outputs_len, &mut outputs);
+                if let Err(message) = safety(&state.procs, &outputs) {
+                    out.violations.push(FoundViolation {
+                        message,
+                        decisions: materialize_decisions(&state.decisions),
+                    });
+                    halt.store(true, Ordering::Relaxed);
+                    continue;
+                }
+                if state.depth >= cfg.max_depth {
+                    out.depth_bounded = true;
+                    continue;
+                }
+                // Any violation in this batch ends the exploration and
+                // discards every child, so *expansion* (and only
+                // expansion — flags and violations above stay exact) may
+                // be skipped once one is seen.
+                if halt.load(Ordering::Relaxed) {
+                    continue;
+                }
+                let t = state.depth as Time;
+                for p in ProcessId::all(n) {
+                    if pattern.is_crashed(p, t) {
+                        continue;
+                    }
+                    let idx = p.index();
+                    // First step (start + invocation) and λ steps are both
+                    // the single `None` choice; otherwise branch over
+                    // every pending message. Choices are iterated
+                    // directly — no per-(state, process) vector.
+                    if !state.started[idx] || state.inboxes[idx].is_empty() {
+                        let mut dst = free.pop().unwrap_or_else(State::blank);
+                        apply_step_into(&env, state, &mut dst, p, None, &mut bufs);
+                        out.children.push(dst);
+                    } else {
+                        for i in 0..state.inboxes[idx].len() {
+                            let mut dst = free.pop().unwrap_or_else(State::blank);
+                            apply_step_into(&env, state, &mut dst, p, Some(i), &mut bufs);
+                            out.children.push(dst);
+                        }
+                    }
+                }
             }
-            // Branch over the step kinds available to p.
-            // First step (start + invocation) and λ steps are both the
-            // single `None` choice; otherwise branch over every pending
-            // message.
-            let choices: Vec<Option<usize>> =
-                if !state.started[p.index()] || state.inboxes[p.index()].is_empty() {
-                    vec![None]
-                } else {
-                    (0..state.inboxes[p.index()].len()).map(Some).collect()
-                };
-            for choice in choices {
-                stack.push(apply_step(&state, p, choice, pattern, &mut detector, n));
-            }
-        }
-    }
+            // Hand the (possibly drained) free list back — a Vec-header
+            // move, not an element copy.
+            *free_pools[slot].lock().expect("pool poisoned") = free;
+            out
+        });
 
+        // Merge (sequential, chunk order — so the stack layout, flags and
+        // the chosen counterexample are independent of scheduling).
+        let mut violations: Vec<FoundViolation> = Vec::new();
+        for (slot, mut out) in outs.into_iter().enumerate() {
+            depth_bounded |= out.depth_bounded;
+            violations.append(&mut out.violations);
+            stack.append(&mut out.children);
+            // `append` left `children` empty but with its capacity — hand
+            // it back so the next batch reuses the allocation.
+            *child_bufs[slot].lock().expect("child buf poisoned") = out.children;
+        }
+        for s in survivors.drain(..) {
+            recycle_rr(s);
+        }
+        max_frontier_len = max_frontier_len.max(stack.len());
+        if let Some(best) = violations
+            .into_iter()
+            .min_by(|a, b| a.decisions.cmp(&b.decisions))
+        {
+            break Some(best);
+        }
+    };
+
+    let dedup_entries = shards
+        .iter()
+        .map(|s| s.lock().expect("shard poisoned").len())
+        .sum();
     ExploreReport {
         states_visited,
         depth_bounded,
         states_capped,
-        violation: None,
+        violation: found.map(|v| ExploreViolation {
+            message: v.message,
+            decisions: v.decisions,
+        }),
+        dedup_entries,
+        dedup_hits,
+        max_frontier_len,
+        threads_used: threads,
     }
 }
 
 /// Re-execute one decision list under [`explore`]'s step semantics.
+///
+/// `decisions` is the *materialized* (flat, oldest-first) decision list —
+/// the format of [`ExploreViolation::decisions`] and of explore-sourced
+/// [`crate::repro`] artifacts: one `(actor, message choice)` pair per
+/// step, where the choice is `None` for a first step or λ and `Some(i)`
+/// for delivery of inbox position `i` at that moment. (Internally the
+/// explorer keeps decisions as shared-prefix chains; they are flattened
+/// into this form before they ever leave it.)
 ///
 /// Runs the single branch described by `decisions` from the initial
 /// configuration, evaluating `safety` in the initial state and after every
 /// step, and returns the first violation (`Err`) or `Ok(())` if the branch
 /// completes safely. Replaying the decision list of an
 /// [`ExploreViolation`] over the same inputs reproduces its violation
-/// message exactly.
+/// message exactly — including counterexamples found by multi-threaded
+/// explorations, since the report is thread-count-invariant.
 ///
 /// The replay is deterministic even for *mutated* decision lists (as
-/// produced by [`crate::shrink`]): steps by crashed processes are skipped
-/// and out-of-range message choices are clamped to the oldest message.
+/// produced by [`crate::shrink`]): steps by out-of-range or crashed
+/// processes are skipped and out-of-range message choices are clamped to
+/// the oldest message.
 pub fn replay_explore<P, D>(
     decisions: &[ExploreDecision],
     make_procs: impl Fn() -> Vec<P>,
     invocations: Vec<Option<P::Inv>>,
     pattern: &FailurePattern,
-    mut detector: D,
+    detector: D,
     mut safety: impl FnMut(&[P], &[(ProcessId, P::Output)]) -> Result<(), String>,
 ) -> Result<(), String>
 where
     P: Protocol + Clone + Debug,
     D: FdOracle<Value = P::Fd>,
 {
-    let mut state = initial_state(make_procs(), invocations);
-    let n = state.procs.len();
-    safety(&state.procs, &state.outputs)?;
+    let mut cur = initial_state(make_procs(), invocations);
+    let n = cur.procs.len();
+    let detector = Mutex::new(detector);
+    let env = StepEnv {
+        pattern,
+        detector: &detector,
+        n,
+    };
+    let mut next: State<P> = State::blank();
+    let mut outputs = Vec::new();
+    let mut bufs: (SendBuf<P>, Vec<P::Output>) = (Vec::new(), Vec::new());
+    materialize_outputs(&cur.outputs, cur.outputs_len, &mut outputs);
+    safety(&cur.procs, &outputs)?;
     for &(p, choice) in decisions {
-        if p.index() >= n || pattern.is_crashed(p, state.depth as Time) {
+        if p.index() >= n || pattern.is_crashed(p, cur.depth as Time) {
             continue;
         }
-        state = apply_step(&state, p, choice, pattern, &mut detector, n);
-        safety(&state.procs, &state.outputs)?;
+        apply_step_into(&env, &cur, &mut next, p, choice, &mut bufs);
+        std::mem::swap(&mut cur, &mut next);
+        materialize_outputs(&cur.outputs, cur.outputs_len, &mut outputs);
+        safety(&cur.procs, &outputs)?;
     }
     Ok(())
 }
@@ -558,6 +1360,142 @@ mod tests {
         );
     }
 
+    #[test]
+    fn thread_count_is_invisible_to_the_report() {
+        // Acceptance shape: identical reports for 1, 2 and 4 threads on
+        // both a safe and a planted-violation workload — byte-identical
+        // modulo the informational `threads_used` field.
+        for plant in [false, true] {
+            let run = |threads: usize| {
+                explore(
+                    ExploreConfig::new(8).with_threads(threads),
+                    two_taggers,
+                    vec![Some(1), Some(2)],
+                    &FailurePattern::failure_free(2),
+                    NoDetector,
+                    move |_, outputs: &[(ProcessId, u8)]| {
+                        if plant && outputs.iter().any(|(_, o)| *o == 2) {
+                            Err("saw a 2".into())
+                        } else {
+                            Ok(())
+                        }
+                    },
+                )
+            };
+            let normalized = |mut r: ExploreReport| {
+                r.threads_used = 0;
+                format!("{r:?}")
+            };
+            let one = run(1);
+            assert_eq!(one.threads_used, 1);
+            assert_eq!(one.violation.is_some(), plant);
+            for threads in [2, 4] {
+                let many = run(threads);
+                assert_eq!(many.threads_used, threads);
+                assert!(one.same_semantics(&many), "{one:?} vs {many:?}");
+                assert_eq!(normalized(one.clone()), normalized(many));
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_and_exact_key_produce_identical_reports() {
+        let run = |exact: bool| {
+            let cfg = ExploreConfig::new(8).with_threads(2);
+            let safety = |_: &[Tag], outputs: &[(ProcessId, u8)]| {
+                if outputs.iter().any(|(_, o)| *o == 2) {
+                    Err("saw a 2".to_string())
+                } else {
+                    Ok(())
+                }
+            };
+            let pattern = FailurePattern::failure_free(2);
+            if exact {
+                explore_with_hasher(
+                    cfg,
+                    ExactKeyHasher,
+                    two_taggers,
+                    vec![Some(1), Some(2)],
+                    &pattern,
+                    NoDetector,
+                    safety,
+                )
+            } else {
+                explore_with_hasher(
+                    cfg,
+                    FingerprintHasher,
+                    two_taggers,
+                    vec![Some(1), Some(2)],
+                    &pattern,
+                    NoDetector,
+                    safety,
+                )
+            }
+        };
+        let fp = run(false);
+        let exact = run(true);
+        assert!(fp.same_semantics(&exact), "{fp:?} vs {exact:?}");
+    }
+
+    #[test]
+    fn observability_fields_are_populated() {
+        let report = explore(
+            ExploreConfig::new(8),
+            two_taggers,
+            vec![Some(1), Some(2)],
+            &FailurePattern::failure_free(2),
+            NoDetector,
+            |_, _| Ok(()),
+        );
+        assert!(report.dedup_entries > 0);
+        assert!(report.dedup_entries <= report.states_visited);
+        assert!(report.dedup_hits > 0, "delivery orders converge on Tag");
+        assert!(report.max_frontier_len >= 1);
+        assert!(report.threads_used >= 1);
+        let json = report.to_json();
+        for field in [
+            "states_visited",
+            "dedup_entries",
+            "dedup_hits",
+            "max_frontier_len",
+            "threads_used",
+            "violation",
+        ] {
+            assert!(json.get(field).is_some(), "missing {field}");
+        }
+
+        let off = explore(
+            ExploreConfig::new(8).with_dedup(false),
+            two_taggers,
+            vec![Some(1), Some(2)],
+            &FailurePattern::failure_free(2),
+            NoDetector,
+            |_, _| Ok(()),
+        );
+        assert_eq!(off.dedup_entries, 0);
+        assert_eq!(off.dedup_hits, 0);
+    }
+
+    #[test]
+    fn shared_prefix_chains_drop_iteratively() {
+        // A depth-200k chain must unlink without recursing (one stack
+        // frame per node would overflow long before that).
+        let mut decisions: Option<Arc<DecisionNode>> = None;
+        let mut outputs: Option<Arc<OutputNode<Tag>>> = None;
+        for i in 0..200_000usize {
+            decisions = Some(Arc::new(DecisionNode {
+                decision: (ProcessId(i % 2), None),
+                parent: decisions,
+            }));
+            outputs = Some(Arc::new(OutputNode {
+                output: (ProcessId(i % 2), i as u8),
+                parent: outputs,
+            }));
+        }
+        drop(decisions);
+        drop(outputs);
+    }
+
     /// Regression fixture for the depth-budget dedup bug: p0 must receive
     /// p1's hello and then tick three times to emit the forbidden output.
     /// DFS reaches the post-hello state first via a depth-wasting branch
@@ -600,9 +1538,9 @@ mod tests {
         }
     }
 
-    fn depth_bug_report(dedup: bool) -> ExploreReport {
+    fn depth_bug_report(cfg: ExploreConfig) -> ExploreReport {
         explore(
-            ExploreConfig::new(6).with_dedup(dedup),
+            cfg,
             || vec![DepthBug::default(), DepthBug::default()],
             vec![None, None],
             &FailurePattern::failure_free(2),
@@ -620,7 +1558,7 @@ mod tests {
     #[test]
     fn dedup_must_not_prune_shallower_revisits_with_remaining_budget() {
         // The violation needs depth 6 exactly; without dedup it is found.
-        let no_dedup = depth_bug_report(false);
+        let no_dedup = depth_bug_report(ExploreConfig::new(6).with_dedup(false));
         assert!(
             no_dedup.violation.is_some(),
             "sanity: the violation is reachable within the depth bound"
@@ -628,11 +1566,25 @@ mod tests {
         // With dedup on, the first visit of the pre-violation state happens
         // at depth 4 (via p1's tick cycle); the depth-2 revisit must be
         // re-expanded, not pruned, or the violation is missed.
-        let dedup = depth_bug_report(true);
+        let dedup = depth_bug_report(ExploreConfig::new(6));
         assert!(
             dedup.violation.is_some(),
             "dedup pruned a shallower revisit that still had budget \
              (the documented exhaustive-up-to-depth guarantee is broken)"
+        );
+    }
+
+    #[test]
+    fn weakened_budget_rule_still_reproduces_the_historical_bug() {
+        // The fixture is only trustworthy if it *fails* when the budget
+        // rule is deliberately weakened back to "prune any revisit"
+        // (batch 1 pins the original DFS visit order the bug needs).
+        let weakened =
+            depth_bug_report(ExploreConfig::new(6).with_batch(1).with_budget_aware(false));
+        assert!(
+            weakened.violation.is_none(),
+            "the weakened rule unexpectedly found the violation — the \
+             regression fixture no longer exercises the budget rule"
         );
     }
 
@@ -660,25 +1612,26 @@ mod tests {
         }
     }
 
+    fn emit_bug_safety(_: &[EmitBug], outputs: &[(ProcessId, u8)]) -> Result<(), String> {
+        if outputs.len() == 2 && outputs[0].1 == 1 && outputs[1].1 == 2 {
+            Err("delivered 1 before 2".to_string())
+        } else {
+            Ok(())
+        }
+    }
+
     #[test]
     fn dedup_key_must_distinguish_output_histories() {
         // DFS explores the "deliver 2 first" order first, so the branch
         // with output history [1, 2] is the one the old dedup merged away
         // before the predicate ever saw it.
-        let safety = |_: &[EmitBug], outputs: &[(ProcessId, u8)]| {
-            if outputs.len() == 2 && outputs[0].1 == 1 && outputs[1].1 == 2 {
-                Err("delivered 1 before 2".to_string())
-            } else {
-                Ok(())
-            }
-        };
         let report = explore(
             ExploreConfig::new(6),
             || vec![EmitBug, EmitBug],
             vec![None, None],
             &FailurePattern::failure_free(2),
             NoDetector,
-            safety,
+            emit_bug_safety,
         );
         let violation = report
             .violation
@@ -692,8 +1645,45 @@ mod tests {
             vec![None, None],
             &FailurePattern::failure_free(2),
             NoDetector,
-            safety,
+            emit_bug_safety,
         );
         assert_eq!(replayed, Err(violation.message));
+    }
+
+    /// A deliberately output-blind key — the historical EmitBug dedup,
+    /// expressed as a [`StateHasher`] to prove the fixture still bites on
+    /// a weakened key and passes on the real fingerprint path.
+    struct OutputBlindHasher;
+
+    impl StateHasher for OutputBlindHasher {
+        type Key = String;
+
+        fn key<P: Protocol + Debug>(
+            &self,
+            procs: &[P],
+            inboxes: &[Vec<(ProcessId, P::Msg)>],
+            started: &[bool],
+            _outputs: &[(ProcessId, P::Output)],
+        ) -> String {
+            format!("{procs:?}|{inboxes:?}|{started:?}")
+        }
+    }
+
+    #[test]
+    fn output_blind_hasher_still_reproduces_the_historical_bug() {
+        let report = explore_with_hasher(
+            ExploreConfig::new(6).with_batch(1),
+            OutputBlindHasher,
+            || vec![EmitBug, EmitBug],
+            vec![None, None],
+            &FailurePattern::failure_free(2),
+            NoDetector,
+            emit_bug_safety,
+        );
+        assert!(
+            report.violation.is_none(),
+            "the output-blind key unexpectedly found the violation — the \
+             regression fixture no longer exercises the outputs key component"
+        );
     }
 }

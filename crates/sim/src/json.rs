@@ -52,6 +52,11 @@ impl Json {
         Json::Str(s.to_string())
     }
 
+    /// A boolean value.
+    pub fn bool(v: bool) -> Json {
+        Json::Bool(v)
+    }
+
     /// Object field lookup (first match).
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {

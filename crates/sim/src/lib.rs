@@ -65,10 +65,13 @@
 
 mod engine;
 pub mod explore;
+#[doc(hidden)]
+pub mod explore_baseline;
 mod failure;
 mod id;
 pub mod json;
 mod oracle;
+pub mod par;
 mod protocol;
 pub mod repro;
 mod rng;
@@ -78,7 +81,8 @@ mod trace;
 
 pub use engine::{RunOutcome, Sim, SimConfig, StopReason};
 pub use explore::{
-    explore, replay_explore, ExploreConfig, ExploreDecision, ExploreReport, ExploreViolation,
+    explore, explore_with_hasher, replay_explore, ExactKeyHasher, ExploreConfig, ExploreDecision,
+    ExploreReport, ExploreViolation, FingerprintHasher, StateHasher,
 };
 pub use failure::{Environment, FailurePattern, PatternSampler};
 pub use id::{ProcessId, ProcessSet, Time};

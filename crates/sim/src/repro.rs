@@ -226,7 +226,10 @@ pub enum ReproDecisions {
     /// message-id picks, in [`crate::RecordedSchedule`] order.
     Engine(Vec<Decision>),
     /// Explorer steps ([`ReproSource::Explore`]): `(actor, inbox index)`
-    /// pairs, in branch order.
+    /// pairs, flat and oldest-first. This is the *materialized* form the
+    /// explorer exports (internally it keeps decisions as shared-prefix
+    /// chains); it is exactly what
+    /// [`replay_explore`](crate::replay_explore) consumes.
     Explore(Vec<ExploreDecision>),
 }
 

@@ -1,18 +1,33 @@
-//! Seeded property sweep: state deduplication must be *invisible* to the
-//! explorer's verdict.
+//! Seeded property sweep: neither state deduplication, the dedup key
+//! representation, nor the worker count may change the explorer's verdict.
 //!
-//! Dedup is a pure optimization — it may collapse the state count, but
-//! for every (protocol, pattern, checker, depth) it must produce the same
-//! answer as the brute-force search: the same violation (sound dedup only
-//! prunes subtrees that were already explored violation-free with at
-//! least as much remaining depth budget, so even the *first* violation
-//! found in DFS order is identical), or a clean pass in both.
+//! Three equivalence ladders over a 40-seed family of randomized
+//! protocols:
 //!
-//! This is the regression net for the two historical dedup bugs (pruning
-//! shallower revisits with remaining budget; merging states that differed
-//! only in output history) across a randomized family of protocols.
+//! 1. **Key representation is invisible** — [`FingerprintHasher`] and
+//!    [`ExactKeyHasher`] traverse the identical state graph, so their
+//!    reports must agree on *every* semantic field (strict
+//!    [`ExploreReport::same_semantics`]). This is the collision check for
+//!    the 128-bit fingerprint.
+//! 2. **Dedup is invisible to the verdict** — fingerprint-dedup,
+//!    exact-key-dedup, and dedup-off all agree on whether a violation
+//!    exists and on the states-capped flag. (With batched traversal the
+//!    *specific* counterexample may differ between dedup on/off: dedup
+//!    changes which states share the first violating batch, and the
+//!    report picks the lexicographically-least violation of that batch.
+//!    At `batch == 1` — classic DFS — even the message is identical, and
+//!    a dedicated ladder asserts exactly that.)
+//! 3. **Thread count is invisible, period** — reports at 1, 2, and 4
+//!    workers are byte-identical modulo the informational `threads_used`.
+//!
+//! This is also the regression net for the two historical dedup bugs
+//! (pruning shallower revisits with remaining budget; merging states that
+//! differed only in output history): both would break ladder 2.
 
-use wfd_sim::{explore, Ctx, ExploreConfig, FailurePattern, NoDetector, ProcessId, Protocol, Time};
+use wfd_sim::{
+    explore_with_hasher, Ctx, ExactKeyHasher, ExploreConfig, ExploreReport, FailurePattern,
+    FingerprintHasher, NoDetector, ProcessId, Protocol, Time,
+};
 
 /// A seed-parameterized toy protocol: on start, broadcast a burst of
 /// tagged messages; on receipt, mix the tag into an accumulator, output
@@ -59,56 +74,99 @@ impl Protocol for Mixer {
     }
 }
 
-fn run_family(seed: u64, dedup: bool) -> (Option<String>, bool, bool) {
-    let n = 2;
-    let pattern = if seed.is_multiple_of(4) {
-        FailurePattern::failure_free(n).with_crash(ProcessId(1), (seed % 5) as Time)
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Fingerprint,
+    ExactKey,
+    DedupOff,
+}
+
+fn family_pattern(seed: u64) -> FailurePattern {
+    if seed.is_multiple_of(4) {
+        FailurePattern::failure_free(2).with_crash(ProcessId(1), (seed % 5) as Time)
     } else {
-        FailurePattern::failure_free(n)
-    };
+        FailurePattern::failure_free(2)
+    }
+}
+
+fn family_cfg(seed: u64) -> ExploreConfig {
+    ExploreConfig::new(4 + (seed as usize % 4)).with_max_states(500_000)
+}
+
+fn run_family(seed: u64, mode: Mode, cfg: ExploreConfig) -> ExploreReport {
+    let pattern = family_pattern(seed);
     // A seed-dependent safety bar some families break and others respect.
     let bar = 20 + (seed % 30);
-    let report = explore(
-        ExploreConfig::new(4 + (seed as usize % 4))
-            .with_max_states(500_000)
-            .with_dedup(dedup),
-        || (0..n).map(|_| Mixer::family(seed)).collect(),
-        vec![None, None],
-        &pattern,
-        NoDetector,
-        |_procs, outputs| match outputs.iter().find(|(_, acc)| *acc > bar) {
-            Some((p, acc)) => Err(format!("{p} accumulated {acc} > {bar}")),
-            None => Ok(()),
-        },
-    );
-    (
-        report.violation.map(|v| v.message),
-        report.depth_bounded,
-        report.states_capped,
-    )
+    let cfg = match mode {
+        Mode::DedupOff => cfg.with_dedup(false),
+        _ => cfg,
+    };
+    let make = move || (0..2).map(|_| Mixer::family(seed)).collect::<Vec<_>>();
+    let safety = move |_procs: &[Mixer], outputs: &[(ProcessId, u64)]| match outputs
+        .iter()
+        .find(|(_, acc)| *acc > bar)
+    {
+        Some((p, acc)) => Err(format!("{p} accumulated {acc} > {bar}")),
+        None => Ok(()),
+    };
+    match mode {
+        Mode::ExactKey => explore_with_hasher(
+            cfg,
+            ExactKeyHasher,
+            make,
+            vec![None, None],
+            &pattern,
+            NoDetector,
+            safety,
+        ),
+        _ => explore_with_hasher(
+            cfg,
+            FingerprintHasher,
+            make,
+            vec![None, None],
+            &pattern,
+            NoDetector,
+            safety,
+        ),
+    }
 }
 
 #[test]
-fn dedup_never_changes_the_verdict_across_seeded_families() {
+fn key_representation_and_dedup_never_change_the_verdict() {
     let mut violating_families = 0;
     let mut clean_families = 0;
     for seed in 0..40 {
-        let (with_dedup, bounded_d, capped_d) = run_family(seed, true);
-        let (without_dedup, bounded_b, capped_b) = run_family(seed, false);
-        assert!(!capped_d && !capped_b, "seed {seed}: state cap hit");
+        let fp = run_family(seed, Mode::Fingerprint, family_cfg(seed));
+        let exact = run_family(seed, Mode::ExactKey, family_cfg(seed));
+        let brute = run_family(seed, Mode::DedupOff, family_cfg(seed));
+        assert!(
+            !fp.states_capped && !brute.states_capped,
+            "seed {seed}: state cap hit"
+        );
+
+        // Ladder 1 (strict): the fingerprint must be a drop-in for the
+        // exact key — identical traversal, counts, flags, counterexample.
+        assert!(
+            fp.same_semantics(&exact),
+            "seed {seed}: fingerprint diverged from exact key\n{fp:?}\nvs\n{exact:?}"
+        );
+
+        // Ladder 2: dedup on/off agree on the verdict and flags.
         assert_eq!(
-            with_dedup, without_dedup,
-            "seed {seed}: dedup changed the verdict"
+            fp.violation.is_some(),
+            brute.violation.is_some(),
+            "seed {seed}: dedup changed the verdict\n{fp:?}\nvs\n{brute:?}"
         );
         // Dedup may *clear* the depth-bounded flag (a deep revisit that
         // would have hit the bound is pruned because its subtree was
         // already covered in full from a shallower visit), but it can
         // never introduce a bound-hit brute force does not see.
         assert!(
-            !bounded_d || bounded_b,
+            !fp.depth_bounded || brute.depth_bounded,
             "seed {seed}: dedup invented a depth-bound hit"
         );
-        match with_dedup {
+
+        match fp.violation {
             Some(_) => violating_families += 1,
             None => clean_families += 1,
         }
@@ -121,26 +179,64 @@ fn dedup_never_changes_the_verdict_across_seeded_families() {
     assert!(clean_families >= 5, "sweep too strict: {clean_families}");
 }
 
+/// At `batch == 1` the traversal is the classic depth-first search, and
+/// the PR 2 guarantee holds verbatim: sound dedup only prunes subtrees
+/// already explored violation-free with at least as much remaining depth
+/// budget, so even the *first* violation found is identical, message and
+/// all.
+#[test]
+fn at_batch_one_dedup_preserves_the_exact_counterexample() {
+    for seed in 0..40 {
+        let dfs = |mode| run_family(seed, mode, family_cfg(seed).with_batch(1).with_threads(1));
+        let with_dedup = dfs(Mode::Fingerprint);
+        let without = dfs(Mode::DedupOff);
+        assert_eq!(
+            with_dedup.violation.map(|v| v.message),
+            without.violation.map(|v| v.message),
+            "seed {seed}: dedup changed the DFS counterexample"
+        );
+    }
+}
+
+/// Reports at 1, 2 and 4 worker threads must be byte-identical modulo the
+/// informational `threads_used` field — across the whole seeded family,
+/// violating and clean alike.
+#[test]
+fn thread_count_never_changes_the_report() {
+    for seed in 0..40 {
+        let one = run_family(seed, Mode::Fingerprint, family_cfg(seed).with_threads(1));
+        for threads in [2, 4] {
+            let many = run_family(
+                seed,
+                Mode::Fingerprint,
+                family_cfg(seed).with_threads(threads),
+            );
+            assert_eq!(many.threads_used, threads);
+            assert!(
+                one.same_semantics(&many),
+                "seed {seed}, {threads} threads: report diverged\n{one:?}\nvs\n{many:?}"
+            );
+            let normalize = |r: &ExploreReport| {
+                let mut r = r.clone();
+                r.threads_used = 0;
+                format!("{r:?}")
+            };
+            assert_eq!(normalize(&one), normalize(&many), "seed {seed}");
+        }
+    }
+}
+
 /// Dedup on a clean family may only *reduce* the states expanded, never
 /// miss any verdict-relevant ones — sanity-check the count relation too.
 #[test]
 fn dedup_only_shrinks_the_search() {
     for seed in [1, 2, 3, 5, 6] {
-        let n = 2;
-        let pattern = FailurePattern::failure_free(n);
-        let count = |dedup: bool| {
-            explore(
-                ExploreConfig::new(6)
-                    .with_max_states(500_000)
-                    .with_dedup(dedup),
-                || (0..n).map(|_| Mixer::family(seed)).collect(),
-                vec![None, None],
-                &pattern,
-                NoDetector,
-                |_, _| Ok(()),
-            )
-            .states_visited
+        let count = |mode| {
+            run_family(seed, mode, ExploreConfig::new(6).with_max_states(500_000)).states_visited
         };
-        assert!(count(true) <= count(false), "seed {seed}");
+        assert!(
+            count(Mode::Fingerprint) <= count(Mode::DedupOff),
+            "seed {seed}"
+        );
     }
 }

@@ -202,13 +202,30 @@ fn explore_violations_round_trip_as_repro_artifacts() {
             None => Ok(()),
         }
     };
-    let report = explore(
-        ExploreConfig::new(14).with_max_states(200_000),
-        make_procs,
-        vec![Some(10), Some(20)],
-        &pattern,
-        mk_detector(),
-        checker,
+    let run = |threads| {
+        explore(
+            ExploreConfig::new(14)
+                .with_max_states(200_000)
+                .with_threads(threads),
+            make_procs,
+            vec![Some(10), Some(20)],
+            &pattern,
+            mk_detector(),
+            checker,
+        )
+    };
+    let report = run(1);
+    // The parallel frontier must find the *same* counterexample — on the
+    // real target, not just the unit-test toys.
+    let parallel = run(2);
+    assert_eq!(parallel.threads_used, 2);
+    assert!(
+        report.same_semantics(&parallel),
+        "worker count changed the report:\n{report:?}\nvs\n{parallel:?}"
+    );
+    assert!(
+        report.dedup_entries > 0 && report.max_frontier_len > 0,
+        "observability counters must be populated: {report:?}"
     );
     let violation = report.violation.expect("impossible checker must fail");
 
