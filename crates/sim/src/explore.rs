@@ -647,9 +647,8 @@ fn initial_state<P: Protocol>(procs: Vec<P>, invocations: Vec<Option<P::Inv>>) -
 
 /// Everything a step needs besides the two states: shared between the
 /// parallel expansion workers and the sequential replay.
-struct StepEnv<'a, D> {
+struct StepEnv<'a> {
     pattern: &'a FailurePattern,
-    detector: &'a Mutex<D>,
     n: usize,
 }
 
@@ -660,25 +659,26 @@ struct StepEnv<'a, D> {
 /// Out-of-range choices are clamped deterministically (oldest message), so
 /// shrunk decision lists still define a unique run.
 ///
+/// `fd` is the detector value for this step, sampled by the caller —
+/// oracles are pure functions of `(p, t)` (the FdOracle contract), so
+/// where the sample happens cannot change the step.
+///
 /// `bufs` is the recycled `Ctx` send/output buffer pair — one per worker,
 /// so steady-state stepping allocates nothing.
-fn apply_step_into<P, D>(
-    env: &StepEnv<'_, D>,
+fn apply_step_into<P>(
+    env: &StepEnv<'_>,
     src: &State<P>,
     dst: &mut State<P>,
     p: ProcessId,
+    fd: P::Fd,
     choice: Option<usize>,
     bufs: &mut (SendBuf<P>, Vec<P::Output>),
 ) where
     P: Protocol + Clone,
-    D: FdOracle<Value = P::Fd>,
 {
     let t = src.depth as Time;
     dst.copy_from(src);
     dst.depth += 1;
-    // Oracles are pure functions of `(p, t)` (the FdOracle contract), so
-    // serializing queries through a mutex cannot change any answer.
-    let fd = env.detector.lock().expect("detector poisoned").query(p, t);
     let mut ctx = Ctx::<P>::with_buffers(
         p,
         env.n,
@@ -791,7 +791,8 @@ where
     P::Msg: Send + Sync,
     P::Output: Send + Sync,
     P::Inv: Send + Sync,
-    D: FdOracle<Value = P::Fd> + Send,
+    P::Fd: Sync,
+    D: FdOracle<Value = P::Fd>,
 {
     explore_with_hasher(
         cfg,
@@ -811,6 +812,8 @@ where
 /// bit-for-bit the classic DFS), fingerprints them in parallel against
 /// the sharded seen-table, resolves the budget-aware revisit rule
 /// *sequentially in batch order* (the rule is order-dependent), then
+/// pre-samples the batch's detector answers sequentially (oracles are
+/// pure in `(p, t)`, so the workers read them from a lock-free map), then
 /// fans the survivors across the workers for safety checking and
 /// expansion. Children are merged back onto the stack in survivor order,
 /// and a batch with violations reports the lexicographically-least
@@ -823,7 +826,7 @@ pub fn explore_with_hasher<H, P, D>(
     make_procs: impl Fn() -> Vec<P>,
     invocations: Vec<Option<P::Inv>>,
     pattern: &FailurePattern,
-    detector: D,
+    mut detector: D,
     safety: impl Fn(&[P], &[(ProcessId, P::Output)]) -> Result<(), String> + Sync,
 ) -> ExploreReport
 where
@@ -832,7 +835,8 @@ where
     P::Msg: Send + Sync,
     P::Output: Send + Sync,
     P::Inv: Send + Sync,
-    D: FdOracle<Value = P::Fd> + Send,
+    P::Fd: Sync,
+    D: FdOracle<Value = P::Fd>,
 {
     let threads = cfg
         .threads
@@ -841,12 +845,7 @@ where
     let batch_cap = cfg.batch.max(1);
     let root = initial_state(make_procs(), invocations);
     let n = root.procs.len();
-    let detector = Mutex::new(detector);
-    let env = StepEnv {
-        pattern,
-        detector: &detector,
-        n,
-    };
+    let env = StepEnv { pattern, n };
 
     // Seen-table: state key → lowest depth at which it was expanded. A
     // revisit is pruned only when the previous expansion had an
@@ -871,6 +870,7 @@ where
         (0..threads).map(|_| Mutex::new(Vec::new())).collect();
     let mut next_pool = 0usize;
     let mut survivors: Vec<State<P>> = Vec::new();
+    let mut fd_cache: HashMap<(usize, Time), P::Fd> = HashMap::new();
 
     let mut states_visited = 0usize;
     let mut depth_bounded = false;
@@ -991,6 +991,25 @@ where
             continue;
         }
 
+        // Oracle phase (sequential): detector answers are pure functions
+        // of `(p, t)` (the FdOracle contract), so one query per distinct
+        // pair serves the whole batch from a read-only map — the
+        // expansion workers never contend on the detector.
+        fd_cache.clear();
+        for state in &survivors {
+            if state.depth >= cfg.max_depth {
+                continue;
+            }
+            let t = state.depth as Time;
+            for p in ProcessId::all(n) {
+                if !pattern.is_crashed(p, t) {
+                    fd_cache
+                        .entry((p.index(), t))
+                        .or_insert_with(|| detector.query(p, t));
+                }
+            }
+        }
+
         // Expansion phase (parallel): safety-check and expand each
         // survivor chunk; each chunk draws from (and returns to) its own
         // slot of the free-list arena.
@@ -1020,10 +1039,12 @@ where
                     out.depth_bounded = true;
                     continue;
                 }
-                // Any violation in this batch ends the exploration and
-                // discards every child, so *expansion* (and only
-                // expansion — flags and violations above stay exact) may
-                // be skipped once one is seen.
+                // Any violation in this batch ends the exploration before
+                // any of the batch's children reach the stack (see the
+                // merge step), so *expansion* — and only expansion; flags
+                // and violations above stay exact — may be skipped once
+                // one is seen, even though which children get skipped is
+                // timing-dependent.
                 if halt.load(Ordering::Relaxed) {
                     continue;
                 }
@@ -1033,18 +1054,27 @@ where
                         continue;
                     }
                     let idx = p.index();
+                    let fd = &fd_cache[&(idx, t)];
                     // First step (start + invocation) and λ steps are both
                     // the single `None` choice; otherwise branch over
                     // every pending message. Choices are iterated
                     // directly — no per-(state, process) vector.
                     if !state.started[idx] || state.inboxes[idx].is_empty() {
                         let mut dst = free.pop().unwrap_or_else(State::blank);
-                        apply_step_into(&env, state, &mut dst, p, None, &mut bufs);
+                        apply_step_into(&env, state, &mut dst, p, fd.clone(), None, &mut bufs);
                         out.children.push(dst);
                     } else {
                         for i in 0..state.inboxes[idx].len() {
                             let mut dst = free.pop().unwrap_or_else(State::blank);
-                            apply_step_into(&env, state, &mut dst, p, Some(i), &mut bufs);
+                            apply_step_into(
+                                &env,
+                                state,
+                                &mut dst,
+                                p,
+                                fd.clone(),
+                                Some(i),
+                                &mut bufs,
+                            );
                             out.children.push(dst);
                         }
                     }
@@ -1057,11 +1087,29 @@ where
         });
 
         // Merge (sequential, chunk order — so the stack layout, flags and
-        // the chosen counterexample are independent of scheduling).
+        // the chosen counterexample are independent of scheduling). Flags
+        // and violations are exact at every thread count (the `halt`
+        // early-out skips only expansion), so they merge first; a batch
+        // with violations then ends the exploration *before* its children
+        // touch the stack or the frontier high-water mark. Those children
+        // would be discarded at the break anyway, and how many of them got
+        // expanded is the one thing the racy `halt` flag makes
+        // timing-dependent — merging them would leak that nondeterminism
+        // into `max_frontier_len` and break the thread-count-invariant
+        // report guarantee.
+        let mut outs = outs;
         let mut violations: Vec<FoundViolation> = Vec::new();
-        for (slot, mut out) in outs.into_iter().enumerate() {
+        for out in &mut outs {
             depth_bounded |= out.depth_bounded;
             violations.append(&mut out.violations);
+        }
+        if let Some(best) = violations
+            .into_iter()
+            .min_by(|a, b| a.decisions.cmp(&b.decisions))
+        {
+            break Some(best);
+        }
+        for (slot, mut out) in outs.into_iter().enumerate() {
             stack.append(&mut out.children);
             // `append` left `children` empty but with its capacity — hand
             // it back so the next batch reuses the allocation.
@@ -1070,13 +1118,9 @@ where
         for s in survivors.drain(..) {
             recycle_rr(s);
         }
-        max_frontier_len = max_frontier_len.max(stack.len());
-        if let Some(best) = violations
-            .into_iter()
-            .min_by(|a, b| a.decisions.cmp(&b.decisions))
-        {
-            break Some(best);
-        }
+        // No `max_frontier_len` update here: the loop top re-reads
+        // `stack.len()` before anything can break, so the post-merge
+        // length is always captured there.
     };
 
     let dedup_entries = shards
@@ -1125,7 +1169,7 @@ pub fn replay_explore<P, D>(
     make_procs: impl Fn() -> Vec<P>,
     invocations: Vec<Option<P::Inv>>,
     pattern: &FailurePattern,
-    detector: D,
+    mut detector: D,
     mut safety: impl FnMut(&[P], &[(ProcessId, P::Output)]) -> Result<(), String>,
 ) -> Result<(), String>
 where
@@ -1134,12 +1178,7 @@ where
 {
     let mut cur = initial_state(make_procs(), invocations);
     let n = cur.procs.len();
-    let detector = Mutex::new(detector);
-    let env = StepEnv {
-        pattern,
-        detector: &detector,
-        n,
-    };
+    let env = StepEnv { pattern, n };
     let mut next: State<P> = State::blank();
     let mut outputs = Vec::new();
     let mut bufs: (SendBuf<P>, Vec<P::Output>) = (Vec::new(), Vec::new());
@@ -1149,7 +1188,8 @@ where
         if p.index() >= n || pattern.is_crashed(p, cur.depth as Time) {
             continue;
         }
-        apply_step_into(&env, &cur, &mut next, p, choice, &mut bufs);
+        let fd = detector.query(p, cur.depth as Time);
+        apply_step_into(&env, &cur, &mut next, p, fd, choice, &mut bufs);
         std::mem::swap(&mut cur, &mut next);
         materialize_outputs(&cur.outputs, cur.outputs_len, &mut outputs);
         safety(&cur.procs, &outputs)?;
