@@ -8,7 +8,7 @@
 //! * `baseline_fingerprint` — the same loop with 128-bit fingerprint keys
 //!   (isolates the key-representation axis),
 //! * `optimized_1_thread` — fingerprints + shared-prefix states +
-//!   free-list arena ([`wfd_sim::explore`] at one worker; isolates the
+//!   free-list arena ([`wfd_sim::explore()`] at one worker; isolates the
 //!   state-representation axis),
 //! * `optimized_{2,4}_threads` — the parallel frontier on top.
 //!
@@ -19,15 +19,17 @@
 //!
 //! `--smoke` shrinks the workload and skips the artifact write (unless
 //! `WFD_BENCH_OUT` is set) so CI can exercise the binary in seconds.
-//! Override reps with `WFD_EXPLORE_BENCH_REPS`.
+//! Override reps with `WFD_EXPLORE_BENCH_REPS`. `--metrics[=PATH]` turns
+//! on the [`wfd_sim::obs`] layer for the optimized rungs and appends the
+//! `metrics` block to the artifact (or writes it to `PATH`).
 
 use std::time::Instant;
-use wfd_bench::Table;
+use wfd_bench::{MetricsFlag, Table};
 use wfd_sim::explore_baseline::explore_baseline;
 use wfd_sim::json::Json;
 use wfd_sim::{
-    explore_with_hasher, Ctx, ExactKeyHasher, ExploreConfig, ExploreReport, FailurePattern,
-    FingerprintHasher, NoDetector, ProcessId, Protocol,
+    explore, Ctx, ExactKeyHasher, ExploreConfig, ExploreReport, FailurePattern, FingerprintHasher,
+    NoDetector, ProcessId, Protocol,
 };
 
 /// The benchmark workload: a token-relay mesh with sustained traffic.
@@ -115,7 +117,10 @@ fn time_rung(name: &'static str, reps: usize, run: impl Fn() -> ExploreReport) -
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics = MetricsFlag::take(&mut args);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let obs = metrics.resolve_obs();
     let depth = std::env::var("WFD_EXPLORE_BENCH_DEPTH")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -126,12 +131,16 @@ fn main() {
         .unwrap_or(if smoke { 1 } else { 3 });
     let pattern = FailurePattern::failure_free(N);
     let cfg = ExploreConfig::new(depth).with_max_states(10_000_000);
+    // The optimized rungs carry the obs handle (off unless `--metrics` or
+    // `WFD_METRICS` asked for it — and off costs nothing, which is
+    // exactly what the speedup acceptance gate measures).
+    let optimized = |threads: usize| cfg.clone().with_threads(threads).with_obs(obs.clone());
     let invocations = || vec![None; N];
 
     let rungs = vec![
         time_rung("baseline_string_key", reps, || {
             explore_baseline(
-                cfg,
+                cfg.clone(),
                 ExactKeyHasher,
                 make_procs,
                 invocations(),
@@ -142,7 +151,7 @@ fn main() {
         }),
         time_rung("baseline_fingerprint", reps, || {
             explore_baseline(
-                cfg,
+                cfg.clone(),
                 FingerprintHasher,
                 make_procs,
                 invocations(),
@@ -152,9 +161,8 @@ fn main() {
             )
         }),
         time_rung("optimized_1_thread", reps, || {
-            explore_with_hasher(
-                cfg.with_threads(1),
-                FingerprintHasher,
+            explore(
+                optimized(1),
                 make_procs,
                 invocations(),
                 &pattern,
@@ -163,9 +171,8 @@ fn main() {
             )
         }),
         time_rung("optimized_2_threads", reps, || {
-            explore_with_hasher(
-                cfg.with_threads(2),
-                FingerprintHasher,
+            explore(
+                optimized(2),
                 make_procs,
                 invocations(),
                 &pattern,
@@ -174,9 +181,8 @@ fn main() {
             )
         }),
         time_rung("optimized_4_threads", reps, || {
-            explore_with_hasher(
-                cfg.with_threads(4),
-                FingerprintHasher,
+            explore(
+                optimized(4),
                 make_procs,
                 invocations(),
                 &pattern,
@@ -265,7 +271,7 @@ fn main() {
          combined single-thread {optimized_gain:.2}x over the PR 2 loop"
     );
 
-    let json = Json::Obj(vec![
+    let mut json = Json::Obj(vec![
         (
             "workload".to_string(),
             Json::Obj(vec![
@@ -321,8 +327,21 @@ fn main() {
         ),
     ]);
 
+    if let Some(metrics_json) = metrics.emit(&obs) {
+        let Json::Obj(fields) = &mut json else {
+            unreachable!("artifact root is an object")
+        };
+        fields.push(("metrics".to_string(), metrics_json));
+        // The whole artifact must still parse with the metrics block in.
+        Json::parse(&json.to_string()).expect("artifact with metrics block must parse");
+        println!("(metrics block attached: phase timers, dedup counters, frontier histograms)");
+    }
+
     let out = std::env::var("WFD_BENCH_OUT").ok();
     if smoke && out.is_none() {
+        if metrics.enabled && metrics.path.is_none() {
+            println!("{json}");
+        }
         println!("(smoke run: artifact write skipped)");
         return;
     }

@@ -15,21 +15,26 @@
 //!   shrink pipeline end to end against the intentionally broken
 //!   `fixture:no-decision` checker (a healthy run always violates it) and
 //!   assert the shrinker strictly minimized; exit non-zero otherwise.
+//!
+//! Any mode additionally accepts `--metrics[=PATH]` to switch on the
+//! [`wfd_sim::obs`] layer: the campaign prints its sweep counters/timers
+//! as a JSON block (or writes them to `PATH`).
 
 use std::path::Path;
 use std::process::ExitCode;
 use wfd_bench::fuzz::{
-    default_grid, replay_repro, run_campaign, run_spec, shrink_repro, CampaignConfig, FuzzSpec,
-    CHECKER_FIXTURE,
+    default_grid, replay_repro, run_campaign_with_obs, run_spec, shrink_repro, CampaignConfig,
+    FuzzSpec, CHECKER_FIXTURE,
 };
-use wfd_bench::Table;
-use wfd_sim::{Repro, SchedulerSpec};
+use wfd_bench::{MetricsFlag, Table};
+use wfd_sim::{Obs, Repro, SchedulerSpec};
 
 fn repro_dir() -> std::path::PathBuf {
     Table::artifact_dir().join("repros")
 }
 
-fn campaign() -> ExitCode {
+fn campaign(metrics: &MetricsFlag) -> ExitCode {
+    let obs = metrics.resolve_obs();
     let cfg = CampaignConfig::from_env();
     let specs = default_grid(&cfg);
     println!(
@@ -40,7 +45,7 @@ fn campaign() -> ExitCode {
         cfg.horizon,
         cfg.stabilize_at
     );
-    let reports = run_campaign(&specs);
+    let reports = run_campaign_with_obs(&specs, obs.clone());
 
     let mut table = Table::new(
         "E13-fuzz-campaign",
@@ -93,12 +98,22 @@ fn campaign() -> ExitCode {
         violations,
         replay_failures
     );
+    emit_metrics(metrics, &obs);
     if violations == 0 && replay_failures == 0 {
         println!("expected shape: the target protocol is correct, so a clean campaign both");
         println!("confirms the theorem-side runs and regression-tests the repro machinery.");
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// Print (and/or write) the metrics block when `--metrics` asked for one.
+fn emit_metrics(metrics: &MetricsFlag, obs: &Obs) {
+    if let Some(json) = metrics.emit(obs) {
+        if metrics.path.is_none() {
+            println!("metrics: {json}");
+        }
     }
 }
 
@@ -307,9 +322,10 @@ fn explore_selftest() -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics = MetricsFlag::take(&mut args);
     match args.first().map(String::as_str) {
-        None | Some("campaign") => campaign(),
+        None | Some("campaign") => campaign(&metrics),
         Some("selftest") => selftest(),
         Some("replay") => {
             if args.len() < 2 {

@@ -9,12 +9,16 @@
 //!
 //! Override the output path with `WFD_BENCH_OUT`; scale the workload
 //! down for smoke runs with `WFD_PERF_STEPS` / `WFD_PERF_RUNS`.
+//! `--metrics[=PATH]` turns on the [`wfd_sim::obs`] layer for the timed
+//! runs and appends the `metrics` block to the artifact (or writes it to
+//! `PATH`).
 
 use std::time::Instant;
 use wfd_bench::sweep::{num_threads, par_map_with};
-use wfd_bench::{json_escape, Table};
+use wfd_bench::{json_escape, MetricsFlag, Table};
+use wfd_sim::json::Json;
 use wfd_sim::{
-    Adversarial, Ctx, FailurePattern, NoDetector, ProcessId, Protocol, RandomFair, RoundRobin,
+    Adversarial, Ctx, FailurePattern, NoDetector, Obs, ProcessId, Protocol, RandomFair, RoundRobin,
     Scheduler, Sim, SimConfig, TraceMode,
 };
 
@@ -55,11 +59,20 @@ fn env_u64(var: &str, default: u64) -> u64 {
 
 /// Execute `steps` engine steps; return steps/sec (best of 3, which
 /// filters scheduler-jitter outliers on busy machines).
-fn steps_per_sec<S: Scheduler + Clone>(n: usize, steps: u64, mode: TraceMode, sched: S) -> f64 {
+fn steps_per_sec<S: Scheduler + Clone>(
+    n: usize,
+    steps: u64,
+    mode: TraceMode,
+    sched: S,
+    obs: &Obs,
+) -> f64 {
     let mut best = 0f64;
     for _ in 0..3 {
         let mut sim = Sim::new(
-            SimConfig::new(n).with_horizon(steps).with_trace_mode(mode),
+            SimConfig::new(n)
+                .with_horizon(steps)
+                .with_trace_mode(mode)
+                .with_obs(obs.clone()),
             (0..n).map(|_| Gossip::default()).collect(),
             FailurePattern::failure_free(n),
             NoDetector,
@@ -74,12 +87,13 @@ fn steps_per_sec<S: Scheduler + Clone>(n: usize, steps: u64, mode: TraceMode, sc
 }
 
 /// One grid cell of the sweep benchmark: a full deterministic run.
-fn sweep_run(seed: u64, steps: u64) -> u64 {
+fn sweep_run(seed: u64, steps: u64, obs: &Obs) -> u64 {
     let n = 8;
     let mut sim = Sim::new(
         SimConfig::new(n)
             .with_horizon(steps)
-            .with_trace_mode(TraceMode::Off),
+            .with_trace_mode(TraceMode::Off)
+            .with_obs(obs.clone()),
         (0..n).map(|_| Gossip::default()).collect(),
         FailurePattern::failure_free(n),
         NoDetector,
@@ -90,6 +104,8 @@ fn sweep_run(seed: u64, steps: u64) -> u64 {
 }
 
 fn main() {
+    let metrics = MetricsFlag::from_args();
+    let obs = metrics.resolve_obs();
     let n = 8;
     let steps = env_u64("WFD_PERF_STEPS", 300_000);
     let runs = env_u64("WFD_PERF_RUNS", 32) as usize;
@@ -104,15 +120,15 @@ fn main() {
     let schedulers = [
         (
             "round_robin",
-            steps_per_sec(n, steps, TraceMode::Full, RoundRobin::new()),
+            steps_per_sec(n, steps, TraceMode::Full, RoundRobin::new(), &obs),
         ),
         (
             "random_fair",
-            steps_per_sec(n, steps, TraceMode::Full, RandomFair::new(1)),
+            steps_per_sec(n, steps, TraceMode::Full, RandomFair::new(1), &obs),
         ),
         (
             "adversarial",
-            steps_per_sec(n, steps, TraceMode::Full, Adversarial::new(1)),
+            steps_per_sec(n, steps, TraceMode::Full, Adversarial::new(1), &obs),
         ),
     ];
     for (name, sps) in &schedulers {
@@ -123,15 +139,15 @@ fn main() {
     let modes = [
         (
             "full",
-            steps_per_sec(n, steps, TraceMode::Full, RandomFair::new(1)),
+            steps_per_sec(n, steps, TraceMode::Full, RandomFair::new(1), &obs),
         ),
         (
             "outputs_only",
-            steps_per_sec(n, steps, TraceMode::OutputsOnly, RandomFair::new(1)),
+            steps_per_sec(n, steps, TraceMode::OutputsOnly, RandomFair::new(1), &obs),
         ),
         (
             "off",
-            steps_per_sec(n, steps, TraceMode::Off, RandomFair::new(1)),
+            steps_per_sec(n, steps, TraceMode::Off, RandomFair::new(1), &obs),
         ),
     ];
     for (name, sps) in &modes {
@@ -146,11 +162,11 @@ fn main() {
     let seeds: Vec<u64> = (0..runs as u64).collect();
     let run_steps = steps / 4;
     let t0 = Instant::now();
-    let seq = par_map_with(&seeds, 1, |_, &s| sweep_run(s, run_steps));
+    let seq = par_map_with(&seeds, 1, |_, &s| sweep_run(s, run_steps, &obs));
     let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
     let threads = num_threads();
     let t0 = Instant::now();
-    let par = par_map_with(&seeds, threads, |_, &s| sweep_run(s, run_steps));
+    let par = par_map_with(&seeds, threads, |_, &s| sweep_run(s, run_steps, &obs));
     let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert_eq!(seq, par, "parallel sweep must reproduce sequential results");
     let speedup = sequential_ms / parallel_ms.max(1e-9);
@@ -191,7 +207,16 @@ fn main() {
     json.push_str(&format!("    \"sequential_ms\": {sequential_ms:.1},\n"));
     json.push_str(&format!("    \"parallel_ms\": {parallel_ms:.1},\n"));
     json.push_str(&format!("    \"speedup\": {speedup:.2}\n"));
-    json.push_str("  }\n}\n");
+    json.push_str("  }");
+    if let Some(metrics_json) = metrics.emit(&obs) {
+        json.push_str(&format!(",\n  \"metrics\": {metrics_json}\n"));
+        println!("(metrics block attached: engine phase timers and step counters)");
+    } else {
+        json.push('\n');
+    }
+    json.push_str("}\n");
+    // The artifact is string-built; prove it still parses before writing.
+    Json::parse(&json).expect("BENCH_sim.json artifact must parse");
 
     let out = std::env::var("WFD_BENCH_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json").to_string()

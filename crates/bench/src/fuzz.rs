@@ -6,7 +6,7 @@
 //! consensus target through the parallel sweep engine, with every run's
 //! scheduler wrapped in [`RecordedSchedule`] so that any checker failure
 //! can be written out as a [`Repro`] artifact, re-executed byte-identically
-//! from the decision log, and minimized with [`wfd_sim::shrink`].
+//! from the decision log, and minimized with [`wfd_sim::shrink()`].
 //!
 //! Every run also performs a record→replay round-trip — the recorded
 //! decision log is replayed against a fresh simulation and the two traces
@@ -162,7 +162,7 @@ pub fn run_spec(spec: &FuzzSpec) -> RunReport {
     let pattern = spec.pattern();
     let cfg = SimConfig::new(spec.n).with_horizon(spec.horizon);
     let mut sim = Sim::new(
-        cfg,
+        cfg.clone(),
         consensus_procs(spec.n),
         pattern.clone(),
         consensus_oracle(&pattern, spec.stabilize_at, spec.seed),
@@ -178,7 +178,7 @@ pub fn run_spec(spec: &FuzzSpec) -> RunReport {
     // Record → replay round-trip: the decision log must reproduce the run
     // byte-identically, without a single divergence fallback.
     let mut replayed = Sim::new(
-        cfg,
+        cfg.clone(),
         consensus_procs(spec.n),
         pattern.clone(),
         consensus_oracle(&pattern, spec.stabilize_at, spec.seed),
@@ -374,7 +374,16 @@ pub fn default_grid(cfg: &CampaignConfig) -> Vec<FuzzSpec> {
 
 /// Fan the grid across all cores; reports come back in grid order.
 pub fn run_campaign(specs: &[FuzzSpec]) -> Vec<RunReport> {
-    Sweep::over(specs.to_vec()).run_parallel(run_spec)
+    run_campaign_with_obs(specs, wfd_sim::Obs::off())
+}
+
+/// [`run_campaign`] with an observability handle: every grid run is
+/// counted and timed through the sweep layer (see [`wfd_sim::obs`]).
+/// Reports are identical with metrics on or off.
+pub fn run_campaign_with_obs(specs: &[FuzzSpec], obs: wfd_sim::Obs) -> Vec<RunReport> {
+    Sweep::over(specs.to_vec())
+        .with_obs(obs)
+        .run_parallel(run_spec)
 }
 
 #[cfg(test)]

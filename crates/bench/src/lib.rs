@@ -22,6 +22,87 @@ pub mod sweep;
 use std::fmt::Display;
 use std::fs;
 use std::path::PathBuf;
+use wfd_sim::json::Json;
+use wfd_sim::{EnvOverrides, MetricsMode, Obs};
+
+/// The `--metrics[=PATH]` CLI convention shared by the experiment
+/// binaries: opt into the [`wfd_sim::obs`] layer for the run, and either
+/// embed the resulting `metrics` block in the binary's JSON artifact
+/// (bare `--metrics`) or write it standalone to `PATH` (`--metrics=PATH`).
+///
+/// [`MetricsFlag::take`] strips the flag out of an argument list so
+/// binaries with positional modes (`exp_fuzz_campaign replay …`) can
+/// match on what remains.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsFlag {
+    /// Whether `--metrics` (either spelling) was present.
+    pub enabled: bool,
+    /// The `PATH` of `--metrics=PATH`, if given.
+    pub path: Option<String>,
+}
+
+impl MetricsFlag {
+    /// Parse the current process arguments (flag-only binaries).
+    pub fn from_args() -> Self {
+        let mut args: Vec<String> = std::env::args().skip(1).collect();
+        Self::take(&mut args)
+    }
+
+    /// Remove every `--metrics[=PATH]` occurrence from `args` and return
+    /// the parsed flag (the last `PATH` wins).
+    pub fn take(args: &mut Vec<String>) -> Self {
+        let mut flag = MetricsFlag::default();
+        args.retain(|a| {
+            if a == "--metrics" {
+                flag.enabled = true;
+                false
+            } else if let Some(path) = a.strip_prefix("--metrics=") {
+                flag.enabled = true;
+                flag.path = Some(path.to_string());
+                false
+            } else {
+                true
+            }
+        });
+        flag
+    }
+
+    /// The observability handle this invocation asked for. The flag is
+    /// the *explicit* end of the precedence rule (explicit > env >
+    /// default): with `--metrics` present metrics are on even if
+    /// `WFD_METRICS` is unset (a `WFD_METRICS=heartbeat` still upgrades
+    /// the run to heartbeat mode); without it, `WFD_METRICS` decides.
+    pub fn resolve_obs(&self) -> Obs {
+        let env = EnvOverrides::from_env();
+        if !self.enabled {
+            return env.resolve_obs(None);
+        }
+        match env.metrics {
+            MetricsMode::Heartbeat(secs) => {
+                Obs::with_heartbeat(std::time::Duration::from_secs(secs))
+            }
+            _ => Obs::on(),
+        }
+    }
+
+    /// Snapshot `obs` into its `metrics` JSON block, self-validated: the
+    /// rendered block is parsed back with [`Json::parse`] before it is
+    /// returned, so a malformed artifact panics at the source instead of
+    /// corrupting a `BENCH_*.json`. With `--metrics=PATH` the block is
+    /// *also* written standalone to `PATH`. Returns `None` when metrics
+    /// are off.
+    pub fn emit(&self, obs: &Obs) -> Option<Json> {
+        let snapshot = obs.snapshot()?;
+        let json = snapshot.to_json();
+        let rendered = json.to_string();
+        Json::parse(&rendered).expect("metrics block must round-trip through the JSON parser");
+        if let Some(path) = &self.path {
+            std::fs::write(path, format!("{rendered}\n")).expect("write --metrics=PATH artifact");
+            println!("(saved metrics to {path})");
+        }
+        Some(json)
+    }
+}
 
 /// Serialize a string into a JSON string literal.
 pub fn json_escape(s: &str) -> String {
@@ -82,11 +163,10 @@ impl Table {
     }
 
     /// The directory experiment artifacts are written to:
-    /// `$WFD_EXPERIMENTS_DIR` if set, else `target/experiments`.
+    /// `$WFD_EXPERIMENTS_DIR` if set, else `target/experiments` (resolved
+    /// through [`EnvOverrides`], the one home of `WFD_*` reads).
     pub fn artifact_dir() -> PathBuf {
-        std::env::var_os("WFD_EXPERIMENTS_DIR")
-            .map(PathBuf::from)
-            .unwrap_or_else(|| PathBuf::from("target/experiments"))
+        EnvOverrides::from_env().resolve_experiments_dir(None)
     }
 
     /// Print the table and write `<artifact_dir>/<id>.json`; returns the

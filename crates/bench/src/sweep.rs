@@ -21,17 +21,13 @@
 // it so sweep callers keep their one-stop import.
 pub use wfd_sim::par::par_map_with;
 
-/// The worker count a parallel sweep will use.
+use wfd_sim::obs::{CounterId, Obs, PhaseId};
+use wfd_sim::EnvOverrides;
+
+/// The worker count a parallel sweep will use (resolved through
+/// [`EnvOverrides`], the one home of `WFD_*` reads).
 pub fn num_threads() -> usize {
-    for var in ["WFD_SWEEP_THREADS", "RAYON_NUM_THREADS"] {
-        if let Some(n) = std::env::var(var)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    EnvOverrides::from_env().resolve_sweep_threads(None)
 }
 
 /// [`par_map_with`] at the default [`num_threads`].
@@ -55,12 +51,24 @@ where
 #[derive(Debug)]
 pub struct Sweep<T> {
     specs: Vec<T>,
+    obs: Obs,
 }
 
 impl<T: Sync> Sweep<T> {
     /// A sweep over `specs`, in the given (grid) order.
     pub fn over(specs: Vec<T>) -> Self {
-        Sweep { specs }
+        Sweep {
+            specs,
+            obs: Obs::off(),
+        }
+    }
+
+    /// Attach an observability handle (see [`wfd_sim::obs`]): each run is
+    /// counted ([`CounterId::SweepRuns`]) and timed ([`PhaseId::SweepRun`],
+    /// worker wall-clock summed across workers). Results are unaffected.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The grid, in order.
@@ -80,13 +88,26 @@ impl<T: Sync> Sweep<T> {
 
     /// Run the grid across all cores; results come back in grid order.
     pub fn run_parallel<R: Send>(&self, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-        par_map(&self.specs, |_, t| f(t))
+        par_map(&self.specs, |_, t| {
+            let _span = self.obs.phase(PhaseId::SweepRun);
+            let r = f(t);
+            self.obs.add(CounterId::SweepRuns, 1);
+            r
+        })
     }
 
     /// Run the grid on the calling thread, in grid order (the reference
     /// execution parallel sweeps must reproduce byte-for-byte).
     pub fn run_sequential<R>(&self, mut f: impl FnMut(&T) -> R) -> Vec<R> {
-        self.specs.iter().map(&mut f).collect()
+        self.specs
+            .iter()
+            .map(|t| {
+                let _span = self.obs.phase(PhaseId::SweepRun);
+                let r = f(t);
+                self.obs.add(CounterId::SweepRuns, 1);
+                r
+            })
+            .collect()
     }
 }
 

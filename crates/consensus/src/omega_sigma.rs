@@ -419,7 +419,7 @@ mod tests {
                 .all(|(i, p)| !correct.contains(ProcessId(i)) || p.decision().is_some())
                 && !trace.is_empty()
         });
-        let (_, _, trace) = sim.into_parts();
+        let (_, _, _, trace) = sim.into_parts();
         trace
     }
 

@@ -358,7 +358,7 @@ mod tests {
                 .enumerate()
                 .all(|(i, p)| !correct.contains(ProcessId(i)) || p.decision().is_some())
         });
-        let (_, _, trace) = sim.into_parts();
+        let (_, _, _, trace) = sim.into_parts();
         trace
     }
 

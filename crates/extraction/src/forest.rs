@@ -13,6 +13,7 @@ use crate::runner::Runner;
 use crate::sampling::Sample;
 use wfd_consensus::ConsensusOutput;
 use wfd_quittable::QcDecision;
+use wfd_sim::obs::{CounterId, HistId, Obs, PhaseId};
 use wfd_sim::ProcessId;
 
 /// Result of evaluating one tree over a window.
@@ -91,6 +92,10 @@ pub struct ForestEvaluator<F: QcFamily> {
     /// one — used to detect windows that are not prefix-extensions.
     consumed: usize,
     frontier: Option<(wfd_sim::Time, ProcessId)>,
+    /// Observability handle (off by default): counts incremental vs
+    /// full-replay evaluations and times each path. Never read back —
+    /// results are identical with metrics on or off.
+    obs: Obs,
 }
 
 // Manual impl: a derived one would require `F::Binary: Debug`, which
@@ -119,9 +124,21 @@ impl<F: QcFamily> ForestEvaluator<F> {
             runs: Vec::new(),
             consumed: 0,
             frontier: None,
+            obs: Obs::off(),
         };
         ev.reset(family);
         ev
+    }
+
+    /// Attach an observability handle (see [`wfd_sim::obs`]). Each
+    /// [`evaluate`](Self::evaluate) call is counted as incremental
+    /// ([`CounterId::ForestEvalsIncremental`]) or full-replay
+    /// ([`CounterId::ForestEvalsFullReplay`]) and timed under the matching
+    /// phase; the per-call delta size feeds
+    /// [`HistId::ForestDeltaSamples`].
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Discard all cached state, returning to the empty-window state.
@@ -157,9 +174,17 @@ impl<F: QcFamily> ForestEvaluator<F> {
         let extends = window.len() >= self.consumed
             && (self.consumed == 0
                 || window.get(self.consumed - 1).map(|s| (s.t, s.q)) == self.frontier);
-        if !extends {
+        let _span = if extends {
+            self.obs.add(CounterId::ForestEvalsIncremental, 1);
+            self.obs.phase(PhaseId::ForestEvalIncremental)
+        } else {
+            self.obs.add(CounterId::ForestEvalsFullReplay, 1);
             self.reset(family);
-        }
+            self.obs.phase(PhaseId::ForestEvalFullReplay)
+        };
+        let delta = window.len() - self.consumed;
+        self.obs.record(HistId::ForestDeltaSamples, delta as u64);
+        self.obs.add(CounterId::ForestSamplesConsumed, delta as u64);
         for s in &window[self.consumed..] {
             debug_assert!(
                 self.frontier.is_none_or(|f| f < (s.t, s.q)),

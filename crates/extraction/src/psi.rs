@@ -32,6 +32,7 @@ use std::fmt::Debug;
 use wfd_consensus::ConsensusOutput;
 use wfd_detectors::value::{OmegaSigma, PsiValue, Signal};
 use wfd_quittable::QcDecision;
+use wfd_sim::obs::Obs;
 use wfd_sim::{Ctx, ProcessId, ProcessSet, Protocol, Time};
 
 /// The critical tuple `(I, I′, S, S′)` of Figure 3 line 13: two adjacent
@@ -108,6 +109,9 @@ pub struct PsiExtraction<F: QcFamily> {
     /// with the watermark it started from (lines 22/24–32); replaced
     /// whenever the watermark advances.
     round_forest: Option<(Time, ForestEvaluator<F>)>,
+    /// Observability handle, forwarded to every [`ForestEvaluator`] this
+    /// process creates (off by default; never influences extraction).
+    obs: Obs,
 }
 
 impl<F: QcFamily> PsiExtraction<F> {
@@ -126,7 +130,17 @@ impl<F: QcFamily> PsiExtraction<F> {
             real_decision_seen: false,
             sim_forest: None,
             round_forest: None,
+            obs: Obs::off(),
         }
+    }
+
+    /// Attach an observability handle (see [`wfd_sim::obs`]): the forest
+    /// evaluators created by this process report their incremental vs
+    /// full-replay split through it. Metrics never change what is
+    /// extracted.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Override how often (in own steps) the process samples `D` and
@@ -226,9 +240,9 @@ impl<F: QcFamily> PsiExtraction<F> {
         // The store only grows, so the cached evaluator usually just
         // consumes the delta; a late-flooded sample landing before its
         // frontier triggers a transparent full replay.
-        let forest = self
-            .sim_forest
-            .get_or_insert_with(|| ForestEvaluator::new(&self.family, n));
+        let forest = self.sim_forest.get_or_insert_with(|| {
+            ForestEvaluator::new(&self.family, n).with_obs(self.obs.clone())
+        });
         let runs = forest.evaluate(&self.family, &window);
         if !runs.iter().all(|r| r.decision.is_some()) {
             return;
@@ -280,7 +294,8 @@ impl<F: QcFamily> PsiExtraction<F> {
             .as_ref()
             .is_none_or(|(wm, _)| *wm != watermark)
         {
-            self.round_forest = Some((watermark, ForestEvaluator::new(&self.family, n)));
+            let forest = ForestEvaluator::new(&self.family, n).with_obs(self.obs.clone());
+            self.round_forest = Some((watermark, forest));
         }
         let (_, forest) = self.round_forest.as_mut().expect("just ensured");
         let runs = forest.evaluate(&self.family, &window);

@@ -2,6 +2,7 @@
 
 use crate::failure::FailurePattern;
 use crate::id::{ProcessId, Time};
+use crate::obs::{CounterId, HistId, Obs, PhaseId};
 use crate::oracle::FdOracle;
 use crate::protocol::{Ctx, Protocol};
 use crate::scheduler::{MsgMeta, Scheduler};
@@ -9,7 +10,7 @@ use crate::trace::{EventKind, Trace, TraceMode, TraceSummary};
 use std::collections::VecDeque;
 
 /// Static parameters of a simulation.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SimConfig {
     /// Number of processes `n = |Π|`.
     pub n: usize,
@@ -22,11 +23,14 @@ pub struct SimConfig {
     pub max_step_gap: Time,
     /// How much of the run to record (default: everything).
     pub trace_mode: TraceMode,
+    /// Observability handle (default: [`Obs::off`], which costs nothing).
+    /// Metrics never influence the executed schedule or the trace.
+    pub obs: Obs,
 }
 
 impl SimConfig {
     /// Defaults scaled to the system size: delay and step-gap bounds of
-    /// `4·n`, horizon of 50 000 steps, full tracing.
+    /// `4·n`, horizon of 50 000 steps, full tracing, metrics off.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "a system needs at least one process");
         SimConfig {
@@ -35,6 +39,7 @@ impl SimConfig {
             max_delay: 4 * n as Time,
             max_step_gap: 4 * n as Time,
             trace_mode: TraceMode::Full,
+            obs: Obs::off(),
         }
     }
 
@@ -64,7 +69,25 @@ impl SimConfig {
         self.max_step_gap = g;
         self
     }
+
+    /// Attach an observability handle (see [`crate::obs`]). Like the
+    /// other builders this is an *explicit* choice and therefore beats
+    /// the `WFD_METRICS` environment toggle — binaries that want env
+    /// control resolve via [`crate::EnvOverrides::resolve_obs`] first.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
 }
+
+/// What [`Sim::into_parts`] returns: the protocol instances, the
+/// detector, the scheduler, and the trace.
+pub type SimParts<P, D, S> = (
+    Vec<P>,
+    D,
+    S,
+    Trace<<P as Protocol>::Msg, <P as Protocol>::Output>,
+);
 
 /// Why a run stopped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -232,9 +255,12 @@ where
         &mut self.sched
     }
 
-    /// Consume the simulation, returning `(processes, detector, trace)`.
-    pub fn into_parts(self) -> (Vec<P>, D, Trace<P::Msg, P::Output>) {
-        (self.procs, self.detector, self.trace)
+    /// Consume the simulation, returning
+    /// `(processes, detector, scheduler, trace)` — everything a caller
+    /// handed to [`Sim::new`] that carries post-run state worth
+    /// inspecting (e.g. a [`crate::RecordedSchedule`] decision log).
+    pub fn into_parts(self) -> SimParts<P, D, S> {
+        (self.procs, self.detector, self.sched, self.trace)
     }
 
     /// Number of undelivered messages currently in flight.
@@ -253,28 +279,52 @@ where
         &mut self,
         mut stop: impl FnMut(&Trace<P::Msg, P::Output>, &[P]) -> bool,
     ) -> RunOutcome {
+        let phase = self.cfg.obs.phase(PhaseId::EngineRun);
+        let before = self.stats;
         let mut steps = 0u64;
-        loop {
+        let outcome = loop {
             if steps >= self.cfg.horizon {
-                return RunOutcome {
+                break RunOutcome {
                     steps,
                     reason: StopReason::Horizon,
                 };
             }
             if !self.step_once() {
-                return RunOutcome {
+                break RunOutcome {
                     steps,
                     reason: StopReason::AllCrashed,
                 };
             }
             steps += 1;
             if stop(&self.trace, &self.procs) {
-                return RunOutcome {
+                break RunOutcome {
                     steps,
                     reason: StopReason::Predicate,
                 };
             }
+        };
+        drop(phase);
+        // Counters come from the engine's always-exact `stats` deltas, so
+        // the step loop itself carries no per-step metric cost beyond the
+        // one `is_on` branch in `step_once`.
+        let obs = &self.cfg.obs;
+        if obs.is_on() {
+            obs.add(CounterId::EngineRuns, 1);
+            obs.add(CounterId::EngineSteps, outcome.steps);
+            obs.add(
+                CounterId::EngineMessagesSent,
+                (self.stats.messages_sent - before.messages_sent) as u64,
+            );
+            obs.add(
+                CounterId::EngineMessagesDelivered,
+                (self.stats.messages_delivered - before.messages_delivered) as u64,
+            );
+            obs.add(
+                CounterId::EngineOutputs,
+                (self.stats.outputs - before.outputs) as u64,
+            );
         }
+        outcome
     }
 
     /// Execute one step of one process. Returns `false` if no process is
@@ -358,6 +408,9 @@ where
         }
 
         let (mut sends, mut outs) = ctx.into_buffers();
+        self.cfg
+            .obs
+            .record(HistId::EngineSendsPerStep, sends.len() as u64);
         self.stats.messages_sent += sends.len();
         for (to, msg) in sends.drain(..) {
             assert!(to.index() < self.cfg.n, "send to unknown process {to}");
@@ -543,10 +596,22 @@ mod tests {
             }
         }
 
-        let mut s1 = Sim::new(cfg, mk_procs(), pat.clone(), NoDetector, RoundRobin::new());
+        let mut s1 = Sim::new(
+            cfg.clone(),
+            mk_procs(),
+            pat.clone(),
+            NoDetector,
+            RoundRobin::new(),
+        );
         s1.run();
         check("rr", &s1, n);
-        let mut s2 = Sim::new(cfg, mk_procs(), pat.clone(), NoDetector, RandomFair::new(9));
+        let mut s2 = Sim::new(
+            cfg.clone(),
+            mk_procs(),
+            pat.clone(),
+            NoDetector,
+            RandomFair::new(9),
+        );
         s2.run();
         check("rand", &s2, n);
         let mut s3 = Sim::new(cfg, mk_procs(), pat, NoDetector, Adversarial::new(9));
@@ -750,7 +815,7 @@ mod tests {
         let n = 2;
         let mut sim = ring_sim(n, FailurePattern::failure_free(n));
         sim.run_until(|t, _| t.outputs().count() >= 4);
-        let (procs, _det, trace) = sim.into_parts();
+        let (procs, _det, _sched, trace) = sim.into_parts();
         assert_eq!(procs.len(), 2);
         assert!(procs.iter().map(|p| p.pings_seen).sum::<usize>() >= 4);
         assert!(trace.outputs().count() >= 4);

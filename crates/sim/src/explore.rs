@@ -26,8 +26,9 @@
 //!   structural fingerprint ([`FingerprintHasher`]) streamed directly off
 //!   the state's `Debug` rendering, instead of storing the rendering
 //!   itself. [`ExactKeyHasher`] keeps the full `String` key and exists to
-//!   property-test that the fingerprint never changes a verdict; any
-//!   [`StateHasher`] can be plugged in via [`explore_with_hasher`].
+//!   property-test that the fingerprint never changes a verdict; select
+//!   between them with [`ExploreConfig::with_hasher`], or plug any
+//!   [`StateHasher`] in via [`explore_custom`].
 //! * **Shared-prefix states** — the per-branch decision and output
 //!   histories are `Arc`-linked cons-lists sharing their prefix with the
 //!   parent state, materialized into flat vectors only when the safety
@@ -74,15 +75,17 @@
 use crate::failure::FailurePattern;
 use crate::id::{ProcessId, Time};
 use crate::json::Json;
+use crate::obs::{CounterId, HistId, Obs, PhaseId};
 use crate::oracle::FdOracle;
 use crate::par::par_map_with;
 use crate::protocol::{Ctx, Protocol, SendBuf};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt::Debug;
-use std::hash::{Hash, Hasher};
+use std::hash::{Hash, Hasher as _};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Shards of the seen-table; workers pick a shard from the fingerprint
 /// prefix, so concurrent pre-reads rarely contend.
@@ -96,8 +99,21 @@ const POOL_CAP: usize = 2048;
 /// deterministic traversal order.
 const DEFAULT_BATCH: usize = 256;
 
+/// Which built-in [`StateHasher`] keys the dedup seen-table. Selected on
+/// [`ExploreConfig::with_hasher`]; custom implementations go through
+/// [`explore_custom`] instead.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Hasher {
+    /// 128-bit structural fingerprint ([`FingerprintHasher`]) — the
+    /// default: no allocation, collision-checked by the property suite.
+    #[default]
+    Fingerprint,
+    /// Full `String` key ([`ExactKeyHasher`]): collision-free but slow.
+    ExactKey,
+}
+
 /// Bounds for an exploration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExploreConfig {
     /// Maximum schedule depth (steps along one branch).
     pub max_depth: usize,
@@ -125,11 +141,18 @@ pub struct ExploreConfig {
     /// and exists only so regression tests can prove the fixtures still
     /// catch it.
     pub budget_aware: bool,
+    /// Which built-in hasher keys the seen-table (default:
+    /// [`Hasher::Fingerprint`]). Replaces the old `explore_with_hasher`
+    /// entry point for the shipped hashers.
+    pub hasher: Hasher,
+    /// Observability handle (default: [`Obs::off`], which costs nothing).
+    /// Metrics never influence the traversal or the report.
+    pub obs: Obs,
 }
 
 impl ExploreConfig {
     /// Defaults: the given depth, one million states, dedup on, automatic
-    /// thread count, batch size 256.
+    /// thread count, batch size 256, fingerprint keys, metrics off.
     pub fn new(max_depth: usize) -> Self {
         ExploreConfig {
             max_depth,
@@ -138,6 +161,8 @@ impl ExploreConfig {
             threads: None,
             batch: DEFAULT_BATCH,
             budget_aware: true,
+            hasher: Hasher::Fingerprint,
+            obs: Obs::off(),
         }
     }
 
@@ -171,6 +196,22 @@ impl ExploreConfig {
     /// dedup bug so regression fixtures can prove they still detect it.
     pub fn with_budget_aware(mut self, budget_aware: bool) -> Self {
         self.budget_aware = budget_aware;
+        self
+    }
+
+    /// Select which built-in hasher keys the seen-table (default:
+    /// [`Hasher::Fingerprint`]).
+    pub fn with_hasher(mut self, hasher: Hasher) -> Self {
+        self.hasher = hasher;
+        self
+    }
+
+    /// Attach an observability handle (see [`crate::obs`]). Like the
+    /// other builders this is an *explicit* choice and therefore beats
+    /// the `WFD_METRICS` environment toggle — binaries that want env
+    /// control resolve via [`crate::EnvOverrides::resolve_obs`] first.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -768,8 +809,11 @@ fn chunk_ranges(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
     out
 }
 
-/// Exhaustively explore message-delivery interleavings with the default
-/// [`FingerprintHasher`]. See [`explore_with_hasher`] for the mechanics.
+/// Exhaustively explore message-delivery interleavings. This is *the*
+/// entry point: every knob — including the dedup key representation
+/// ([`ExploreConfig::with_hasher`]) — lives on [`ExploreConfig`]. See
+/// [`explore_custom`] for the traversal mechanics (and for plugging in a
+/// user-defined [`StateHasher`]).
 ///
 /// * `make_procs` builds the initial configuration (fresh per call).
 /// * `invocations[p]` is consumed at `p`'s first step (with `on_start`).
@@ -794,18 +838,32 @@ where
     P::Fd: Sync,
     D: FdOracle<Value = P::Fd>,
 {
-    explore_with_hasher(
-        cfg,
-        FingerprintHasher,
-        make_procs,
-        invocations,
-        pattern,
-        detector,
-        safety,
-    )
+    match cfg.hasher {
+        Hasher::Fingerprint => explore_custom(
+            cfg,
+            FingerprintHasher,
+            make_procs,
+            invocations,
+            pattern,
+            detector,
+            safety,
+        ),
+        Hasher::ExactKey => explore_custom(
+            cfg,
+            ExactKeyHasher,
+            make_procs,
+            invocations,
+            pattern,
+            detector,
+            safety,
+        ),
+    }
 }
 
-/// [`explore`] with an explicit [`StateHasher`].
+/// [`explore`] with an explicit, possibly user-defined, [`StateHasher`]
+/// instance (which takes precedence over [`ExploreConfig::hasher`]). For
+/// the two shipped hashers prefer [`explore`] +
+/// [`ExploreConfig::with_hasher`].
 ///
 /// Traversal: batched depth-first. Each round pops up to
 /// [`ExploreConfig::batch`] states off the frontier stack (`batch == 1` is
@@ -820,7 +878,7 @@ where
 /// decision list among them — every step is either order-independent or
 /// resolved in a fixed order, which is why the worker count cannot
 /// change the report.
-pub fn explore_with_hasher<H, P, D>(
+pub fn explore_custom<H, P, D>(
     cfg: ExploreConfig,
     hasher: H,
     make_procs: impl Fn() -> Vec<P>,
@@ -843,6 +901,12 @@ where
         .unwrap_or_else(crate::par::explore_threads)
         .max(1);
     let batch_cap = cfg.batch.max(1);
+    // Metrics (side table only — nothing below reads them back, so the
+    // traversal and the report are byte-identical with metrics on or
+    // off). The clock is read once per *phase*, never per state, and
+    // only when the handle is on.
+    let obs = cfg.obs.clone();
+    let t_start = obs.is_on().then(Instant::now);
     let root = initial_state(make_procs(), invocations);
     let n = root.procs.len();
     let env = StepEnv { pattern, n };
@@ -896,6 +960,9 @@ where
         // into `survivors`.
         let take = batch_cap.min(stack.len());
         let top = stack.len();
+        obs.add(CounterId::ExploreBatches, 1);
+        obs.record(HistId::ExploreFrontierLen, stack.len() as u64);
+        obs.record(HistId::ExploreBatchSize, take as u64);
 
         survivors.clear();
         let mut recycle_rr = |s: State<P>| {
@@ -917,6 +984,7 @@ where
             // resolution pass below is authoritative either way).
             let pre_read = threads > 1;
             let ranges = chunk_ranges(take, threads);
+            let key_phase = obs.phase(PhaseId::ExploreKey);
             let keyed = par_map_with(&ranges, threads, |_, range| {
                 let mut keys = Vec::with_capacity(range.len());
                 let mut pre_pruned = Vec::with_capacity(range.len());
@@ -939,10 +1007,12 @@ where
                 }
                 (keys, pre_pruned)
             });
+            drop(key_phase);
 
             // Resolution phase (sequential, batch order): the revisit
             // rule is order-dependent *within* a batch, so it runs in the
             // one fixed order every thread count shares.
+            let _revisit_phase = obs.phase(PhaseId::ExploreRevisit);
             for (keys, pre_pruned) in keyed {
                 for (key, pre) in keys.into_iter().zip(pre_pruned) {
                     let state = stack.pop().expect("batch within stack");
@@ -995,8 +1065,10 @@ where
         // of `(p, t)` (the FdOracle contract), so one query per distinct
         // pair serves the whole batch from a read-only map — the
         // expansion workers never contend on the detector.
+        let oracle_phase = obs.phase(PhaseId::ExploreOracle);
         fd_cache.clear();
         for state in &survivors {
+            obs.record(HistId::ExploreStateDepth, state.depth as u64);
             if state.depth >= cfg.max_depth {
                 continue;
             }
@@ -1009,10 +1081,12 @@ where
                 }
             }
         }
+        drop(oracle_phase);
 
         // Expansion phase (parallel): safety-check and expand each
         // survivor chunk; each chunk draws from (and returns to) its own
         // slot of the free-list arena.
+        let expand_phase = obs.phase(PhaseId::ExploreExpand);
         let ranges = chunk_ranges(survivors.len(), threads);
         let outs = par_map_with(&ranges, threads, |slot, range| {
             let mut free = std::mem::take(&mut *free_pools[slot].lock().expect("pool poisoned"));
@@ -1085,6 +1159,8 @@ where
             *free_pools[slot].lock().expect("pool poisoned") = free;
             out
         });
+        drop(expand_phase);
+        let _merge_phase = obs.phase(PhaseId::ExploreMerge);
 
         // Merge (sequential, chunk order — so the stack layout, flags and
         // the chosen counterexample are independent of scheduling). Flags
@@ -1121,12 +1197,34 @@ where
         // No `max_frontier_len` update here: the loop top re-reads
         // `stack.len()` before anything can break, so the post-merge
         // length is always captured there.
+        obs.heartbeat(|| {
+            let secs = t_start
+                .expect("heartbeat implies on")
+                .elapsed()
+                .as_secs_f64();
+            let attempted = states_visited + dedup_hits;
+            format!(
+                "explore: {} states ({:.0}/s), dedup {:.1}% of {} keyed, frontier {} (hw {})",
+                states_visited,
+                states_visited as f64 / secs.max(1e-9),
+                100.0 * dedup_hits as f64 / attempted.max(1) as f64,
+                attempted,
+                stack.len(),
+                max_frontier_len,
+            )
+        });
     };
 
     let dedup_entries = shards
         .iter()
         .map(|s| s.lock().expect("shard poisoned").len())
         .sum();
+    if obs.is_on() {
+        obs.add(CounterId::ExploreRuns, 1);
+        obs.add(CounterId::ExploreStatesVisited, states_visited as u64);
+        obs.add(CounterId::ExploreDedupHits, dedup_hits as u64);
+        obs.add(CounterId::ExploreDedupEntries, dedup_entries as u64);
+    }
     ExploreReport {
         states_visited,
         depth_bounded,
@@ -1140,6 +1238,44 @@ where
         max_frontier_len,
         threads_used: threads,
     }
+}
+
+/// Deprecated name for [`explore_custom`] — a thin forwarding shim, kept
+/// so pre-redesign callers still compile. For the shipped hashers the
+/// idiomatic spelling is now [`explore`] + [`ExploreConfig::with_hasher`];
+/// the `explore_dedup` equivalence ladder proves both routes produce
+/// byte-identical reports.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `explore` with `ExploreConfig::with_hasher`, or `explore_custom` for a user-defined StateHasher"
+)]
+pub fn explore_with_hasher<H, P, D>(
+    cfg: ExploreConfig,
+    hasher: H,
+    make_procs: impl Fn() -> Vec<P>,
+    invocations: Vec<Option<P::Inv>>,
+    pattern: &FailurePattern,
+    detector: D,
+    safety: impl Fn(&[P], &[(ProcessId, P::Output)]) -> Result<(), String> + Sync,
+) -> ExploreReport
+where
+    H: StateHasher,
+    P: Protocol + Clone + Debug + Send + Sync,
+    P::Msg: Send + Sync,
+    P::Output: Send + Sync,
+    P::Inv: Send + Sync,
+    P::Fd: Sync,
+    D: FdOracle<Value = P::Fd>,
+{
+    explore_custom(
+        cfg,
+        hasher,
+        make_procs,
+        invocations,
+        pattern,
+        detector,
+        safety,
+    )
 }
 
 /// Re-execute one decision list under [`explore`]'s step semantics.
@@ -1161,7 +1297,7 @@ where
 /// explorations, since the report is thread-count-invariant.
 ///
 /// The replay is deterministic even for *mutated* decision lists (as
-/// produced by [`crate::shrink`]): steps by out-of-range or crashed
+/// produced by [`crate::shrink()`]): steps by out-of-range or crashed
 /// processes are skipped and out-of-range message choices are clamped to
 /// the oldest message.
 pub fn replay_explore<P, D>(
@@ -1440,8 +1576,8 @@ mod tests {
 
     #[test]
     fn fingerprint_and_exact_key_produce_identical_reports() {
-        let run = |exact: bool| {
-            let cfg = ExploreConfig::new(8).with_threads(2);
+        let run = |hasher: Hasher| {
+            let cfg = ExploreConfig::new(8).with_threads(2).with_hasher(hasher);
             let safety = |_: &[Tag], outputs: &[(ProcessId, u8)]| {
                 if outputs.iter().any(|(_, o)| *o == 2) {
                     Err("saw a 2".to_string())
@@ -1450,30 +1586,17 @@ mod tests {
                 }
             };
             let pattern = FailurePattern::failure_free(2);
-            if exact {
-                explore_with_hasher(
-                    cfg,
-                    ExactKeyHasher,
-                    two_taggers,
-                    vec![Some(1), Some(2)],
-                    &pattern,
-                    NoDetector,
-                    safety,
-                )
-            } else {
-                explore_with_hasher(
-                    cfg,
-                    FingerprintHasher,
-                    two_taggers,
-                    vec![Some(1), Some(2)],
-                    &pattern,
-                    NoDetector,
-                    safety,
-                )
-            }
+            explore(
+                cfg,
+                two_taggers,
+                vec![Some(1), Some(2)],
+                &pattern,
+                NoDetector,
+                safety,
+            )
         };
-        let fp = run(false);
-        let exact = run(true);
+        let fp = run(Hasher::Fingerprint);
+        let exact = run(Hasher::ExactKey);
         assert!(fp.same_semantics(&exact), "{fp:?} vs {exact:?}");
     }
 
@@ -1711,7 +1834,7 @@ mod tests {
 
     #[test]
     fn output_blind_hasher_still_reproduces_the_historical_bug() {
-        let report = explore_with_hasher(
+        let report = explore_custom(
             ExploreConfig::new(6).with_batch(1),
             OutputBlindHasher,
             || vec![EmitBug, EmitBug],

@@ -11,7 +11,7 @@
 //! Not public API: it exists so the speedup claimed in
 //! `BENCH_explore.json` is measured against the real former code rather
 //! than a remembered approximation, and so tests can differentially check
-//! [`crate::explore`] against an independent implementation. It is
+//! [`crate::explore()`] against an independent implementation. It is
 //! `#[doc(hidden)]` and may disappear once the trajectory has enough
 //! history.
 
@@ -105,7 +105,7 @@ fn initial_state<P: Protocol>(procs: Vec<P>, invocations: Vec<Option<P::Inv>>) -
 /// Only [`ExploreConfig::max_depth`], [`ExploreConfig::max_states`] and
 /// [`ExploreConfig::dedup`] are honored (the loop predates the other
 /// knobs); the report's observability counters are filled in so it can be
-/// compared against [`crate::explore`] with
+/// compared against [`crate::explore()`] with
 /// [`ExploreReport::same_semantics`].
 pub fn explore_baseline<H, P, D>(
     cfg: ExploreConfig,
@@ -197,7 +197,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::explore::{explore_with_hasher, ExactKeyHasher};
+    use crate::explore::{explore_custom, ExactKeyHasher};
     use crate::oracle::NoDetector;
 
     /// Relays a hop-counted token; outputs every payload received.
@@ -247,7 +247,7 @@ mod tests {
                 NoDetector,
                 safety,
             );
-            let new = explore_with_hasher(
+            let new = explore_custom(
                 ExploreConfig::new(depth).with_threads(1).with_batch(1),
                 ExactKeyHasher,
                 mk,

@@ -64,12 +64,14 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod env;
 pub mod explore;
 #[doc(hidden)]
 pub mod explore_baseline;
 mod failure;
 mod id;
 pub mod json;
+pub mod obs;
 mod oracle;
 pub mod par;
 mod protocol;
@@ -79,13 +81,17 @@ mod scheduler;
 pub mod shrink;
 mod trace;
 
-pub use engine::{RunOutcome, Sim, SimConfig, StopReason};
+pub use engine::{RunOutcome, Sim, SimConfig, SimParts, StopReason};
+pub use env::{EnvOverrides, MetricsMode};
+#[allow(deprecated)]
+pub use explore::explore_with_hasher;
 pub use explore::{
-    explore, explore_with_hasher, replay_explore, ExactKeyHasher, ExploreConfig, ExploreDecision,
-    ExploreReport, ExploreViolation, FingerprintHasher, StateHasher,
+    explore, explore_custom, replay_explore, ExactKeyHasher, ExploreConfig, ExploreDecision,
+    ExploreReport, ExploreViolation, FingerprintHasher, Hasher, StateHasher,
 };
 pub use failure::{Environment, FailurePattern, PatternSampler};
 pub use id::{ProcessId, ProcessSet, Time};
+pub use obs::{CounterId, HistId, MetricsSnapshot, Obs, PhaseId, PhaseTimer};
 pub use oracle::{ConstDetector, FdOracle, FnDetector, NoDetector};
 pub use protocol::{Ctx, Protocol};
 pub use repro::{OracleSpec, Repro, ReproDecisions, ReproInvocation, ReproSource, SchedulerSpec};

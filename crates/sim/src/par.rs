@@ -6,7 +6,7 @@
 //! fixed worker count, collecting results **in item order** regardless of
 //! which worker finishes first. Plain `std::thread::scope` workers, no
 //! external runtime. `wfd_bench::sweep` re-exports it (the sweep engine
-//! was its original home); [`crate::explore`] uses it for frontier
+//! was its original home); [`crate::explore()`] uses it for frontier
 //! batches.
 //!
 //! Determinism contract: the produced vector depends only on `items` and
@@ -17,17 +17,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// The worker count the parallel explorer will use: `WFD_EXPLORE_THREADS`
-/// if set, else the machine's available parallelism. The count never
-/// changes an exploration's verdict (see [`crate::explore`]) — only its
-/// wall-clock time and the report's `threads_used` field.
+/// if set, else the machine's available parallelism (resolved through
+/// [`crate::EnvOverrides`], the one home of `WFD_*` reads). The count
+/// never changes an exploration's verdict (see [`crate::explore()`]) —
+/// only its wall-clock time and the report's `threads_used` field.
 pub fn explore_threads() -> usize {
-    if let Some(n) = std::env::var("WFD_EXPLORE_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        return n.max(1);
-    }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    crate::EnvOverrides::from_env().resolve_explore_threads(None)
 }
 
 /// Apply `f` to every item, fanning across `threads` workers; the result

@@ -13,7 +13,7 @@
 //!
 //! * **fuzz** — a [`Sim`](crate::Sim) run recorded through
 //!   [`RecordedSchedule`](crate::RecordedSchedule); replay builds a
-//!   [`ReplaySchedule`](crate::ReplaySchedule) from the decision log.
+//!   [`ReplaySchedule`] from the decision log.
 //! * **explore** — a counterexample branch of
 //!   [`explore`](crate::explore()); replay goes through
 //!   [`replay_explore`](crate::replay_explore).
@@ -21,7 +21,7 @@
 //! The protocol, checker and oracle are recorded *by name* (plus numeric
 //! oracle parameters): the artifact stays protocol-agnostic and the
 //! harness that owns the named target reconstructs the concrete types
-//! (see `wfd-bench`'s fuzz campaign). [`crate::shrink`] minimizes failing
+//! (see `wfd-bench`'s fuzz campaign). [`crate::shrink()`] minimizes failing
 //! artifacts.
 
 use crate::explore::ExploreDecision;

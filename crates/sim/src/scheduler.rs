@@ -208,7 +208,7 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
 /// One recorded scheduling choice.
 ///
 /// Actors are recorded by process id and messages by their engine-assigned
-/// [`MsgMeta::id`] (not by index), so a decision log stays meaningful when
+/// `MsgMeta::id` (not by index), so a decision log stays meaningful when
 /// a shrinker deletes entries and the candidate lists shift underneath it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Decision {

@@ -19,14 +19,16 @@
 //!    a dedicated ladder asserts exactly that.)
 //! 3. **Thread count is invisible, period** — reports at 1, 2, and 4
 //!    workers are byte-identical modulo the informational `threads_used`.
+//! 4. **The deprecated shim is a perfect alias** — `explore_with_hasher`
+//!    equals `explore` + [`ExploreConfig::with_hasher`], byte-for-byte.
 //!
 //! This is also the regression net for the two historical dedup bugs
 //! (pruning shallower revisits with remaining budget; merging states that
 //! differed only in output history): both would break ladder 2.
 
 use wfd_sim::{
-    explore_with_hasher, Ctx, ExactKeyHasher, ExploreConfig, ExploreReport, FailurePattern,
-    FingerprintHasher, NoDetector, ProcessId, Protocol, Time,
+    explore, Ctx, ExploreConfig, ExploreReport, FailurePattern, Hasher, NoDetector, ProcessId,
+    Protocol, Time,
 };
 
 /// A seed-parameterized toy protocol: on start, broadcast a burst of
@@ -99,7 +101,8 @@ fn run_family(seed: u64, mode: Mode, cfg: ExploreConfig) -> ExploreReport {
     let bar = 20 + (seed % 30);
     let cfg = match mode {
         Mode::DedupOff => cfg.with_dedup(false),
-        _ => cfg,
+        Mode::ExactKey => cfg.with_hasher(Hasher::ExactKey),
+        Mode::Fingerprint => cfg.with_hasher(Hasher::Fingerprint),
     };
     let make = move || (0..2).map(|_| Mixer::family(seed)).collect::<Vec<_>>();
     let safety = move |_procs: &[Mixer], outputs: &[(ProcessId, u64)]| match outputs
@@ -109,26 +112,7 @@ fn run_family(seed: u64, mode: Mode, cfg: ExploreConfig) -> ExploreReport {
         Some((p, acc)) => Err(format!("{p} accumulated {acc} > {bar}")),
         None => Ok(()),
     };
-    match mode {
-        Mode::ExactKey => explore_with_hasher(
-            cfg,
-            ExactKeyHasher,
-            make,
-            vec![None, None],
-            &pattern,
-            NoDetector,
-            safety,
-        ),
-        _ => explore_with_hasher(
-            cfg,
-            FingerprintHasher,
-            make,
-            vec![None, None],
-            &pattern,
-            NoDetector,
-            safety,
-        ),
-    }
+    explore(cfg, make, vec![None, None], &pattern, NoDetector, safety)
 }
 
 #[test]
@@ -222,6 +206,65 @@ fn thread_count_never_changes_the_report() {
                 format!("{r:?}")
             };
             assert_eq!(normalize(&one), normalize(&many), "seed {seed}");
+        }
+    }
+}
+
+/// The deprecated [`explore_with_hasher`] entry point must stay a perfect
+/// shim for the unified API: across the whole 40-seed family, calling it
+/// with [`FingerprintHasher`] / [`ExactKeyHasher`] produces reports
+/// byte-identical (full `Debug` form) to `explore` with the matching
+/// [`ExploreConfig::with_hasher`] setting. This is the contract that lets
+/// downstream callers migrate at their leisure.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shim_matches_unified_entry_point() {
+    use wfd_sim::{explore_with_hasher, ExactKeyHasher, FingerprintHasher};
+    for seed in 0..40 {
+        let pattern = family_pattern(seed);
+        let bar = 20 + (seed % 30);
+        let make = move || (0..2).map(|_| Mixer::family(seed)).collect::<Vec<_>>();
+        let safety = move |_procs: &[Mixer], outputs: &[(ProcessId, u64)]| match outputs
+            .iter()
+            .find(|(_, acc)| *acc > bar)
+        {
+            Some((p, acc)) => Err(format!("{p} accumulated {acc} > {bar}")),
+            None => Ok(()),
+        };
+        for hasher in [Hasher::Fingerprint, Hasher::ExactKey] {
+            let unified = explore(
+                family_cfg(seed).with_hasher(hasher),
+                make,
+                vec![None, None],
+                &pattern,
+                NoDetector,
+                safety,
+            );
+            let shimmed = match hasher {
+                Hasher::Fingerprint => explore_with_hasher(
+                    family_cfg(seed),
+                    FingerprintHasher,
+                    make,
+                    vec![None, None],
+                    &pattern,
+                    NoDetector,
+                    safety,
+                ),
+                Hasher::ExactKey => explore_with_hasher(
+                    family_cfg(seed),
+                    ExactKeyHasher,
+                    make,
+                    vec![None, None],
+                    &pattern,
+                    NoDetector,
+                    safety,
+                ),
+            };
+            assert_eq!(
+                format!("{unified:?}"),
+                format!("{shimmed:?}"),
+                "seed {seed}, {hasher:?}: deprecated shim diverged from the unified entry point"
+            );
         }
     }
 }

@@ -15,7 +15,6 @@
 //! Run with: `cargo run --example atomic_commit`
 
 use weakest_failure_detectors::prelude::*;
-use wfd_sim::Time;
 
 struct Scenario {
     name: &'static str,

@@ -12,7 +12,6 @@
 //!
 //! Run with: `cargo run --example custom_environments`
 
-use weakest_failure_detectors::core::theorems::{self, RunSetup};
 use weakest_failure_detectors::prelude::*;
 
 /// "Process p0 never fails before process p1."

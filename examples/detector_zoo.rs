@@ -23,7 +23,7 @@ fn main() {
         SimConfig::new(n).with_horizon(20_000),
         (0..n).map(|_| MajoritySigma::new(n, 2)).collect(),
         pattern.clone(),
-        wfd_sim::NoDetector,
+        NoDetector,
         RandomFair::new(5),
     );
     sim.run();
@@ -42,7 +42,7 @@ fn main() {
         SimConfig::new(n).with_horizon(30_000),
         (0..n).map(|_| HeartbeatOmega::new(n, 4)).collect(),
         pattern.clone(),
-        wfd_sim::NoDetector,
+        NoDetector,
         RandomFair::new(5),
     );
     sim.run();
@@ -61,7 +61,7 @@ fn main() {
         SimConfig::new(n).with_horizon(30_000),
         (0..n).map(|_| TimeoutFs::new(n, threshold)).collect(),
         pattern.clone(),
-        wfd_sim::NoDetector,
+        NoDetector,
         RandomFair::new(5),
     );
     sim.run();
@@ -88,7 +88,7 @@ fn main() {
         SimConfig::new(n).with_horizon(20_000),
         (0..n).map(|_| MajoritySigma::new(n, 2)).collect(),
         hostile.clone(),
-        wfd_sim::NoDetector,
+        NoDetector,
         RandomFair::new(5),
     );
     sim.run();

@@ -10,7 +10,6 @@
 //! Run with: `cargo run --example quickstart`
 
 use weakest_failure_detectors::prelude::*;
-use wfd_registers::abd::{op_history_from_trace, AbdOp};
 
 fn main() {
     let n = 5;

@@ -3,7 +3,6 @@
 //!
 //! Run with: `cargo run --example theorem_tour`
 
-use weakest_failure_detectors::core::theorems::{self, RunSetup};
 use weakest_failure_detectors::prelude::*;
 
 fn verdict<T, E: std::fmt::Display>(r: &Result<T, E>) -> String {

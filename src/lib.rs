@@ -34,6 +34,23 @@ pub use wfd_registers as registers;
 pub use wfd_sim as sim;
 
 /// Convenience prelude re-exporting the most common types of the workspace.
+///
+/// One `use weakest_failure_detectors::prelude::*;` is enough to run
+/// simulations, explorations and the executable theorems: it pulls in the
+/// per-crate staples from [`wfd_core::prelude`] (protocols, detectors,
+/// registers, consensus, the engine) plus the cross-crate entry points
+/// every example needs — the bounded explorer and its builder
+/// ([`explore`](wfd_sim::explore()), [`ExploreConfig`](wfd_sim::ExploreConfig),
+/// [`Hasher`](wfd_sim::Hasher)), the observability layer
+/// ([`Obs`](wfd_sim::Obs), [`EnvOverrides`](wfd_sim::EnvOverrides)), the
+/// theorem harnesses ([`theorems`](wfd_core::theorems)), and the ABD
+/// op-history helpers.
 pub mod prelude {
     pub use wfd_core::prelude::*;
+    pub use wfd_core::theorems::{self, RunSetup};
+    pub use wfd_registers::abd::{op_history_from_trace, AbdOp};
+    pub use wfd_sim::{
+        explore, replay_explore, EnvOverrides, ExploreConfig, Hasher, MetricsMode, NoDetector, Obs,
+        TraceMode,
+    };
 }
