@@ -94,8 +94,7 @@ impl MetricsFlag {
     pub fn emit(&self, obs: &Obs) -> Option<Json> {
         let snapshot = obs.snapshot()?;
         let json = snapshot.to_json();
-        let rendered = json.to_string();
-        Json::parse(&rendered).expect("metrics block must round-trip through the JSON parser");
+        let rendered = wfd_sim::json::render_validated(&json);
         if let Some(path) = &self.path {
             std::fs::write(path, format!("{rendered}\n")).expect("write --metrics=PATH artifact");
             println!("(saved metrics to {path})");
@@ -105,22 +104,11 @@ impl MetricsFlag {
 }
 
 /// Serialize a string into a JSON string literal.
+///
+/// Delegates to [`wfd_sim::json::escape`] — one escaping implementation
+/// serves every artifact writer in the workspace.
 pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    wfd_sim::json::escape(s)
 }
 
 /// A simple experiment table: named columns, stringly-printed rows, and a

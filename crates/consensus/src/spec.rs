@@ -57,12 +57,14 @@ impl<V: Debug> fmt::Display for ConsensusViolation<V> {
         match self {
             ConsensusViolation::Agreement { p, q } => write!(
                 f,
+                // wfd-lint: allow(d4-debug-format, violation text is for humans; checkers compare structured fields and V is only Debug-bound)
                 "agreement violated: {} decided {:?} but {} decided {:?}",
                 p.0, p.1, q.0, q.1
             ),
             ConsensusViolation::Validity { p, value } => {
                 write!(
                     f,
+                    // wfd-lint: allow(d4-debug-format, violation text is for humans; checkers compare structured fields and V is only Debug-bound)
                     "validity violated: {p} decided unproposed value {value:?}"
                 )
             }

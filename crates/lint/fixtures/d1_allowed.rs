@@ -1,0 +1,6 @@
+//! Suppressed variant: membership-only use, each site justified.
+use std::collections::HashMap; // wfd-lint: allow(d1-hash-collections, fixture: contains-only lookup table)
+
+pub fn knows(m: &HashMap<u32, u32>, k: u32) -> bool { // wfd-lint: allow(d1-hash-collections, fixture: contains-only lookup table)
+    m.contains_key(&k)
+}

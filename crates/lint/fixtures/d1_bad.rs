@@ -1,0 +1,6 @@
+//! Known-bad fixture: HashMap in a determinism-scoped crate.
+use std::collections::HashMap;
+
+pub fn sum_in_iteration_order(m: &HashMap<u32, u32>) -> u32 {
+    m.values().sum()
+}

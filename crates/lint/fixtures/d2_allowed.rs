@@ -1,0 +1,7 @@
+//! Suppressed variant: every clock touch carries a justification.
+use std::time::Instant; // wfd-lint: allow(d2-wall-clock, fixture: feeds a metrics side table only)
+
+pub fn elapsed_ns() -> u128 {
+    let t0 = Instant::now(); // wfd-lint: allow(d2-wall-clock, fixture: feeds a metrics side table only)
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,8 @@
+//! Known-bad fixture: wall-clock time and sleeping in a sim-scoped crate.
+use std::time::Instant;
+
+pub fn elapsed_ns() -> u128 {
+    let t0 = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,6 @@
+//! Suppressed variant: the benign race is documented at each site.
+use std::sync::atomic::{AtomicUsize, Ordering}; // wfd-lint: allow(d3-atomics, fixture: counter is observability-only)
+
+pub fn bump(c: &AtomicUsize) -> usize { // wfd-lint: allow(d3-atomics, fixture: counter is observability-only)
+    c.fetch_add(1, Ordering::Relaxed) // wfd-lint: allow(d3-atomics, fixture: counter is observability-only)
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture: atomics outside the sanctioned homes.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::Relaxed)
+}

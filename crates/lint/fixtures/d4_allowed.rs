@@ -1,0 +1,4 @@
+//! Suppressed variant: the Debug dependence is declared deliberate.
+pub fn key_of(state: &[u32]) -> String {
+    format!("{state:?}") // wfd-lint: allow(d4-debug-format, fixture: deliberate Debug stream, guarded by an equivalence test)
+}

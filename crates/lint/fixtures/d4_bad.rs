@@ -1,0 +1,4 @@
+//! Known-bad fixture: a key derived from Debug formatting.
+pub fn key_of(state: &[u32]) -> String {
+    format!("{state:?}")
+}

@@ -1,0 +1,5 @@
+//! Suppressed variant: the print is declared a sanctioned channel.
+pub fn report(x: u32) {
+    println!("x = {x}"); // wfd-lint: allow(d5-print, fixture: sanctioned progress channel)
+    eprint!("progress"); // wfd-lint: allow(d5-print, fixture: sanctioned progress channel)
+}

@@ -1,0 +1,5 @@
+//! Known-bad fixture: stray stdout/stderr in a library crate.
+pub fn report(x: u32) {
+    println!("x = {x}");
+    eprint!("progress");
+}

@@ -1,0 +1,4 @@
+//! Suppressed variant: the invariant the unwrap relies on is written down.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // wfd-lint: allow(d5-unwrap, fixture: callers guarantee a non-empty slice)
+}

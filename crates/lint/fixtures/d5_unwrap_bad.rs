@@ -1,0 +1,4 @@
+//! Known-bad fixture: a bare unwrap on a hot path.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,11 @@
+//! The suppression round-trip fixture: one used allow, one stale allow
+//! (must be reported), one malformed allow (must be a hard error).
+use std::collections::HashMap; // wfd-lint: allow(d1-hash-collections, used: this one silences a real finding)
+
+// wfd-lint: allow(d2-wall-clock, stale: nothing below touches the clock)
+pub fn pure(m: &HashMap<u32, u32>) -> bool { // wfd-lint: allow(d1-hash-collections, used: second site)
+    m.contains_key(&1)
+}
+
+// wfd-lint: allow(d1-hash-collections)
+pub fn forgot_the_reason() {}

@@ -1,0 +1,451 @@
+//! A small Rust lexer: just enough structure to audit determinism.
+//!
+//! The rules in [`crate::rules`] match on identifier and macro shapes, so
+//! the lexer's one job is to never mistake prose for code: string
+//! literals, raw strings (any `#` depth), byte strings, char literals
+//! (disambiguated from lifetimes), line comments, and *nested* block
+//! comments are each consumed as single tokens. Every token carries the
+//! 1-based line and column where it starts, so findings are clickable.
+//!
+//! The lexer is deliberately lossy about things the rules never look at
+//! (numeric suffixes, operator composition like `::` vs `:` `:`): rules
+//! match token *sequences*, which is robust to that flattening.
+
+/// What kind of token was lexed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (raw identifiers are unescaped: `r#type`
+    /// lexes as `type`).
+    Ident(String),
+    /// A string literal (cooked, raw, or byte); the payload is the raw
+    /// source content between the delimiters, escapes untouched.
+    Str(String),
+    /// A char or byte-char literal.
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A single punctuation character.
+    Punct(char),
+    /// A lifetime such as `'a`.
+    Lifetime,
+    /// A line or block comment; the payload is the comment text without
+    /// the `//` / `/*` markers. Suppressions live here.
+    Comment(String),
+}
+
+/// One lexed token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: Tok,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: u32,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex a Rust source file into a flat token stream.
+///
+/// The lexer never fails: unexpected bytes become [`Tok::Punct`] tokens
+/// and unterminated literals run to end of file, which is the forgiving
+/// behaviour a linter wants (a file that does not parse will fail `cargo
+/// build` long before it reaches us).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        let push = |out: &mut Vec<Token>, kind: Tok| out.push(Token { kind, line, col });
+
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && cur.peek_at(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            let mut text = String::new();
+            while let Some(c) = cur.peek() {
+                if c == '\n' {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            push(&mut out, Tok::Comment(text));
+            continue;
+        }
+        if c == '/' && cur.peek_at(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut text = String::new();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(), cur.peek_at(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        text.push_str("/*");
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        cur.bump();
+                        cur.bump();
+                        if depth > 0 {
+                            text.push_str("*/");
+                        }
+                    }
+                    (Some(c), _) => {
+                        text.push(c);
+                        cur.bump();
+                    }
+                    (None, _) => break, // unterminated: run to EOF
+                }
+            }
+            push(&mut out, Tok::Comment(text));
+            continue;
+        }
+
+        // Raw strings / raw identifiers: r"…", r#"…"#, r#ident.
+        if c == 'r' && matches!(cur.peek_at(1), Some('"') | Some('#')) {
+            let mut hashes = 0usize;
+            while cur.peek_at(1 + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if cur.peek_at(1 + hashes) == Some('"') {
+                for _ in 0..2 + hashes {
+                    cur.bump(); // r, hashes, opening quote
+                }
+                push(&mut out, Tok::Str(raw_string_body(&mut cur, hashes)));
+                continue;
+            }
+            if hashes == 1 {
+                // r#ident — a raw identifier; lex the ident part.
+                cur.bump();
+                cur.bump();
+                push(&mut out, Tok::Ident(ident_body(&mut cur)));
+                continue;
+            }
+            // `r` followed by `##…` that is not a string: fall through to
+            // plain ident handling below.
+        }
+
+        // Byte strings and byte chars: b"…", br"…", br#"…"#, b'…'.
+        if c == 'b' {
+            match cur.peek_at(1) {
+                Some('"') => {
+                    cur.bump();
+                    cur.bump();
+                    push(&mut out, Tok::Str(cooked_string_body(&mut cur)));
+                    continue;
+                }
+                Some('\'') => {
+                    cur.bump();
+                    cur.bump();
+                    char_body(&mut cur);
+                    push(&mut out, Tok::Char);
+                    continue;
+                }
+                Some('r') => {
+                    let mut hashes = 0usize;
+                    while cur.peek_at(2 + hashes) == Some('#') {
+                        hashes += 1;
+                    }
+                    if cur.peek_at(2 + hashes) == Some('"') {
+                        for _ in 0..3 + hashes {
+                            cur.bump();
+                        }
+                        push(&mut out, Tok::Str(raw_string_body(&mut cur, hashes)));
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Cooked strings.
+        if c == '"' {
+            cur.bump();
+            push(&mut out, Tok::Str(cooked_string_body(&mut cur)));
+            continue;
+        }
+
+        // Char literal vs lifetime: after `'`, an ident char NOT followed
+        // by a closing `'` is a lifetime (`'a`, `'static`, `'_`); anything
+        // else (including `'x'` and escapes) is a char literal.
+        if c == '\'' {
+            let next = cur.peek_at(1);
+            let after = cur.peek_at(2);
+            let is_lifetime =
+                matches!(next, Some(n) if is_ident_continue(n)) && after != Some('\'');
+            cur.bump();
+            if is_lifetime {
+                ident_body(&mut cur);
+                push(&mut out, Tok::Lifetime);
+            } else {
+                char_body(&mut cur);
+                push(&mut out, Tok::Char);
+            }
+            continue;
+        }
+
+        if is_ident_start(c) {
+            push(&mut out, Tok::Ident(ident_body(&mut cur)));
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            // Consume the numeric body: digits, `_`, alphanumeric suffix
+            // chars, and a `.` only when a digit follows (so `0..10`
+            // leaves the range operator intact).
+            cur.bump();
+            while let Some(n) = cur.peek() {
+                let fractional =
+                    n == '.' && matches!(cur.peek_at(1), Some(d) if d.is_ascii_digit());
+                if is_ident_continue(n) || fractional {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            push(&mut out, Tok::Num);
+            continue;
+        }
+
+        cur.bump();
+        push(&mut out, Tok::Punct(c));
+    }
+
+    out
+}
+
+fn ident_body(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            s.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+fn cooked_string_body(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    while let Some(c) = cur.peek() {
+        match c {
+            '"' => {
+                cur.bump();
+                break;
+            }
+            '\\' => {
+                s.push('\\');
+                cur.bump();
+                if let Some(e) = cur.peek() {
+                    s.push(e);
+                    cur.bump();
+                }
+            }
+            c => {
+                s.push(c);
+                cur.bump();
+            }
+        }
+    }
+    s
+}
+
+fn raw_string_body(cur: &mut Cursor, hashes: usize) -> String {
+    let mut s = String::new();
+    'outer: while let Some(c) = cur.peek() {
+        if c == '"' {
+            // Check for `"` followed by exactly the opening hash count.
+            let mut ok = true;
+            for k in 0..hashes {
+                if cur.peek_at(1 + k) != Some('#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for _ in 0..1 + hashes {
+                    cur.bump();
+                }
+                break 'outer;
+            }
+        }
+        s.push(c);
+        cur.bump();
+    }
+    s
+}
+
+fn char_body(cur: &mut Cursor) {
+    // Called after the opening `'`; consume through the closing `'`.
+    while let Some(c) = cur.peek() {
+        match c {
+            '\'' => {
+                cur.bump();
+                break;
+            }
+            '\\' => {
+                cur.bump();
+                cur.bump();
+            }
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // `HashMap` in a string must not surface as an identifier.
+        let toks = idents(r#"let x = "HashMap inside"; let y = HashMap::new();"#);
+        assert_eq!(toks, vec!["let", "x", "let", "y", "HashMap", "new"]);
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = r####"let a = r#"quote " inside"#; let b = r##"deep "# inside"##; b"####;
+        assert_eq!(idents(src), vec!["let", "a", "let", "b", "b"]);
+        let strs: Vec<String> = lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Str(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["quote \" inside", "deep \"# inside"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ real_ident";
+        assert_eq!(idents(src), vec!["real_ident"]);
+    }
+
+    #[test]
+    fn line_comments_capture_text() {
+        let toks = lex("code(); // wfd-lint: allow(d1-hash-collections, reason)\nmore();");
+        let comments: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                Tok::Comment(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            comments,
+            vec![" wfd-lint: allow(d1-hash-collections, reason)"]
+        );
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let u = '_'; }";
+        let toks = lex(src);
+        let lifetimes = toks.iter().filter(|t| t.kind == Tok::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == Tok::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn positions_are_one_based_and_newline_aware() {
+        let toks = lex("a\n  bb\n\"s\ntr\" c");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        // The multi-line string starts at line 3; `c` lands on line 4.
+        assert_eq!((toks[2].line, toks[2].col), (3, 1));
+        assert_eq!((toks[3].line, toks[3].col), (4, 5));
+    }
+
+    #[test]
+    fn numbers_leave_ranges_alone() {
+        let toks = lex("for i in 0..10 { let f = 1.5e3; let h = 0xff_u8; }");
+        let puncts: Vec<char> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                Tok::Punct(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        // The `..` survives as two dots.
+        assert_eq!(puncts.iter().filter(|&&c| c == '.').count(), 2);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let src = "let a = b\"bytes\"; let c = b'x'; let r = br#\"raw\"#;";
+        assert_eq!(idents(src), vec!["let", "a", "let", "c", "let", "r"]);
+    }
+
+    #[test]
+    fn raw_identifiers_unescape() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+}

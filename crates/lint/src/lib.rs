@@ -1,0 +1,38 @@
+//! # wfd-lint — the workspace determinism auditor
+//!
+//! Every result this workspace produces — figure tables, `Repro`
+//! artifacts, the model checker's byte-identical parallel reports — is
+//! only sound if no code path depends on wall-clock time, OS entropy,
+//! hash-map iteration order, racy atomics, or `Debug` formatting
+//! stability. The runtime equivalence ladders (40-seed sweeps,
+//! `obs_invariance.rs`) catch violations after the fact; this crate
+//! checks the invariant statically, on every build.
+//!
+//! Run it with `cargo run -p wfd-lint` (add `--json[=PATH]` for the
+//! machine-readable report). Exit code 0 means clean, 1 means findings
+//! or stale suppressions, 2 means malformed suppressions or I/O errors.
+//!
+//! The pass is hand-rolled — like `SimRng` and `wfd_sim::json` — because
+//! the build environment is offline: [`lexer`] produces a line/column
+//! tracked token stream that correctly skips strings, raw strings, char
+//! literals and nested block comments; [`rules`] defines the determinism
+//! rules and their per-crate scope; [`suppress`] implements inline
+//! `// wfd-lint: allow(rule-id, reason)` suppressions with stale- and
+//! malformed-suppression detection; [`engine`] walks the workspace; and
+//! [`report`] renders text and validated JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod suppress;
+
+pub use engine::{
+    find_workspace_root, lint_source, run_workspace, workspace_files, Finding, HardError, Outcome,
+    StaleSuppression, SuppressedFinding,
+};
+pub use report::{render_json, render_text, to_json};
+pub use rules::{all_rules, rule_by_id, Rule};

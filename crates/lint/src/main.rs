@@ -1,0 +1,80 @@
+//! `wfd-lint` CLI: audit the workspace for determinism violations.
+//!
+//! ```text
+//! cargo run -p wfd-lint                  # human-readable report, CI exit codes
+//! cargo run -p wfd-lint -- --json        # embed the JSON report on stdout
+//! cargo run -p wfd-lint -- --json=R.json # also write the report to R.json
+//! cargo run -p wfd-lint -- --root DIR    # lint another workspace
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings or stale suppressions,
+//! 2 malformed suppressions or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use wfd_lint::{find_workspace_root, render_json, render_text, run_workspace};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut json_path: Option<String> = None;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            json = true;
+        } else if let Some(path) = arg.strip_prefix("--json=") {
+            json = true;
+            json_path = Some(path.to_string());
+        } else if arg == "--root" {
+            match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            eprintln!("unknown argument {arg}; usage: wfd-lint [--json[=PATH]] [--root DIR]");
+            return ExitCode::from(2);
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(root) => root,
+        None => {
+            eprintln!("could not locate a workspace root (a Cargo.toml with [workspace])");
+            return ExitCode::from(2);
+        }
+    };
+
+    let outcome = match run_workspace(&root) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("wfd-lint: walking {} failed: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", render_text(&outcome));
+    if json {
+        // The same self-validated emit path the bench harness uses for
+        // --metrics artifacts: render, parse back, then publish.
+        let rendered = render_json(&outcome);
+        match &json_path {
+            Some(path) => match std::fs::write(path, format!("{rendered}\n")) {
+                Ok(()) => println!("(saved JSON report to {path})"),
+                Err(e) => {
+                    eprintln!("wfd-lint: writing {path} failed: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => println!("{rendered}"),
+        }
+    }
+    ExitCode::from(outcome.exit_code())
+}

@@ -1,0 +1,228 @@
+//! Rendering: human-readable findings, a per-rule summary table, and a
+//! machine-readable JSON report.
+//!
+//! Everything renders to `String` — printing is the binary's job, which
+//! keeps this library clean under its own `d5-print` rule. The JSON
+//! report goes through [`wfd_sim::json::render_validated`], the same
+//! self-validated emit path the bench harness uses for `--metrics`
+//! artifacts, so a malformed report panics at the source instead of
+//! corrupting a CI artifact.
+
+use crate::engine::Outcome;
+use crate::rules::all_rules;
+use std::collections::BTreeMap;
+use wfd_sim::json::{render_validated, Json};
+
+/// Render the human-readable report: one line per finding
+/// (`file:line:col  [rule-id]  message`), a `help:` line under each,
+/// stale and malformed suppressions, then the per-rule summary table.
+pub fn render_text(out: &Outcome) -> String {
+    let mut s = String::new();
+    for f in &out.findings {
+        s.push_str(&format!(
+            "{}:{}:{}  [{}]  {}\n",
+            f.file, f.line, f.col, f.rule, f.message
+        ));
+        if !f.excerpt.is_empty() {
+            s.push_str(&format!("    | {}\n", f.excerpt));
+        }
+        s.push_str(&format!("    help: {}\n", f.help));
+    }
+    for st in &out.stale {
+        s.push_str(&format!(
+            "{}:{}  [stale-allow]  allow({}, {}) no longer suppresses anything — delete it\n",
+            st.file, st.line, st.rule, st.reason
+        ));
+    }
+    for e in &out.errors {
+        s.push_str(&format!(
+            "{}:{}  [malformed-allow]  {}\n",
+            e.file, e.line, e.message
+        ));
+    }
+    s.push_str(&render_summary(out));
+    s
+}
+
+/// The per-rule summary table.
+fn render_summary(out: &Outcome) -> String {
+    let mut fired: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut allowed: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in &out.findings {
+        *fired.entry(f.rule).or_insert(0) += 1;
+    }
+    for sp in &out.suppressed {
+        *allowed.entry(sp.rule).or_insert(0) += 1;
+    }
+
+    let mut s = String::new();
+    s.push_str(&format!(
+        "\nwfd-lint: {} file(s) scanned\n",
+        out.files_scanned
+    ));
+    let header = format!(
+        "{:<22} {:>8} {:>10}  {}",
+        "rule", "findings", "suppressed", "invariant"
+    );
+    s.push_str(&header);
+    s.push('\n');
+    s.push_str(&"-".repeat(header.len().max(60)));
+    s.push('\n');
+    for rule in all_rules() {
+        s.push_str(&format!(
+            "{:<22} {:>8} {:>10}  {}\n",
+            rule.id,
+            fired.get(rule.id).copied().unwrap_or(0),
+            allowed.get(rule.id).copied().unwrap_or(0),
+            rule.summary
+        ));
+    }
+    let verdict = if out.is_clean() {
+        "clean: the workspace is statically replayable".to_string()
+    } else {
+        format!(
+            "{} finding(s), {} stale allow(s), {} error(s)",
+            out.findings.len(),
+            out.stale.len(),
+            out.errors.len()
+        )
+    };
+    s.push_str(&format!("result: {verdict}\n"));
+    s
+}
+
+/// The JSON report, already rendered and round-trip-validated.
+pub fn render_json(out: &Outcome) -> String {
+    render_validated(&to_json(out))
+}
+
+/// The report as a [`Json`] value.
+pub fn to_json(out: &Outcome) -> Json {
+    let findings = out
+        .findings
+        .iter()
+        .map(|f| {
+            Json::Obj(vec![
+                ("file".into(), Json::str(&f.file)),
+                ("line".into(), Json::u64(f.line as u64)),
+                ("col".into(), Json::u64(f.col as u64)),
+                ("rule".into(), Json::str(f.rule)),
+                ("message".into(), Json::str(&f.message)),
+                ("help".into(), Json::str(f.help)),
+                ("excerpt".into(), Json::str(&f.excerpt)),
+            ])
+        })
+        .collect();
+    let suppressed = out
+        .suppressed
+        .iter()
+        .map(|sp| {
+            Json::Obj(vec![
+                ("file".into(), Json::str(&sp.file)),
+                ("line".into(), Json::u64(sp.line as u64)),
+                ("rule".into(), Json::str(sp.rule)),
+                ("reason".into(), Json::str(&sp.reason)),
+            ])
+        })
+        .collect();
+    let stale = out
+        .stale
+        .iter()
+        .map(|st| {
+            Json::Obj(vec![
+                ("file".into(), Json::str(&st.file)),
+                ("line".into(), Json::u64(st.line as u64)),
+                ("rule".into(), Json::str(&st.rule)),
+                ("reason".into(), Json::str(&st.reason)),
+            ])
+        })
+        .collect();
+    let errors = out
+        .errors
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("file".into(), Json::str(&e.file)),
+                ("line".into(), Json::u64(e.line as u64)),
+                ("message".into(), Json::str(&e.message)),
+            ])
+        })
+        .collect();
+    let rules = all_rules()
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("id".into(), Json::str(r.id)),
+                ("summary".into(), Json::str(r.summary)),
+                (
+                    "findings".into(),
+                    Json::usize(out.findings.iter().filter(|f| f.rule == r.id).count()),
+                ),
+                (
+                    "suppressed".into(),
+                    Json::usize(out.suppressed.iter().filter(|s| s.rule == r.id).count()),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("tool".into(), Json::str("wfd-lint")),
+        ("format".into(), Json::str("wfd-lint-report-v1")),
+        ("files_scanned".into(), Json::usize(out.files_scanned)),
+        ("clean".into(), Json::bool(out.is_clean())),
+        ("exit_code".into(), Json::u64(out.exit_code() as u64)),
+        ("findings".into(), Json::Arr(findings)),
+        ("suppressed".into(), Json::Arr(suppressed)),
+        ("stale_suppressions".into(), Json::Arr(stale)),
+        ("errors".into(), Json::Arr(errors)),
+        ("rules".into(), Json::Arr(rules)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::lint_source;
+
+    #[test]
+    fn text_report_has_clickable_positions() {
+        let out = lint_source(
+            "crates/registers/src/x.rs",
+            "fn f(m: &std::collections::HashMap<u32, u32>) {}\n",
+        );
+        let text = render_text(&out);
+        assert!(text.contains("crates/registers/src/x.rs:1:28  [d1-hash-collections]"));
+        assert!(text.contains("help: "));
+        assert!(text.contains("result: 1 finding(s)"));
+    }
+
+    #[test]
+    fn json_report_round_trips_and_embeds_source_excerpts() {
+        // The excerpt contains characters that must be escaped.
+        let src = "fn f() { let _ = format!(\"path=\\\"{x:?}\\\"\"); }\n";
+        let out = lint_source("crates/registers/src/x.rs", src);
+        assert_eq!(out.findings.len(), 1);
+        let rendered = render_json(&out);
+        let back = Json::parse(&rendered).expect("report must be valid JSON");
+        let findings = back
+            .get("findings")
+            .and_then(Json::as_array)
+            .expect("findings array");
+        assert_eq!(findings.len(), 1);
+        let excerpt = findings[0]
+            .get("excerpt")
+            .and_then(Json::as_str)
+            .expect("excerpt");
+        assert!(excerpt.contains("format!"));
+        assert_eq!(back.get("clean").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn clean_outcome_says_so() {
+        let out = lint_source("crates/registers/src/x.rs", "fn ok() {}\n");
+        assert!(render_text(&out).contains("clean: the workspace is statically replayable"));
+        let back = Json::parse(&render_json(&out)).expect("valid");
+        assert_eq!(back.get("clean").and_then(Json::as_bool), Some(true));
+        assert_eq!(back.get("exit_code").and_then(Json::as_u64), Some(0));
+    }
+}

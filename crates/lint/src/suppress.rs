@@ -1,0 +1,225 @@
+//! Inline suppressions: `// wfd-lint: allow(rule-id, reason)`.
+//!
+//! A suppression silences matches of one rule on its own line, or — when
+//! the comment stands alone — on the next line that carries code. The
+//! marker must be the first thing in the comment; a comment that merely
+//! mentions the syntax mid-sentence is prose. Every
+//! suppression must name a known rule and carry a non-empty reason: the
+//! justification is the point (the linter's JSON report republishes it,
+//! so the audit trail survives the code review).
+//!
+//! Two failure modes are first-class:
+//! - a **malformed** suppression (bad syntax, unknown rule, missing
+//!   reason) is a hard error — a typo must not silently stop suppressing;
+//! - an **unused** suppression (nothing left to suppress) is reported as
+//!   stale, so allows cannot outlive the code they excused.
+
+use crate::lexer::{Tok, Token};
+use crate::rules::{all_rules, rule_by_id};
+
+/// The marker that introduces a suppression inside a comment.
+pub const MARKER: &str = "wfd-lint:";
+
+/// A parsed, well-formed suppression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rule id the suppression targets.
+    pub rule: String,
+    /// The written justification.
+    pub reason: String,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// The line whose findings it silences (its own, or the next line
+    /// that carries code when the comment stands alone).
+    pub target_line: u32,
+}
+
+/// A malformed suppression: a hard error, never a silent no-op.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MalformedSuppression {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// What is wrong and how to fix it.
+    pub message: String,
+}
+
+/// Extract suppressions from a lexed file.
+///
+/// `tokens` is the full stream (comments included). Returns well-formed
+/// suppressions and malformed ones separately; the caller decides the
+/// exit-code policy.
+pub fn collect(tokens: &[Token]) -> (Vec<Suppression>, Vec<MalformedSuppression>) {
+    // Lines that carry at least one non-comment token, for resolving the
+    // "comment stands alone → next code line" targeting rule.
+    let code_lines: Vec<u32> = {
+        let mut lines: Vec<u32> = tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, Tok::Comment(_)))
+            .map(|t| t.line)
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    };
+    let has_code_on = |line: u32| code_lines.binary_search(&line).is_ok();
+    let next_code_line = |line: u32| {
+        let idx = code_lines.partition_point(|&l| l <= line);
+        code_lines.get(idx).copied()
+    };
+
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for t in tokens {
+        let text = match &t.kind {
+            Tok::Comment(text) => text,
+            _ => continue,
+        };
+        // The marker must open the comment: prose *mentioning* the
+        // syntax (docs, this file) is not a directive.
+        let Some(rest) = text.trim_start().strip_prefix(MARKER) else {
+            continue;
+        };
+        let directive = rest.trim();
+        match parse_directive(directive) {
+            Ok((rule, reason)) => {
+                let target_line = if has_code_on(t.line) {
+                    t.line
+                } else {
+                    // A trailing stand-alone comment suppresses nothing;
+                    // keep it addressed to a line that can never match so
+                    // it surfaces as stale.
+                    next_code_line(t.line).unwrap_or(0)
+                };
+                ok.push(Suppression {
+                    rule,
+                    reason,
+                    line: t.line,
+                    target_line,
+                });
+            }
+            Err(message) => bad.push(MalformedSuppression {
+                line: t.line,
+                message,
+            }),
+        }
+    }
+    (ok, bad)
+}
+
+fn parse_directive(directive: &str) -> Result<(String, String), String> {
+    let usage = "expected `wfd-lint: allow(rule-id, reason)`";
+    let Some(rest) = directive.strip_prefix("allow") else {
+        return Err(format!(
+            "unknown directive `{directive}`: {usage} — `allow` is the only verb"
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(inner) = rest.strip_prefix('(') else {
+        return Err(format!("missing `(` after allow: {usage}"));
+    };
+    let Some(close) = inner.rfind(')') else {
+        return Err(format!("missing closing `)`: {usage}"));
+    };
+    let inner = &inner[..close];
+    let Some((rule, reason)) = inner.split_once(',') else {
+        return Err(format!(
+            "missing reason: {usage} — every allow must say why the finding is safe"
+        ));
+    };
+    let rule = rule.trim();
+    let reason = reason.trim();
+    if rule_by_id(rule).is_none() {
+        let known: Vec<&str> = all_rules().iter().map(|r| r.id).collect();
+        return Err(format!(
+            "unknown rule id `{rule}`; known rules: {}",
+            known.join(", ")
+        ));
+    }
+    if reason.is_empty() {
+        return Err(format!(
+            "empty reason for rule `{rule}`: every allow must say why the finding is safe"
+        ));
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn same_line_and_next_line_targets() {
+        let src = "\
+let a = 1; // wfd-lint: allow(d1-hash-collections, same line)
+// wfd-lint: allow(d2-wall-clock, next line)
+let b = 2;
+";
+        let (ok, bad) = collect(&lex(src));
+        assert!(bad.is_empty());
+        assert_eq!(ok.len(), 2);
+        assert_eq!((ok[0].line, ok[0].target_line), (1, 1));
+        assert_eq!((ok[1].line, ok[1].target_line), (2, 3));
+        assert_eq!(ok[1].reason, "next line");
+    }
+
+    #[test]
+    fn reasons_may_contain_parens_and_commas() {
+        let src = "// wfd-lint: allow(d3-atomics, benign race (merge re-resolves, see PR 3))\nx();";
+        let (ok, bad) = collect(&lex(src));
+        assert!(bad.is_empty());
+        assert_eq!(ok[0].reason, "benign race (merge re-resolves, see PR 3)");
+    }
+
+    #[test]
+    fn malformed_variants_are_hard_errors() {
+        for (src, needle) in [
+            (
+                "// wfd-lint: deny(d1-hash-collections, x)\ny();",
+                "only verb",
+            ),
+            (
+                "// wfd-lint: allow d1-hash-collections\ny();",
+                "missing `(`",
+            ),
+            ("// wfd-lint: allow(d1-hash-collections, x\ny();", "closing"),
+            (
+                "// wfd-lint: allow(d1-hash-collections)\ny();",
+                "missing reason",
+            ),
+            (
+                "// wfd-lint: allow(d9-no-such-rule, x)\ny();",
+                "known rules",
+            ),
+            (
+                "// wfd-lint: allow(d1-hash-collections,   )\ny();",
+                "empty reason",
+            ),
+        ] {
+            let (ok, bad) = collect(&lex(src));
+            assert!(ok.is_empty(), "{src} should not parse");
+            assert_eq!(bad.len(), 1, "{src} should be malformed");
+            assert!(
+                bad[0].message.contains(needle),
+                "{src}: message {:?} should mention {needle:?}",
+                bad[0].message
+            );
+        }
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let (ok, bad) = collect(&lex("// just a comment about wfd lint rules\nx();"));
+        assert!(ok.is_empty() && bad.is_empty());
+    }
+
+    #[test]
+    fn block_comments_can_carry_suppressions() {
+        let (ok, bad) = collect(&lex(
+            "/* wfd-lint: allow(d5-print, demo) */ println!(\"x\");",
+        ));
+        assert!(bad.is_empty());
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].target_line, 1);
+    }
+}

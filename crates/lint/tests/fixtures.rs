@@ -1,0 +1,134 @@
+//! The fixture self-test: every rule must fire on its known-bad snippet
+//! and stay silent on the suppressed variant. This is what makes the
+//! linter itself trustworthy: a rule that cannot catch its own fixture
+//! is dead code, and a suppression that does not silence it is a lie.
+
+use std::fs;
+use std::path::PathBuf;
+use wfd_lint::lint_source;
+
+/// `(bad fixture, allowed fixture, rule id, findings expected from bad,
+/// path label that puts the fixture in the rule's scope)`.
+const CASES: &[(&str, &str, &str, usize, &str)] = &[
+    (
+        "d1_bad.rs",
+        "d1_allowed.rs",
+        "d1-hash-collections",
+        2,
+        "crates/registers/src/fixture.rs",
+    ),
+    (
+        "d2_bad.rs",
+        "d2_allowed.rs",
+        "d2-wall-clock",
+        3,
+        "crates/registers/src/fixture.rs",
+    ),
+    (
+        "d3_bad.rs",
+        "d3_allowed.rs",
+        "d3-atomics",
+        3,
+        "crates/registers/src/fixture.rs",
+    ),
+    (
+        "d4_bad.rs",
+        "d4_allowed.rs",
+        "d4-debug-format",
+        1,
+        "crates/registers/src/fixture.rs",
+    ),
+    (
+        "d5_print_bad.rs",
+        "d5_print_allowed.rs",
+        "d5-print",
+        2,
+        "crates/registers/src/fixture.rs",
+    ),
+    (
+        "d5_unwrap_bad.rs",
+        "d5_unwrap_allowed.rs",
+        "d5-unwrap",
+        1,
+        "crates/sim/src/engine.rs",
+    ),
+];
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn every_rule_fires_on_its_known_bad_snippet() {
+    for &(bad, _, rule, expected, label) in CASES {
+        let out = lint_source(label, &fixture(bad));
+        assert!(
+            out.errors.is_empty() && out.stale.is_empty(),
+            "{bad}: bad fixtures must be plain findings, got stale={:#?} errors={:#?}",
+            out.stale,
+            out.errors
+        );
+        assert_eq!(
+            out.findings.len(),
+            expected,
+            "{bad}: expected {expected} findings, got {:#?}",
+            out.findings
+        );
+        for f in &out.findings {
+            assert_eq!(f.rule, rule, "{bad}: wrong rule fired: {:#?}", f);
+            assert!(f.line > 0 && f.col > 0, "{bad}: positions must be 1-based");
+            assert!(!f.excerpt.is_empty(), "{bad}: excerpt must carry the line");
+        }
+    }
+}
+
+#[test]
+fn every_rule_respects_its_allow() {
+    for &(_, allowed, rule, _, label) in CASES {
+        let out = lint_source(label, &fixture(allowed));
+        assert!(
+            out.findings.is_empty(),
+            "{allowed}: suppressed variant still fires: {:#?}",
+            out.findings
+        );
+        assert!(
+            out.stale.is_empty(),
+            "{allowed}: every allow in the fixture must be load-bearing, got {:#?}",
+            out.stale
+        );
+        assert!(out.errors.is_empty(), "{allowed}: {:#?}", out.errors);
+        assert!(
+            out.suppressed.iter().all(|s| s.rule == rule),
+            "{allowed}: suppressed findings must belong to {rule}: {:#?}",
+            out.suppressed
+        );
+        assert!(
+            !out.suppressed.is_empty(),
+            "{allowed}: the allow must have silenced something"
+        );
+        assert_eq!(out.exit_code(), 0, "{allowed} must be clean");
+    }
+}
+
+#[test]
+fn bad_fixtures_exit_one() {
+    for &(bad, _, _, _, label) in CASES {
+        let out = lint_source(label, &fixture(bad));
+        assert_eq!(out.exit_code(), 1, "{bad} must fail the audit");
+    }
+}
+
+#[test]
+fn out_of_scope_label_silences_scoped_rules() {
+    // The same known-bad d2 source is fine inside the bench harness,
+    // whose whole purpose is timing.
+    let out = lint_source("crates/bench/src/harness.rs", &fixture("d2_bad.rs"));
+    assert!(
+        out.findings.iter().all(|f| f.rule != "d2-wall-clock"),
+        "bench is out of d2 scope: {:#?}",
+        out.findings
+    );
+}

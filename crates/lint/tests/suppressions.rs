@@ -1,0 +1,87 @@
+//! The suppression round-trip: one fixture carrying a used allow (must
+//! silence its finding), a stale allow (must be reported), and a
+//! malformed allow (must be a hard error with a helpful message).
+
+use std::fs;
+use std::path::PathBuf;
+use wfd_lint::lint_source;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn used_stale_and_malformed_in_one_pass() {
+    let out = lint_source(
+        "crates/registers/src/fixture.rs",
+        &fixture("suppress_roundtrip.rs"),
+    );
+
+    // The two d1 allows are load-bearing: no unsuppressed findings.
+    assert!(
+        out.findings.is_empty(),
+        "used allows must silence their findings: {:#?}",
+        out.findings
+    );
+    assert_eq!(out.suppressed.len(), 2, "{:#?}", out.suppressed);
+    assert!(out
+        .suppressed
+        .iter()
+        .all(|s| s.rule == "d1-hash-collections" && s.reason.starts_with("used:")));
+
+    // The d2 allow silences nothing: reported stale, with its reason so
+    // the reviewer can delete it confidently.
+    assert_eq!(out.stale.len(), 1, "{:#?}", out.stale);
+    assert_eq!(out.stale[0].rule, "d2-wall-clock");
+    assert!(out.stale[0].reason.starts_with("stale:"));
+
+    // The reason-less allow is a hard error with a helpful message.
+    assert_eq!(out.errors.len(), 1, "{:#?}", out.errors);
+    assert!(
+        out.errors[0].message.contains("missing reason"),
+        "message should say what is missing: {}",
+        out.errors[0].message
+    );
+    assert!(
+        out.errors[0]
+            .message
+            .contains("wfd-lint: allow(rule-id, reason)"),
+        "message should show the expected syntax: {}",
+        out.errors[0].message
+    );
+
+    // Hard errors dominate the exit code.
+    assert_eq!(out.exit_code(), 2);
+}
+
+#[test]
+fn unknown_rule_names_the_known_ones() {
+    let out = lint_source(
+        "crates/registers/src/fixture.rs",
+        "// wfd-lint: allow(d7-imaginary, because)\nfn f() {}\n",
+    );
+    assert_eq!(out.errors.len(), 1);
+    let msg = &out.errors[0].message;
+    assert!(
+        msg.contains("d1-hash-collections") && msg.contains("d5-unwrap"),
+        "the error should list every valid rule id: {msg}"
+    );
+}
+
+#[test]
+fn stale_allow_alone_fails_the_audit() {
+    let out = lint_source(
+        "crates/registers/src/fixture.rs",
+        "// wfd-lint: allow(d5-print, left behind after a refactor)\nfn quiet() {}\n",
+    );
+    assert!(out.findings.is_empty() && out.errors.is_empty());
+    assert_eq!(out.stale.len(), 1);
+    assert_eq!(
+        out.exit_code(),
+        1,
+        "stale allows must fail CI so they cannot outlive their code"
+    );
+}

@@ -1,0 +1,75 @@
+//! The tier-1 gate: lint the live workspace and require it clean.
+//!
+//! "Clean" is strict — zero unsuppressed findings, zero stale allows,
+//! zero malformed suppressions — so any PR that reintroduces wall-clock
+//! time, hash-order iteration, stray atomics, Debug-keyed logic or
+//! stray printing into the deterministic core fails `cargo test` before
+//! the equivalence ladders ever run.
+
+use std::path::PathBuf;
+use wfd_lint::{render_json, render_text, run_workspace};
+use wfd_sim::json::Json;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint lives two levels under the root")
+        .to_path_buf()
+}
+
+#[test]
+fn live_workspace_is_statically_replayable() {
+    let out = run_workspace(&workspace_root()).expect("workspace walk");
+    assert!(
+        out.files_scanned >= 70,
+        "the walker should see the whole workspace, got {} files",
+        out.files_scanned
+    );
+    assert!(
+        out.is_clean(),
+        "determinism audit failed:\n{}",
+        render_text(&out)
+    );
+    assert_eq!(out.exit_code(), 0);
+}
+
+#[test]
+fn every_live_suppression_carries_a_justification() {
+    let out = run_workspace(&workspace_root()).expect("workspace walk");
+    assert!(
+        !out.suppressed.is_empty(),
+        "the workspace documents real suppressions (explore.rs halt flag, \
+         linearizability memo table…); an empty list means they got lost"
+    );
+    for s in &out.suppressed {
+        assert!(
+            s.reason.split_whitespace().count() >= 3,
+            "{}:{} allow({}) reason too thin to audit: {:?}",
+            s.file,
+            s.line,
+            s.rule,
+            s.reason
+        );
+    }
+}
+
+#[test]
+fn live_json_report_round_trips() {
+    let out = run_workspace(&workspace_root()).expect("workspace walk");
+    let rendered = render_json(&out);
+    let back = Json::parse(&rendered).expect("report must parse back");
+    assert_eq!(back.get("clean").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        back.get("files_scanned").and_then(Json::as_usize),
+        Some(out.files_scanned)
+    );
+    let suppressed = back
+        .get("suppressed")
+        .and_then(Json::as_array)
+        .expect("suppressed array");
+    assert_eq!(suppressed.len(), out.suppressed.len());
+    // The per-rule summary covers every rule, fired or not.
+    let rules = back.get("rules").and_then(Json::as_array).expect("rules");
+    assert_eq!(rules.len(), wfd_lint::all_rules().len());
+}

@@ -78,12 +78,14 @@ impl<V: Debug> fmt::Display for QcViolation<V> {
         match self {
             QcViolation::Agreement { p, q } => write!(
                 f,
+                // wfd-lint: allow(d4-debug-format, violation text is for humans; checkers compare structured fields and V is only Debug-bound)
                 "QC agreement violated: {} decided {:?} but {} decided {:?}",
                 p.0, p.1, q.0, q.1
             ),
             QcViolation::UnproposedValue { p, value } => {
                 write!(
                     f,
+                    // wfd-lint: allow(d4-debug-format, violation text is for humans; checkers compare structured fields and V is only Debug-bound)
                     "QC validity(a) violated: {p} decided unproposed {value:?}"
                 )
             }

@@ -14,7 +14,8 @@
 //! ignored.
 
 use crate::spec::{OpHistory, OpId, RegOp, RegResp, Value};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
+use std::collections::HashSet; // wfd-lint: allow(d1-hash-collections, the visited memo table is insert/contains-only and its BitSet key has no Ord; nothing iterates it)
 use std::fmt;
 
 /// Why a history failed the linearizability check.
@@ -135,8 +136,10 @@ pub fn check_linearizable(h: &OpHistory) -> Result<Vec<OpId>, LinearizabilityErr
         return Ok(Vec::new());
     }
 
-    // Fast necessary checks with precise error messages.
-    let written: HashSet<Value> = h
+    // Fast necessary checks with precise error messages. A BTreeSet so
+    // the checker stays free of any iteration-order dependence even if a
+    // future change walks it.
+    let written: BTreeSet<Value> = h
         .ops
         .iter()
         .filter_map(|o| match o.op {
@@ -168,8 +171,10 @@ pub fn check_linearizable(h: &OpHistory) -> Result<Vec<OpId>, LinearizabilityErr
         }
     }
 
-    // Wing–Gong DFS with memoisation.
-    let mut visited: HashSet<(BitSet, Value)> = HashSet::new();
+    // Wing–Gong DFS with memoisation. The memo table is checked by
+    // insert-membership only — never iterated — so hash order cannot
+    // reach the verdict or the witness.
+    let mut visited: HashSet<(BitSet, Value)> = HashSet::new(); // wfd-lint: allow(d1-hash-collections, insert/contains-only memoisation; the witness order comes from the DFS path, not the table)
     let mut mask = BitSet::new(m);
     let mut path: Vec<usize> = Vec::new();
     let mut best_prefix: Vec<usize> = Vec::new();
@@ -179,7 +184,7 @@ pub fn check_linearizable(h: &OpHistory) -> Result<Vec<OpId>, LinearizabilityErr
         h: &OpHistory,
         m: usize,
         completed_mask: &BitSet,
-        visited: &mut HashSet<(BitSet, Value)>,
+        visited: &mut HashSet<(BitSet, Value)>, // wfd-lint: allow(d1-hash-collections, same memo table as above; membership-only)
         mask: &mut BitSet,
         value: Value,
         path: &mut Vec<usize>,

@@ -83,9 +83,9 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::{Hash, Hasher as _};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering}; // wfd-lint: allow(d3-atomics, the halt flag is an expansion-skip hint only; the merge step resolves every batch deterministically regardless of timing)
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::Instant; // wfd-lint: allow(d2-wall-clock, feeds obs phase timers only, a side table nothing on the decision path reads; proven by obs_invariance.rs)
 
 /// Shards of the seen-table; workers pick a shard from the fingerprint
 /// prefix, so concurrent pre-reads rarely contend.
@@ -906,7 +906,7 @@ where
     // off). The clock is read once per *phase*, never per state, and
     // only when the handle is on.
     let obs = cfg.obs.clone();
-    let t_start = obs.is_on().then(Instant::now);
+    let t_start = obs.is_on().then(Instant::now); // wfd-lint: allow(d2-wall-clock, read once per phase for obs metrics only; never compared on the decision path)
     let root = initial_state(make_procs(), invocations);
     let n = root.procs.len();
     let env = StepEnv { pattern, n };
@@ -941,7 +941,7 @@ where
     let mut states_capped = false;
     let mut dedup_hits = 0usize;
     let mut max_frontier_len = 0usize;
-    let halt = AtomicBool::new(false);
+    let halt = AtomicBool::new(false); // wfd-lint: allow(d3-atomics, benign race: may only skip expansion work; violations and flags stay exact and the merge is deterministic)
 
     let found = loop {
         max_frontier_len = max_frontier_len.max(stack.len());
@@ -1106,7 +1106,7 @@ where
                         message,
                         decisions: materialize_decisions(&state.decisions),
                     });
-                    halt.store(true, Ordering::Relaxed);
+                    halt.store(true, Ordering::Relaxed); // wfd-lint: allow(d3-atomics, publishes the expansion-skip hint; relaxed is enough because no result depends on when it lands)
                     continue;
                 }
                 if state.depth >= cfg.max_depth {
@@ -1119,6 +1119,7 @@ where
                 // and violations above stay exact — may be skipped once
                 // one is seen, even though which children get skipped is
                 // timing-dependent.
+                // wfd-lint: allow(d3-atomics, racy read only skips child expansion; the batch's violations are already recorded exactly)
                 if halt.load(Ordering::Relaxed) {
                     continue;
                 }

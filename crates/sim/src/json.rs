@@ -127,6 +127,23 @@ impl Json {
     }
 }
 
+/// Render a JSON value and self-validate it: the rendered text is parsed
+/// back with [`Json::parse`] before being returned, so a malformed
+/// artifact panics at the source instead of corrupting a `BENCH_*.json`
+/// or lint report downstream. This is the one emit path every artifact
+/// writer in the workspace shares (`wfd_bench::MetricsFlag::emit`,
+/// `wfd-lint --json`).
+///
+/// # Panics
+///
+/// Panics if the rendered text does not parse back — which would mean
+/// the writer in this module is broken, a programmer error.
+pub fn render_validated(value: &Json) -> String {
+    let rendered = value.to_string();
+    Json::parse(&rendered).expect("emitted JSON must round-trip through the parser");
+    rendered
+}
+
 /// Escape a string into a JSON string literal (with quotes).
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);

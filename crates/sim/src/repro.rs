@@ -125,7 +125,7 @@ impl SchedulerSpec {
             }),
             "adversarial" => Ok(SchedulerSpec::Adversarial { seed: seed()? }),
             "exhaustive" => Ok(SchedulerSpec::Exhaustive),
-            other => Err(format!("unknown scheduler {other:?}")),
+            other => Err(format!("unknown scheduler '{other}'")),
         }
     }
 }
@@ -534,12 +534,13 @@ impl Repro {
             .and_then(Json::as_str)
             .ok_or("format missing")?;
         if format != REPRO_FORMAT {
-            return Err(format!("unsupported repro format {format:?}"));
+            return Err(format!("unsupported repro format '{format}'"));
         }
         let source = match v.get("source").and_then(Json::as_str) {
             Some("fuzz") => ReproSource::Fuzz,
             Some("explore") => ReproSource::Explore,
-            other => return Err(format!("bad source {other:?}")),
+            Some(other) => return Err(format!("bad source '{other}'")),
+            None => return Err("source missing".to_string()),
         };
         let str_field = |key: &str| -> Result<String, String> {
             v.get(key)
