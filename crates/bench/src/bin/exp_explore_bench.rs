@@ -10,15 +10,29 @@
 //! * `optimized_1_thread` — fingerprints + shared-prefix states +
 //!   free-list arena ([`wfd_sim::explore()`] at one worker; isolates the
 //!   state-representation axis),
-//! * `optimized_{2,4}_threads` — the parallel frontier on top.
+//! * `optimized_{2,4}_threads` — the parallel frontier on top. These
+//!   rungs are **skipped** (marked `"skipped_1_cpu"` in the artifact)
+//!   when [`std::thread::available_parallelism`] reports a single CPU:
+//!   the reports would still be byte-identical, but the timings would be
+//!   time-slicing noise, not scaling data,
+//! * `reduced_dpor` / `reduced_symmetry` / `reduced_dpor_symmetry` — the
+//!   state-space reductions ([`ExploreConfig::with_dpor`] /
+//!   [`ExploreConfig::with_symmetry`]) on the single-thread optimized
+//!   loop. These rungs visit *fewer* states by design, so they are
+//!   cross-checked on the verdict and the bound flags — not on
+//!   [`ExploreReport::same_semantics`] — and the combined rung must
+//!   shrink the visit count (by ≥ 5× at the full ladder depth),
+//! * `reduced_deep` — the combined reduction pushed past the unreduced
+//!   horizon (depth 30), recorded to show the reductions buy *reach*,
+//!   not just speed. Unreduced, that depth does not fit the bench budget.
 //!
-//! Every rung explores the *same* workload and the reports are
-//! cross-checked with [`ExploreReport::same_semantics`] before any number
-//! is written — a rung that got faster by visiting fewer states is a bug,
-//! not a result.
+//! Every rung explores the *same* workload: all reports are cross-checked
+//! before any number is written — a rung that silently changed the
+//! verdict is a bug, not a result.
 //!
 //! `--smoke` shrinks the workload and skips the artifact write (unless
-//! `WFD_BENCH_OUT` is set) so CI can exercise the binary in seconds.
+//! `WFD_BENCH_OUT` is set) so CI can exercise the binary in seconds —
+//! including the reduction rungs and their visit-shrink assertion.
 //! Override reps with `WFD_EXPLORE_BENCH_REPS`. `--metrics[=PATH]` turns
 //! on the [`wfd_sim::obs`] layer for the optimized rungs and appends the
 //! `metrics` block to the artifact (or writes it to `PATH`).
@@ -29,24 +43,37 @@ use wfd_sim::explore_baseline::explore_baseline;
 use wfd_sim::json::Json;
 use wfd_sim::{
     explore, Ctx, ExactKeyHasher, ExploreConfig, ExploreReport, FailurePattern, FingerprintHasher,
-    NoDetector, ProcessId, Protocol,
+    Footprint, NoDetector, ProcessId, Protocol, StepKind, Symmetry,
 };
 
-/// The benchmark workload: a token-relay mesh with sustained traffic.
-/// Each process seeds one token on start; every receipt mixes the tag
-/// into a small accumulator and relays a re-tagged token to the next
-/// process, so messages never die out and λ steps advance a local phase
-/// counter. The mixing is coarse (mod 64) so interleavings genuinely
-/// converge and the dedup table works for a living; the branching factor
-/// stays around the process count while depth dominates — exactly the
-/// regime where per-branch O(depth) cloning and `String` keys hurt the
-/// historical loop.
+/// The benchmark workload: a token-relay mesh with decaying traffic.
+/// Each process pings every other process on start; every receipt mixes
+/// the tag into a small accumulator and — while the process still has
+/// reply budget (two replies each) — bounces a re-tagged token back to
+/// the *sender*; λ steps advance a local phase counter. The mixing is
+/// coarse (mod 64) so interleavings genuinely converge and the dedup
+/// table works for a living; the reply budget tames the branching so the
+/// full ladder depth lands around two million unreduced states — exactly
+/// the regime where per-branch O(depth) cloning and `String` keys hurt
+/// the historical loop.
+///
+/// The mesh is deliberately `S_n`-equivariant — identical initial state,
+/// reply-to-sender routing, id-free payloads — so the full symmetry
+/// group applies, and its footprints are exact (the reply budget is
+/// visible to [`Protocol::footprint`], so a drained process declares a
+/// purely local delivery), so DPOR has a real independence relation to
+/// work with. (The previous id-seeded ring workload was only trivially
+/// symmetric: a reduction ladder over it would have measured nothing.)
 #[derive(Clone, Debug, PartialEq)]
 struct Relay {
     acc: u8,
     phase: u8,
-    emitted: u8,
+    replies: u8,
 }
+
+/// Per-process reply budget: each receipt re-arms the sender at most this
+/// many times before the token dies out.
+const REPLY_BUDGET: u8 = 2;
 
 impl Protocol for Relay {
     type Msg = u8;
@@ -55,22 +82,34 @@ impl Protocol for Relay {
     type Fd = ();
 
     fn on_start(&mut self, ctx: &mut Ctx<Self>) {
-        let me = ctx.me().index() as u8;
-        ctx.send(ProcessId((ctx.me().index() + 1) % ctx.n()), me);
+        ctx.broadcast_others(1);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<Self>, _from: ProcessId, tag: u8) {
+    fn on_message(&mut self, ctx: &mut Ctx<Self>, from: ProcessId, tag: u8) {
         self.acc = (self.acc.wrapping_mul(5).wrapping_add(tag)) % 64;
-        ctx.send(ProcessId((ctx.me().index() + 1) % ctx.n()), (tag + 1) % 8);
-        if self.acc == 63 && self.emitted < 2 {
-            self.emitted += 1;
-            ctx.output(self.acc);
+        if self.replies < REPLY_BUDGET {
+            self.replies += 1;
+            ctx.send(from, (tag + 1) % 8);
         }
     }
 
     fn on_tick(&mut self, ctx: &mut Ctx<Self>) {
         let _ = ctx;
         self.phase = (self.phase + 1) % 3;
+    }
+
+    fn footprint(&self, me: ProcessId, n: usize, step: StepKind<'_, Self>) -> Footprint {
+        match step {
+            StepKind::Start { .. } => Footprint::local().sends_to_others(n, me),
+            StepKind::Deliver { from, .. } if self.replies < REPLY_BUDGET => {
+                Footprint::local().sends_to(from)
+            }
+            _ => Footprint::local(),
+        }
+    }
+
+    fn symmetry(_n: usize) -> Symmetry {
+        Symmetry::Full
     }
 }
 
@@ -81,7 +120,7 @@ fn make_procs() -> Vec<Relay> {
         .map(|_| Relay {
             acc: 1,
             phase: 0,
-            emitted: 0,
+            replies: 0,
         })
         .collect()
 }
@@ -125,10 +164,14 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(if smoke { 6 } else { 23 });
+    let deep_depth = depth + 7;
     let reps = std::env::var("WFD_EXPLORE_BENCH_REPS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(if smoke { 1 } else { 3 });
+    let available = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
     let pattern = FailurePattern::failure_free(N);
     let cfg = ExploreConfig::new(depth).with_max_states(10_000_000);
     // The optimized rungs carry the obs handle (off unless `--metrics` or
@@ -137,7 +180,7 @@ fn main() {
     let optimized = |threads: usize| cfg.clone().with_threads(threads).with_obs(obs.clone());
     let invocations = || vec![None; N];
 
-    let rungs = vec![
+    let mut rungs = vec![
         time_rung("baseline_string_key", reps, || {
             explore_baseline(
                 cfg.clone(),
@@ -170,27 +213,30 @@ fn main() {
                 safety,
             )
         }),
-        time_rung("optimized_2_threads", reps, || {
-            explore(
-                optimized(2),
-                make_procs,
-                invocations(),
-                &pattern,
-                NoDetector,
-                safety,
-            )
-        }),
-        time_rung("optimized_4_threads", reps, || {
-            explore(
-                optimized(4),
-                make_procs,
-                invocations(),
-                &pattern,
-                NoDetector,
-                safety,
-            )
-        }),
     ];
+    // Multi-thread rungs are scaling data only where scaling exists.
+    let mut skipped: Vec<&'static str> = Vec::new();
+    for threads in [2usize, 4] {
+        let name: &'static str = if threads == 2 {
+            "optimized_2_threads"
+        } else {
+            "optimized_4_threads"
+        };
+        if available < 2 {
+            skipped.push(name);
+            continue;
+        }
+        rungs.push(time_rung(name, reps, || {
+            explore(
+                optimized(threads),
+                make_procs,
+                invocations(),
+                &pattern,
+                NoDetector,
+                safety,
+            )
+        }));
+    }
 
     // No rung may change what was decided — only how fast. Between the
     // baseline (classic DFS) and the optimized loop (batched traversal)
@@ -217,11 +263,11 @@ fn main() {
         anchor.same_semantics(&rungs[1].report),
         "the two baseline rungs share a traversal and must agree exactly"
     );
-    let optimized = &rungs[2].report;
+    let optimized_report = rungs[2].report.clone();
     for rung in &rungs[3..] {
         assert!(
-            optimized.same_semantics(&rung.report),
-            "{} diverged from optimized_1_thread:\n{optimized:?}\nvs\n{:?}",
+            optimized_report.same_semantics(&rung.report),
+            "{} diverged from optimized_1_thread:\n{optimized_report:?}\nvs\n{:?}",
             rung.name,
             rung.report
         );
@@ -229,6 +275,96 @@ fn main() {
     assert!(
         anchor.violation.is_none() && !anchor.states_capped,
         "workload must be clean and uncapped, got {anchor:?}"
+    );
+
+    // The reduction rungs: fewer states, same verdict. `same_semantics`
+    // would be the wrong cross-check here — shrinking the space is the
+    // point — so the gate is verdict + bound-flag equality plus a strict
+    // visit decrease for the combined rung (≥ 5× at full ladder depth).
+    let reduced = |dpor: bool, symmetry: bool| {
+        optimized(1)
+            .with_dpor(dpor)
+            .with_symmetry(symmetry)
+            .with_obs(obs.clone())
+    };
+    let reduction_rungs = vec![
+        time_rung("reduced_dpor", reps, || {
+            explore(
+                reduced(true, false),
+                make_procs,
+                invocations(),
+                &pattern,
+                NoDetector,
+                safety,
+            )
+        }),
+        time_rung("reduced_symmetry", reps, || {
+            explore(
+                reduced(false, true),
+                make_procs,
+                invocations(),
+                &pattern,
+                NoDetector,
+                safety,
+            )
+        }),
+        time_rung("reduced_dpor_symmetry", reps, || {
+            explore(
+                reduced(true, true),
+                make_procs,
+                invocations(),
+                &pattern,
+                NoDetector,
+                safety,
+            )
+        }),
+    ];
+    for rung in &reduction_rungs {
+        let r = &rung.report;
+        assert!(
+            r.reduction_enabled
+                && anchor.depth_bounded == r.depth_bounded
+                && anchor.states_capped == r.states_capped
+                && anchor.violation == r.violation,
+            "{} changed the verdict:\n{anchor:?}\nvs\n{r:?}",
+            rung.name,
+        );
+    }
+    let unreduced_states = optimized_report.states_visited;
+    let combined = &reduction_rungs[2];
+    assert!(
+        combined.report.states_visited < unreduced_states,
+        "combined reduction must visit strictly fewer states: {} vs {unreduced_states}",
+        combined.report.states_visited
+    );
+    let reduction_factor = unreduced_states as f64 / combined.report.states_visited.max(1) as f64;
+    if !smoke && std::env::var("WFD_EXPLORE_BENCH_DEPTH").is_err() {
+        assert!(
+            reduction_factor >= 5.0,
+            "DPOR+symmetry must shrink the full-depth ladder ≥ 5×, got {reduction_factor:.2}×"
+        );
+    }
+
+    // Reach: the combined reduction at a depth the unreduced loop cannot
+    // afford. Smoke keeps the deep rung tiny via the shrunken base depth.
+    let deep = time_rung("reduced_deep", 1, || {
+        explore(
+            ExploreConfig::new(deep_depth)
+                .with_max_states(10_000_000)
+                .with_threads(1)
+                .with_dpor(true)
+                .with_symmetry(true),
+            make_procs,
+            invocations(),
+            &pattern,
+            NoDetector,
+            safety,
+        )
+    });
+    assert!(
+        deep.report.violation.is_none() && !deep.report.states_capped,
+        "deep reduced rung must stay clean and uncapped, got {:?}",
+        deep.report
     );
 
     let mut table = Table::new(
@@ -240,12 +376,20 @@ fn main() {
     // reported per rung because the batched traversal legitimately needs
     // fewer visits for the same coverage — that is part of the win).
     let base_secs = rungs[0].secs;
-    for rung in &rungs {
+    for rung in rungs.iter().chain(&reduction_rungs).chain([&deep]) {
         table.row_strings(vec![
             rung.name.to_string(),
             format!("{:.0}", rung.states_per_sec()),
             format!("{:.3}", rung.secs),
             format!("{:.2}x", base_secs / rung.secs.max(1e-9)),
+        ]);
+    }
+    for name in &skipped {
+        table.row_strings(vec![
+            name.to_string(),
+            "skipped_1_cpu".into(),
+            String::new(),
+            String::new(),
         ]);
     }
     table.row_strings(vec![
@@ -268,8 +412,26 @@ fn main() {
     let optimized_gain = ratio(&rungs[0], &rungs[2]);
     println!(
         "fingerprint {fingerprint_gain:.2}x · shared-prefix {shared_prefix_gain:.2}x · \
-         combined single-thread {optimized_gain:.2}x over the PR 2 loop"
+         combined single-thread {optimized_gain:.2}x over the PR 2 loop · \
+         reduction {reduction_factor:.2}x fewer states · \
+         deep rung depth {deep_depth}: {} states in {:.3}s",
+        deep.report.states_visited, deep.secs
     );
+
+    let mut states_per_sec: Vec<(String, Json)> = rungs
+        .iter()
+        .chain(&reduction_rungs)
+        .chain([&deep])
+        .map(|r| {
+            (
+                r.name.to_string(),
+                Json::Num(format!("{:.0}", r.states_per_sec())),
+            )
+        })
+        .collect();
+    for name in &skipped {
+        states_per_sec.push((name.to_string(), Json::str("skipped_1_cpu")));
+    }
 
     let mut json = Json::Obj(vec![
         (
@@ -294,20 +456,8 @@ fn main() {
                 ("smoke".to_string(), Json::bool(smoke)),
             ]),
         ),
-        (
-            "states_per_sec".to_string(),
-            Json::Obj(
-                rungs
-                    .iter()
-                    .map(|r| {
-                        (
-                            r.name.to_string(),
-                            Json::Num(format!("{:.0}", r.states_per_sec())),
-                        )
-                    })
-                    .collect(),
-            ),
-        ),
+        ("available_parallelism".to_string(), Json::usize(available)),
+        ("states_per_sec".to_string(), Json::Obj(states_per_sec)),
         (
             "speedup".to_string(),
             Json::Obj(vec![
@@ -322,6 +472,48 @@ fn main() {
                 (
                     "optimized_vs_baseline_single_thread".to_string(),
                     Json::Num(format!("{optimized_gain:.2}")),
+                ),
+            ]),
+        ),
+        (
+            "reduction".to_string(),
+            Json::Obj(vec![
+                (
+                    "unreduced_states".to_string(),
+                    Json::usize(unreduced_states),
+                ),
+                (
+                    "dpor_states".to_string(),
+                    Json::usize(reduction_rungs[0].report.states_visited),
+                ),
+                (
+                    "symmetry_states".to_string(),
+                    Json::usize(reduction_rungs[1].report.states_visited),
+                ),
+                (
+                    "dpor_symmetry_states".to_string(),
+                    Json::usize(combined.report.states_visited),
+                ),
+                (
+                    "states_pruned_dpor".to_string(),
+                    Json::usize(combined.report.states_pruned_dpor),
+                ),
+                (
+                    "symmetry_canonical_hits".to_string(),
+                    Json::usize(combined.report.symmetry_canonical_hits),
+                ),
+                (
+                    "factor".to_string(),
+                    Json::Num(format!("{reduction_factor:.2}")),
+                ),
+                ("deep_depth".to_string(), Json::usize(deep_depth)),
+                (
+                    "deep_states".to_string(),
+                    Json::usize(deep.report.states_visited),
+                ),
+                (
+                    "deep_secs".to_string(),
+                    Json::Num(format!("{:.3}", deep.secs)),
                 ),
             ]),
         ),

@@ -281,6 +281,31 @@ fn explore_selftest() -> ExitCode {
     let parallel = run(2);
     let deterministic = report.same_semantics(&parallel) && parallel.threads_used == 2;
 
+    // The state-space reductions must not change what the explorer finds
+    // (this scenario is asymmetric — distinct invocations — so symmetry
+    // degrades to a no-op and DPOR carries the rung alone).
+    let reduced = explore(
+        ExploreConfig::new(depth)
+            .with_max_states(200_000)
+            .with_threads(1)
+            .with_dpor(true)
+            .with_symmetry(true),
+        make_procs,
+        vec![Some(10), Some(20)],
+        &pattern,
+        mk_detector(),
+        checker,
+    );
+    println!(
+        "reduced: {} states visited, {} pruned by DPOR, {} symmetry hits, reduction enabled {}",
+        reduced.states_visited,
+        reduced.states_pruned_dpor,
+        reduced.symmetry_canonical_hits,
+        reduced.reduction_enabled
+    );
+    let reduced_verdict =
+        reduced.reduction_enabled && reduced.violation.is_some() == report.violation.is_some();
+
     let Some(violation) = report.violation.clone() else {
         println!("  [FAIL] explorer finds the fixture counterexample");
         return ExitCode::FAILURE;
@@ -310,6 +335,7 @@ fn explore_selftest() -> ExitCode {
     for (name, ok) in [
         ("explorer finds the fixture counterexample", true),
         ("1- and 2-thread reports agree semantically", deterministic),
+        ("reduced run agrees on the verdict", reduced_verdict),
         ("explore artifact JSON round-trips", round_trip),
         ("replay_explore reproduces the violation", replayed),
     ] {

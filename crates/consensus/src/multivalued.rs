@@ -20,7 +20,7 @@ use crate::omega_sigma::{OmegaSigmaConsensus, PaxosMsg};
 use crate::spec::ConsensusOutput;
 use std::collections::BTreeMap;
 use std::fmt::Debug;
-use wfd_sim::{Ctx, ProcessId, ProcessSet, Protocol};
+use wfd_sim::{Ctx, Footprint, ProcessId, ProcessSet, Protocol, StepKind};
 
 /// Messages: proposal flooding plus wrapped binary-instance traffic.
 #[derive(Clone, Debug, PartialEq)]
@@ -200,6 +200,18 @@ impl<V: Clone + Debug + PartialEq> Protocol for MultivaluedConsensus<V> {
                     inst.on_message(ictx, from, inner)
                 });
             }
+        }
+    }
+
+    fn footprint(&self, _me: ProcessId, n: usize, _step: StepKind<'_, Self>) -> Footprint {
+        // Value floods and hosted binary instances may message anyone on
+        // any step; the decision channel closes permanently once
+        // `decided` is set (every `ctx.output` is guarded on it).
+        let fp = Footprint::local().sends_to_all(n);
+        if self.decided.is_some() {
+            fp
+        } else {
+            fp.outputs()
         }
     }
 }

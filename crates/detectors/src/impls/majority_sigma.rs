@@ -12,7 +12,15 @@
 //! protocol blocks (which is exactly the paper's point: with ⌈n/2⌉ or more
 //! faults you genuinely need Σ from outside).
 
-use wfd_sim::{Ctx, ProcessId, ProcessSet, Protocol};
+use wfd_sim::{Ctx, Footprint, Permutation, ProcessId, ProcessSet, Protocol, StepKind, Symmetry};
+
+fn permute_set(set: &ProcessSet, perm: &Permutation) -> ProcessSet {
+    let mut out = ProcessSet::new();
+    for p in set.iter() {
+        out.insert(perm.apply(p));
+    }
+    out
+}
 
 /// Messages of the join-quorum protocol.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -114,6 +122,49 @@ impl Protocol for MajoritySigma {
                 }
             }
         }
+    }
+
+    fn footprint(&self, _me: ProcessId, n: usize, step: StepKind<'_, Self>) -> Footprint {
+        match step {
+            StepKind::Start { .. } => Footprint::local().sends_to_all(n),
+            StepKind::Tick => {
+                if self.round_complete && self.ticks_since_complete + 1 >= self.probe_interval {
+                    Footprint::local().sends_to_all(n)
+                } else {
+                    Footprint::local()
+                }
+            }
+            StepKind::Deliver { from, msg } => match msg {
+                SigmaMsg::Join(_) => Footprint::local().sends_to(from),
+                SigmaMsg::Ack(k) => {
+                    let completes = *k == self.round
+                        && !self.round_complete
+                        && self.acks.len() + usize::from(!self.acks.contains(from))
+                            >= Self::majority(n);
+                    if completes {
+                        Footprint::local().outputs()
+                    } else {
+                        Footprint::local()
+                    }
+                }
+            },
+        }
+    }
+
+    // Fully id-agnostic: probes are broadcast, acks go to the sender, and
+    // quorum formation only counts acks — ids enter state and outputs
+    // solely as [`ProcessSet`] members, rewritten below.
+    fn symmetry(_n: usize) -> Symmetry {
+        Symmetry::Full
+    }
+
+    fn permute(&mut self, perm: &Permutation) {
+        self.acks = permute_set(&self.acks, perm);
+        self.quorum = permute_set(&self.quorum, perm);
+    }
+
+    fn permute_output(out: &mut ProcessSet, perm: &Permutation) {
+        *out = permute_set(out, perm);
     }
 }
 

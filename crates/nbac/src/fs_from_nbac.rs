@@ -13,7 +13,7 @@ use crate::to_qc::NbacAlgorithm;
 use std::collections::BTreeMap;
 use std::fmt;
 use wfd_detectors::Signal;
-use wfd_sim::{Ctx, ProcessId, Protocol};
+use wfd_sim::{Ctx, Footprint, ProcessId, Protocol, StepKind};
 
 /// Messages: NBAC-instance traffic tagged with the instance number.
 #[derive(Clone, Debug, PartialEq)]
@@ -141,6 +141,12 @@ impl<N: NbacAlgorithm> Protocol for FsFromNbac<N> {
             return;
         }
         self.with_instance(ctx, k, |nbac, ictx| nbac.on_message(ictx, from, inner));
+    }
+
+    fn footprint(&self, _me: ProcessId, n: usize, _step: StepKind<'_, Self>) -> Footprint {
+        // FS never quiesces: every fourth tick re-samples the signal, and
+        // the hosted NBAC instances may message anyone at any time.
+        Footprint::opaque(n)
     }
 }
 

@@ -19,7 +19,7 @@ use std::fmt::Debug;
 use wfd_consensus::omega_sigma::PaxosMsg;
 use wfd_consensus::ConsensusOutput;
 use wfd_detectors::PsiValue;
-use wfd_sim::{Ctx, ProcessId, Protocol};
+use wfd_sim::{Ctx, Footprint, ProcessId, Protocol, StepKind};
 
 /// Messages: proposal flooding plus wrapped binary-QC traffic.
 #[derive(Clone, Debug, PartialEq)]
@@ -197,6 +197,18 @@ impl<V: Clone + Debug + PartialEq> Protocol for MultivaluedQc<V> {
                     inst.on_message(ictx, from, inner)
                 });
             }
+        }
+    }
+
+    fn footprint(&self, _me: ProcessId, n: usize, _step: StepKind<'_, Self>) -> Footprint {
+        // Value floods and the binary instances may message anyone on any
+        // step; `decide` outputs exactly once (guarded by
+        // `decided.is_none()`).
+        let fp = Footprint::local().sends_to_all(n);
+        if self.decided.is_some() {
+            fp
+        } else {
+            fp.outputs()
         }
     }
 }

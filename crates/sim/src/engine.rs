@@ -5,6 +5,8 @@ use crate::id::{ProcessId, Time};
 use crate::obs::{CounterId, HistId, Obs, PhaseId};
 use crate::oracle::FdOracle;
 use crate::protocol::{Ctx, Protocol};
+#[cfg(debug_assertions)]
+use crate::protocol::{Footprint, StepKind};
 use crate::scheduler::{MsgMeta, Scheduler};
 use crate::trace::{EventKind, Trace, TraceMode, TraceSummary};
 use std::collections::VecDeque;
@@ -361,11 +363,27 @@ where
             std::mem::take(&mut self.out_buf),
         );
 
+        // Debug builds validate every executed step against the declared
+        // footprint: an undeclared send or output is a protocol bug that
+        // would make the explorer's DPOR unsound, so it panics here too.
+        // Invocation steps are exempt — `StepKind` has no invoke variant
+        // (the explorer folds pending invocations into `Start`).
+        #[cfg(debug_assertions)]
+        let mut declared: Option<Footprint> = None;
+
         // Decide the step kind: start > pending invocation > message/λ.
         if !self.started[actor.index()] {
             self.started[actor.index()] = true;
             if record_msgs {
                 self.trace.push(self.now, actor, EventKind::Start);
+            }
+            #[cfg(debug_assertions)]
+            {
+                declared = Some(self.procs[actor.index()].footprint(
+                    actor,
+                    self.cfg.n,
+                    StepKind::Start { inv: None },
+                ));
             }
             self.procs[actor.index()].on_start(&mut ctx);
         } else if self.invocations[actor.index()]
@@ -396,11 +414,30 @@ where
                             },
                         );
                     }
+                    #[cfg(debug_assertions)]
+                    {
+                        declared = Some(self.procs[actor.index()].footprint(
+                            actor,
+                            self.cfg.n,
+                            StepKind::Deliver {
+                                from: env.from,
+                                msg: &env.msg,
+                            },
+                        ));
+                    }
                     self.procs[actor.index()].on_message(&mut ctx, env.from, env.msg);
                 }
                 None => {
                     if record_msgs {
                         self.trace.push(self.now, actor, EventKind::Lambda);
+                    }
+                    #[cfg(debug_assertions)]
+                    {
+                        declared = Some(self.procs[actor.index()].footprint(
+                            actor,
+                            self.cfg.n,
+                            StepKind::Tick,
+                        ));
                     }
                     self.procs[actor.index()].on_tick(&mut ctx);
                 }
@@ -408,6 +445,19 @@ where
         }
 
         let (mut sends, mut outs) = ctx.into_buffers();
+        #[cfg(debug_assertions)]
+        if let Some(fp) = declared {
+            for (to, _) in &sends {
+                assert!(
+                    fp.may_send_to(*to),
+                    "footprint violation: {actor} sent to {to} without declaring it"
+                );
+            }
+            assert!(
+                outs.is_empty() || fp.may_output(),
+                "footprint violation: {actor} emitted an output without declaring it"
+            );
+        }
         self.cfg
             .obs
             .record(HistId::EngineSendsPerStep, sends.len() as u64);

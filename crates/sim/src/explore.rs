@@ -45,6 +45,48 @@
 //!   so 1 thread and N threads produce identical reports (modulo the
 //!   informational [`ExploreReport::threads_used`]).
 //!
+//! ## State-space reduction
+//!
+//! On top of the per-state machinery, two opt-in reductions shrink the
+//! space itself — they prune *interleavings*, not soundness:
+//!
+//! * **Dynamic partial-order reduction** ([`ExploreConfig::with_dpor`]) —
+//!   sleep sets over an explicit independence relation. Protocols declare
+//!   per-step [`Footprint`]s (which inboxes a step may append to, whether
+//!   it may output); two enabled steps of different processes are
+//!   *independent* when their footprints are disjoint, neither both
+//!   output, neither sends into the other's pending λ step, and the
+//!   failure pattern and detector are stable across the two adjacent step
+//!   times. Once a step has been explored from a state, equivalent
+//!   interleavings that merely commute it with independent steps are
+//!   skipped ([`ExploreReport::states_pruned_dpor`]). Sleep sets thread
+//!   through the frontier entries, survive batching, and are stored in
+//!   the seen-table: a revisit is pruned only when the recorded
+//!   exploration covered at least as many steps (a depth- and sleep-aware
+//!   cover check) — the naive "prune any revisit" composition of sleep
+//!   sets with state caching is unsound, and a regression fixture keeps
+//!   it that way. Declared footprints are validated against every
+//!   executed step, so an under-declaration panics instead of silently
+//!   pruning a reachable violation.
+//! * **Process-symmetry canonicalization**
+//!   ([`ExploreConfig::with_symmetry`]) — protocols declare a symmetry
+//!   group ([`Symmetry`], with [`Permutation`] hooks for ids embedded in
+//!   state, messages and outputs); before a state is fingerprinted it is
+//!   streamed through the hasher once per group element (restricted to
+//!   elements preserving the failure pattern and the invocation vector)
+//!   and keyed by the least fingerprint. Two states that are renamings of
+//!   each other then dedup to one
+//!   ([`ExploreReport::symmetry_canonical_hits`]). Decisions and
+//!   violations always stay in *original* ids — only the dedup key is
+//!   canonicalized — so counterexamples found under reduction replay
+//!   through [`replay_explore`] and [`crate::repro`] unchanged. Symmetry
+//!   is sound only when the safety predicate is itself invariant under
+//!   the declared group.
+//!
+//! Both reductions are deterministic and thread-count-invariant, and both
+//! are differentially anchored against the unreduced explorer by the
+//! 40-seed equivalence ladders in `tests/explore_dedup.rs`.
+//!
 //! ```
 //! use wfd_sim::{explore, Ctx, ExploreConfig, FailurePattern, NoDetector,
 //!               ProcessId, Protocol};
@@ -78,7 +120,7 @@ use crate::json::Json;
 use crate::obs::{CounterId, HistId, Obs, PhaseId};
 use crate::oracle::FdOracle;
 use crate::par::par_map_with;
-use crate::protocol::{Ctx, Protocol, SendBuf};
+use crate::protocol::{Ctx, Footprint, Permutation, Protocol, SendBuf, StepKind, Symmetry};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt::Debug;
@@ -142,9 +184,24 @@ pub struct ExploreConfig {
     /// catch it.
     pub budget_aware: bool,
     /// Which built-in hasher keys the seen-table (default:
-    /// [`Hasher::Fingerprint`]). Replaces the old `explore_with_hasher`
-    /// entry point for the shipped hashers.
+    /// [`Hasher::Fingerprint`]).
     pub hasher: Hasher,
+    /// Dynamic partial-order reduction via sleep sets (default: off).
+    /// Requires honest [`Protocol::footprint`] declarations — the default
+    /// opaque footprint is sound but prunes nothing. See the
+    /// [module docs](self#state-space-reduction).
+    pub dpor: bool,
+    /// Process-symmetry canonicalization of dedup keys (default: off).
+    /// Requires dedup; sound only for group-invariant safety predicates.
+    /// See the [module docs](self#state-space-reduction).
+    pub symmetry: bool,
+    /// Build sleep sets even at depths where the failure pattern or the
+    /// detector oracle changes between `t` and `t + 1` — **test-only**:
+    /// reintroduces the naive (unsound) sleep-set implementation that
+    /// commutes steps across an oracle transition, so the regression
+    /// fixture can prove the stability guard is load-bearing. Meaningless
+    /// without [`ExploreConfig::dpor`].
+    pub unstable_sleep: bool,
     /// Observability handle (default: [`Obs::off`], which costs nothing).
     /// Metrics never influence the traversal or the report.
     pub obs: Obs,
@@ -162,6 +219,9 @@ impl ExploreConfig {
             batch: DEFAULT_BATCH,
             budget_aware: true,
             hasher: Hasher::Fingerprint,
+            dpor: false,
+            symmetry: false,
+            unstable_sleep: false,
             obs: Obs::off(),
         }
     }
@@ -206,6 +266,39 @@ impl ExploreConfig {
         self
     }
 
+    /// Enable sleep-set dynamic partial-order reduction (default: off).
+    /// Prunes interleavings that merely commute independent steps, as
+    /// proven by the protocol's declared [`Protocol::footprint`]s; with
+    /// the default opaque footprints it is a sound no-op. The verdict is
+    /// unchanged; the traversal-shaped counters legitimately shrink.
+    pub fn with_dpor(mut self, dpor: bool) -> Self {
+        self.dpor = dpor;
+        self
+    }
+
+    /// Enable process-symmetry canonicalization of dedup keys (default:
+    /// off). Effective only with dedup on and a non-trivial declared
+    /// [`Protocol::symmetry`] group; **sound only when the safety
+    /// predicate is invariant under that group** (restricted to elements
+    /// preserving the failure pattern and invocation vector — the
+    /// explorer enforces the restriction itself).
+    pub fn with_symmetry(mut self, symmetry: bool) -> Self {
+        self.symmetry = symmetry;
+        self
+    }
+
+    /// Skip the oracle-stability guard when building sleep sets —
+    /// **test-only**: this deliberately reintroduces the naive (unsound)
+    /// sleep-set implementation that treats locally-independent steps as
+    /// commutable even across a detector transition, so the regression
+    /// fixture in `tests/explore_dedup.rs` can prove the guard is
+    /// load-bearing (the analogue of
+    /// [`ExploreConfig::with_budget_aware`]).
+    pub fn with_unstable_sleep(mut self, unstable: bool) -> Self {
+        self.unstable_sleep = unstable;
+        self
+    }
+
     /// Attach an observability handle (see [`crate::obs`]). Like the
     /// other builders this is an *explicit* choice and therefore beats
     /// the `WFD_METRICS` environment toggle — binaries that want env
@@ -244,8 +337,12 @@ impl ExploreViolation {
 /// Outcome of an exploration.
 #[derive(Clone, Debug)]
 pub struct ExploreReport {
-    /// States expanded (post-dedup; a state revisited at a strictly lower
-    /// depth is re-expanded and counted again).
+    /// States expanded in full (post-dedup; a state revisited at a
+    /// strictly lower depth is re-expanded and counted again). Revisits
+    /// re-expanded only on a restricted decision subset — partial cache
+    /// hits under the reductions — count in [`dedup_hits`] instead.
+    ///
+    /// [`dedup_hits`]: ExploreReport::dedup_hits
     pub states_visited: usize,
     /// Whether some branch hit the depth bound (the space is bigger than
     /// what was explored).
@@ -262,9 +359,24 @@ pub struct ExploreReport {
     /// Distinct keys committed to the dedup seen-table (0 with dedup off).
     pub dedup_entries: usize,
     /// States pruned as already-covered revisits (0 with dedup off).
+    /// Under the reductions this also counts partial cache hits —
+    /// revisits re-expanded only on the decisions the seen-table does
+    /// not yet cover — and the individual child states a restriction
+    /// skipped.
     pub dedup_hits: usize,
     /// High-water mark of the pending-state frontier, in states.
     pub max_frontier_len: usize,
+    /// Child states skipped by sleep-set partial-order reduction. 0
+    /// unless [`ExploreConfig::dpor`] is on — and 0 with it on when the
+    /// protocol declares only the opaque default footprint.
+    pub states_pruned_dpor: usize,
+    /// Keyed states whose canonical form used a non-identity permutation
+    /// (a renaming of an already-seen state was collapsed onto it). 0
+    /// unless [`ExploreConfig::symmetry`] found a usable group.
+    pub symmetry_canonical_hits: usize,
+    /// Whether a state-space reduction ([`ExploreConfig::dpor`] or
+    /// [`ExploreConfig::symmetry`]) was requested for this run.
+    pub reduction_enabled: bool,
     /// The resolved worker count. Informational: it is the one field that
     /// legitimately differs between otherwise identical reports.
     pub threads_used: usize,
@@ -283,6 +395,9 @@ impl ExploreReport {
             && self.dedup_entries == other.dedup_entries
             && self.dedup_hits == other.dedup_hits
             && self.max_frontier_len == other.max_frontier_len
+            && self.states_pruned_dpor == other.states_pruned_dpor
+            && self.symmetry_canonical_hits == other.symmetry_canonical_hits
+            && self.reduction_enabled == other.reduction_enabled
             && self.violation == other.violation
     }
 
@@ -324,6 +439,18 @@ impl ExploreReport {
                 "max_frontier_len".to_string(),
                 Json::usize(self.max_frontier_len),
             ),
+            (
+                "states_pruned_dpor".to_string(),
+                Json::usize(self.states_pruned_dpor),
+            ),
+            (
+                "symmetry_canonical_hits".to_string(),
+                Json::usize(self.symmetry_canonical_hits),
+            ),
+            (
+                "reduction_enabled".to_string(),
+                Json::bool(self.reduction_enabled),
+            ),
             ("threads_used".to_string(), Json::usize(self.threads_used)),
             ("violation".to_string(), violation),
         ])
@@ -346,8 +473,9 @@ impl ExploreReport {
 /// (the full rendering as a `String`; collision-free but slow, selected by
 /// equivalence tests to prove the fingerprint never changes a verdict).
 pub trait StateHasher: Sync {
-    /// The dedup key type.
-    type Key: Eq + Hash + Clone + Send;
+    /// The dedup key type. `Ord` so symmetry canonicalization can take
+    /// the least key over the candidate permutations deterministically.
+    type Key: Eq + Ord + Hash + Clone + Send;
 
     /// Key the given state components.
     fn key<P: Protocol + Debug>(
@@ -538,6 +666,272 @@ impl StateHasher for ExactKeyHasher {
 }
 
 // ---------------------------------------------------------------------------
+// State-space reduction machinery: sleep sets, seen-covers, symmetry
+// ---------------------------------------------------------------------------
+
+/// Membership in a sorted sleep set.
+fn sleep_contains(sleep: &[ExploreDecision], d: ExploreDecision) -> bool {
+    sleep.binary_search(&d).is_ok()
+}
+
+/// `a ⊆ b` over sorted decision sets (merge scan).
+fn sleep_subset(a: &[ExploreDecision], b: &[ExploreDecision]) -> bool {
+    let mut b_iter = b.iter();
+    'outer: for x in a {
+        for y in b_iter.by_ref() {
+            match y.cmp(x) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// One recorded expansion of a seen key: the depth it ran from and the
+/// enabled decisions it *slept* (skipped). A revisit is covered — safely
+/// prunable — only by an entry that had at least as much remaining depth
+/// budget (`depth ≤` the revisit's) and slept at most what the revisit
+/// would sleep (`sleep ⊆` the revisit's): the recorded subtree then
+/// contains every run the revisit could contribute. This is the
+/// sleep-aware caching rule from Godefroid's state-space caching work:
+/// pruning any revisit regardless of its sleep set is unsound in
+/// general, because the earlier visit may have skipped exactly the
+/// direction the revisit still needs. The entries of one key form a
+/// small Pareto front: no entry dominates another. A revisit no single
+/// entry covers is not necessarily re-expanded in full: the resolution
+/// pass restricts it to the intersection of the valid entries' sleeps —
+/// everything outside that intersection is covered by *some* entry (see
+/// [`State::restrict`]).
+struct SeenCover {
+    depth: usize,
+    sleep: Vec<ExploreDecision>,
+}
+
+/// Whether the recorded covers of a key cover a visit at `depth` that
+/// would sleep `sleep`. Coverage only ever *grows* as entries are pushed,
+/// which is what keeps the parallel pre-read sound: a pre-read prune
+/// verdict can never be invalidated by the sequential resolution pass.
+fn covered_by(
+    covers: &[SeenCover],
+    depth: usize,
+    sleep: &[ExploreDecision],
+    budget_aware: bool,
+) -> bool {
+    covers
+        .iter()
+        .any(|c| (!budget_aware || c.depth <= depth) && sleep_subset(&c.sleep, sleep))
+}
+
+/// Record a kept (re-)expansion: push its cover and drop entries it
+/// dominates. Without reductions every sleep is empty, so this degenerates
+/// to the historical single min-depth entry per key.
+fn push_cover(entry: &mut Vec<SeenCover>, depth: usize, sleep: Vec<ExploreDecision>) {
+    entry.retain(|c| !(depth <= c.depth && sleep_subset(&sleep, &c.sleep)));
+    entry.push(SeenCover { depth, sleep });
+}
+
+/// Fingerprint one `Debug` rendering — used to compare detector values
+/// and invocation slots for equality, since `Fd`/`Inv` only promise
+/// `Debug` (the same representation choice the state keys make).
+fn debug_fp<T: Debug>(v: &T) -> u128 {
+    use std::fmt::Write;
+    let mut w = Fingerprint128::new();
+    write!(w, "{v:?}").expect("fingerprint writer is infallible");
+    w.finish()
+}
+
+/// Whether two enabled decisions at the same state are *independent* —
+/// executing them in either order yields the same state, and neither
+/// order hides the other's enabledness. Requires (checked by the caller)
+/// that the failure pattern and detector are stable across the two
+/// adjacent step times. `fa`/`fb` are the decisions' declared footprints;
+/// `started` is the state's started vector.
+fn independent(
+    (p, ca): ExploreDecision,
+    fa: &Footprint,
+    (q, cb): ExploreDecision,
+    fb: &Footprint,
+    started: &[bool],
+) -> bool {
+    // A process's own steps always conflict (they share its local state
+    // and inbox); two outputs conflict (the output history is ordered and
+    // safety-visible); two sends to a common inbox conflict (the append
+    // order is part of the state); a send into a process whose decision
+    // is a λ step disables that step (λ requires an empty inbox) — start
+    // steps are immune, they read no inbox.
+    p != q
+        && !(fa.may_output() && fb.may_output())
+        && !fa.sends_intersect(fb)
+        && !(fa.may_send_to(q) && cb.is_none() && started[q.index()])
+        && !(fb.may_send_to(p) && ca.is_none() && started[p.index()])
+}
+
+/// The declared footprint of one enabled decision at `state`.
+fn decision_footprint<P: Protocol>(state: &State<P>, d: ExploreDecision, n: usize) -> Footprint {
+    let (p, choice) = d;
+    let idx = p.index();
+    if !state.started[idx] {
+        let kind = StepKind::Start {
+            inv: state.pending_inv[idx].as_ref(),
+        };
+        return state.procs[idx].footprint(p, n, kind);
+    }
+    let kind = match choice {
+        Some(i) if !state.inboxes[idx].is_empty() => {
+            let i = i.min(state.inboxes[idx].len() - 1);
+            let (from, msg) = &state.inboxes[idx][i];
+            StepKind::Deliver { from: *from, msg }
+        }
+        _ => StepKind::Tick,
+    };
+    state.procs[idx].footprint(p, n, kind)
+}
+
+/// A usable non-identity symmetry group element, with its inverse image
+/// table cached for state rebuilding (`inverse[j]` = the original slot
+/// canonical slot `j` is filled from).
+struct SymPerm {
+    perm: Permutation,
+    inverse: Vec<usize>,
+}
+
+/// Restrict the protocol's declared symmetry group to the elements this
+/// *scenario* cannot distinguish: preserving the failure pattern at every
+/// step time, mapping invocation slots onto `Debug`-equal ones, and
+/// seeing a `Debug`-equal detector at every alive `(p, t)`. Asymmetric
+/// scenarios thus never inherit a symmetric protocol's full group. The
+/// identity is excluded — it is the implicit first candidate of every
+/// canonicalization.
+fn scenario_symmetry<P, D>(
+    n: usize,
+    max_depth: usize,
+    pattern: &FailurePattern,
+    invocations: &[Option<P::Inv>],
+    detector: &mut D,
+) -> Vec<SymPerm>
+where
+    P: Protocol,
+    D: FdOracle<Value = P::Fd>,
+{
+    let declared: Symmetry = P::symmetry(n);
+    let group = declared.permutations(n);
+    if group.len() <= 1 {
+        return Vec::new();
+    }
+    let inv_fps: Vec<u128> = invocations.iter().map(debug_fp).collect();
+    // One detector sample per (p, t) — oracles are pure in (p, t), so
+    // sampling here cannot perturb the exploration's own queries.
+    let fd_fps: Vec<Vec<Option<u128>>> = ProcessId::all(n)
+        .map(|p| {
+            (0..max_depth)
+                .map(|t| {
+                    let t = t as Time;
+                    (!pattern.is_crashed(p, t)).then(|| debug_fp(&detector.query(p, t)))
+                })
+                .collect()
+        })
+        .collect();
+    group
+        .into_iter()
+        .filter(|perm| !perm.is_identity())
+        .filter(|perm| {
+            ProcessId::all(n).all(|p| {
+                let q = perm.apply(p);
+                inv_fps[p.index()] == inv_fps[q.index()]
+                    && (0..max_depth).all(|t| {
+                        pattern.is_crashed(p, t as Time) == pattern.is_crashed(q, t as Time)
+                            && fd_fps[p.index()][t] == fd_fps[q.index()][t]
+                    })
+            })
+        })
+        .map(|perm| {
+            let inverse = perm.inverse_map();
+            SymPerm { perm, inverse }
+        })
+        .collect()
+}
+
+/// Per-worker scratch for building permuted state views (allocations are
+/// reused across the states and permutations of one key-phase chunk).
+struct SymScratch<P: Protocol> {
+    procs: Vec<P>,
+    inboxes: Vec<Vec<(ProcessId, P::Msg)>>,
+    started: Vec<bool>,
+    outputs: Vec<(ProcessId, P::Output)>,
+}
+
+impl<P: Protocol> SymScratch<P> {
+    fn new(n: usize) -> Self {
+        SymScratch {
+            procs: Vec::with_capacity(n),
+            inboxes: vec![Vec::new(); n],
+            started: vec![false; n],
+            outputs: Vec::new(),
+        }
+    }
+}
+
+/// The canonical dedup key of a state under the scenario's symmetry
+/// group: the least key over the identity and every usable permutation,
+/// plus the index of the permutation that realized it (`None` when the
+/// identity is least — ties break toward the identity, then toward the
+/// earlier group element, so the choice is deterministic).
+fn canonical_key<H, P>(
+    hasher: &H,
+    state: &State<P>,
+    outputs: &[(ProcessId, P::Output)],
+    perms: &[SymPerm],
+    scratch: &mut SymScratch<P>,
+) -> (H::Key, Option<usize>)
+where
+    H: StateHasher,
+    P: Protocol + Clone + Debug,
+{
+    let mut best = hasher.key(&state.procs, &state.inboxes, &state.started, outputs);
+    let mut best_perm = None;
+    let n = state.procs.len();
+    for (pi, sp) in perms.iter().enumerate() {
+        // Canonical slot j is original slot inverse[j], with every
+        // embedded id rewritten forward through the permutation. Inbox
+        // order is preserved — appends are order-sensitive state.
+        scratch.procs.clear();
+        for j in 0..n {
+            let mut proc = state.procs[sp.inverse[j]].clone();
+            proc.permute(&sp.perm);
+            scratch.procs.push(proc);
+            scratch.started[j] = state.started[sp.inverse[j]];
+            let inbox = &mut scratch.inboxes[j];
+            inbox.clear();
+            inbox.extend(state.inboxes[sp.inverse[j]].iter().map(|(from, msg)| {
+                let mut msg = msg.clone();
+                P::permute_msg(&mut msg, &sp.perm);
+                (sp.perm.apply(*from), msg)
+            }));
+        }
+        scratch.outputs.clear();
+        scratch.outputs.extend(outputs.iter().map(|(p, out)| {
+            let mut out = out.clone();
+            P::permute_output(&mut out, &sp.perm);
+            (sp.perm.apply(*p), out)
+        }));
+        let key = hasher.key(
+            &scratch.procs,
+            &scratch.inboxes,
+            &scratch.started,
+            &scratch.outputs,
+        );
+        if key < best {
+            best = key;
+            best_perm = Some(pi);
+        }
+    }
+    (best, best_perm)
+}
+
+// ---------------------------------------------------------------------------
 // Shared-prefix state representation
 // ---------------------------------------------------------------------------
 
@@ -621,6 +1015,20 @@ struct State<P: Protocol> {
     outputs_len: usize,
     depth: usize,
     decisions: Option<Arc<DecisionNode>>,
+    /// DPOR sleep set: enabled decisions whose exploration from this
+    /// state is provably redundant. Sorted; always empty unless
+    /// [`ExploreConfig::dpor`] is on. Not part of the dedup key — it
+    /// feeds the seen-table cover check instead.
+    sleep: Vec<ExploreDecision>,
+    /// Restricted re-expansion (Godefroid's state-space caching): when a
+    /// revisit is only *partially* covered by the seen-table, every
+    /// decision some valid cover did **not** sleep already has a fully
+    /// explored subtree with at least as much depth budget — only the
+    /// intersection of the valid covers' sleeps may still hide unexplored
+    /// runs. The resolution pass records that intersection here (sorted,
+    /// in this state's own coordinates) and expansion is limited to it.
+    /// `None` means unrestricted (a first visit, or no valid cover).
+    restrict: Option<Vec<ExploreDecision>>,
 }
 
 impl<P: Protocol> State<P> {
@@ -636,11 +1044,16 @@ impl<P: Protocol> State<P> {
             outputs_len: 0,
             depth: 0,
             decisions: None,
+            sleep: Vec::new(),
+            restrict: None,
         }
     }
 
     /// Overwrite `self` with a copy of `src`, reusing every allocation
     /// `self` already owns (`clone_from` down to the per-inbox vectors).
+    /// The sleep set and the expansion restriction are *not* copied —
+    /// they are properties of the visit that created a state, set
+    /// explicitly by the expansion and resolution passes.
     fn copy_from(&mut self, src: &State<P>)
     where
         P: Clone,
@@ -653,6 +1066,8 @@ impl<P: Protocol> State<P> {
         self.outputs_len = src.outputs_len;
         self.depth = src.depth;
         self.decisions.clone_from(&src.decisions);
+        self.sleep.clear();
+        self.restrict = None;
     }
 }
 
@@ -664,6 +1079,8 @@ fn recycle<P: Protocol>(mut s: State<P>, pool: &mut Vec<State<P>>) {
     }
     s.outputs = None;
     s.decisions = None;
+    s.sleep.clear();
+    s.restrict = None;
     pool.push(s);
 }
 
@@ -679,6 +1096,8 @@ fn initial_state<P: Protocol>(procs: Vec<P>, invocations: Vec<Option<P::Inv>>) -
         outputs_len: 0,
         depth: 0,
         decisions: None,
+        sleep: Vec::new(),
+        restrict: None,
     }
 }
 
@@ -706,6 +1125,12 @@ struct StepEnv<'a> {
 ///
 /// `bufs` is the recycled `Ctx` send/output buffer pair — one per worker,
 /// so steady-state stepping allocates nothing.
+///
+/// `declared` is the step's declared [`Footprint`] when DPOR is active:
+/// the executed sends and outputs are validated against it, and an
+/// under-declaration panics — a too-tight footprint must never silently
+/// prune a reachable violation.
+#[allow(clippy::too_many_arguments)] // one hot-path fn, each arg documented above
 fn apply_step_into<P>(
     env: &StepEnv<'_>,
     src: &State<P>,
@@ -714,6 +1139,7 @@ fn apply_step_into<P>(
     fd: P::Fd,
     choice: Option<usize>,
     bufs: &mut (SendBuf<P>, Vec<P::Output>),
+    declared: Option<&Footprint>,
 ) where
     P: Protocol + Clone,
 {
@@ -757,6 +1183,22 @@ fn apply_step_into<P>(
         parent: dst.decisions.take(),
     }));
     let (mut sends, mut outs) = ctx.into_buffers();
+    if let Some(declared) = declared {
+        for (to, _) in &sends {
+            assert!(
+                declared.may_send_to(*to),
+                "footprint violation in {}: undeclared send {p} -> {to} at t={t} \
+                 (an under-declared Protocol::footprint would make DPOR unsound)",
+                std::any::type_name::<P>(),
+            );
+        }
+        assert!(
+            outs.is_empty() || declared.may_output(),
+            "footprint violation in {}: undeclared output by {p} at t={t} \
+             (an under-declared Protocol::footprint would make DPOR unsound)",
+            std::any::type_name::<P>(),
+        );
+    }
     for (to, msg) in sends.drain(..) {
         if !env.pattern.is_crashed(to, t) {
             dst.inboxes[to.index()].push((p, msg));
@@ -788,6 +1230,16 @@ struct ChunkOut<P: Protocol> {
     children: Vec<State<P>>,
     violations: Vec<FoundViolation>,
     depth_bounded: bool,
+    /// Children skipped because their decision was asleep. Only merged
+    /// from violation-free batches (a violating batch's expansion is
+    /// racily short-circuited, so its count is not deterministic — and it
+    /// never contributes children either).
+    dpor_pruned: usize,
+    /// Children skipped because their decision fell outside a partially
+    /// covered revisit's [`State::restrict`] set — i.e. the seen-table
+    /// already covers their subtree. Merged into `dedup_hits`, under the
+    /// same violation-free-batch guard as `dpor_pruned`.
+    restricted: usize,
 }
 
 /// Contiguous, near-even, in-order split of `0..len` into at most
@@ -907,19 +1359,35 @@ where
     // only when the handle is on.
     let obs = cfg.obs.clone();
     let t_start = obs.is_on().then(Instant::now); // wfd-lint: allow(d2-wall-clock, read once per phase for obs metrics only; never compared on the decision path)
+                                                  // Resolve the scenario's usable symmetry group before the invocation
+                                                  // vector is consumed by the initial state (the filter compares its
+                                                  // slots). Without dedup there is no key to canonicalize.
+    let sym_perms: Vec<SymPerm> = if cfg.symmetry && cfg.dedup {
+        scenario_symmetry::<P, D>(
+            invocations.len(),
+            cfg.max_depth,
+            pattern,
+            &invocations,
+            &mut detector,
+        )
+    } else {
+        Vec::new()
+    };
+    let use_symmetry = !sym_perms.is_empty();
     let root = initial_state(make_procs(), invocations);
     let n = root.procs.len();
     let env = StepEnv { pattern, n };
 
-    // Seen-table: state key → lowest depth at which it was expanded. A
-    // revisit is pruned only when the previous expansion had an
-    // equal-or-lower depth (i.e. at least as much remaining budget); a
-    // strictly shallower revisit re-expands, because it can reach states
-    // the deeper visit could not before hitting `max_depth`. The key
-    // includes the output history: the safety predicate reads outputs, so
-    // two branches that converge in `(procs, inboxes, started)` but
-    // emitted different outputs are *different* states to the checker.
-    let shards: Vec<Mutex<HashMap<H::Key, usize>>> = (0..SHARD_COUNT)
+    // Seen-table: state key → the Pareto front of recorded expansions
+    // (depth, sleep set) — see [`SeenCover`]. A revisit is pruned only
+    // when some recorded expansion had at least as much remaining depth
+    // budget *and* slept no more than the revisit would; without
+    // reductions this degenerates to the historical "lowest expanded
+    // depth" rule. The key includes the output history: the safety
+    // predicate reads outputs, so two branches that converge in
+    // `(procs, inboxes, started)` but emitted different outputs are
+    // *different* states to the checker.
+    let shards: Vec<Mutex<HashMap<H::Key, Vec<SeenCover>>>> = (0..SHARD_COUNT)
         .map(|_| Mutex::new(HashMap::new()))
         .collect();
 
@@ -935,12 +1403,18 @@ where
     let mut next_pool = 0usize;
     let mut survivors: Vec<State<P>> = Vec::new();
     let mut fd_cache: HashMap<(usize, Time), P::Fd> = HashMap::new();
+    // Per-batch map: survivor depth `t` → whether the failure pattern and
+    // the detector are stable across times `t` and `t + 1` (the
+    // precondition for certifying independence at that depth).
+    let mut dpor_stable: HashMap<Time, bool> = HashMap::new();
 
     let mut states_visited = 0usize;
     let mut depth_bounded = false;
     let mut states_capped = false;
     let mut dedup_hits = 0usize;
     let mut max_frontier_len = 0usize;
+    let mut states_pruned_dpor = 0usize;
+    let mut symmetry_canonical_hits = 0usize;
     let halt = AtomicBool::new(false); // wfd-lint: allow(d3-atomics, benign race: may only skip expansion work; violations and flags stay exact and the merge is deterministic)
 
     let found = loop {
@@ -987,25 +1461,61 @@ where
             let key_phase = obs.phase(PhaseId::ExploreKey);
             let keyed = par_map_with(&ranges, threads, |_, range| {
                 let mut keys = Vec::with_capacity(range.len());
+                let mut canon_sleeps = Vec::with_capacity(range.len());
+                let mut arg_perms = Vec::with_capacity(range.len());
                 let mut pre_pruned = Vec::with_capacity(range.len());
+                let mut sym_hits = 0usize;
                 let mut outputs = Vec::new();
+                let mut scratch = use_symmetry.then(|| SymScratch::<P>::new(n));
                 for j in range.clone() {
                     let state = &stack[top - 1 - j];
                     materialize_outputs(&state.outputs, state.outputs_len, &mut outputs);
-                    let key = hasher.key(&state.procs, &state.inboxes, &state.started, &outputs);
+                    let (key, arg_perm) = match &mut scratch {
+                        Some(scratch) => {
+                            let (key, arg) =
+                                canonical_key(&hasher, state, &outputs, &sym_perms, scratch);
+                            sym_hits += usize::from(arg.is_some());
+                            (key, arg)
+                        }
+                        None => (
+                            hasher.key(&state.procs, &state.inboxes, &state.started, &outputs),
+                            None,
+                        ),
+                    };
+                    // The sleep set enters the seen-table in the *same*
+                    // coordinates as the key: mapped through the
+                    // canonicalizing permutation (inbox indices survive
+                    // unchanged — permutation preserves inbox order).
+                    let canon_sleep = match arg_perm {
+                        None => state.sleep.clone(),
+                        Some(pi) => {
+                            let perm = &sym_perms[pi].perm;
+                            let mut sl: Vec<ExploreDecision> = state
+                                .sleep
+                                .iter()
+                                .map(|&(p, c)| (perm.apply(p), c))
+                                .collect();
+                            sl.sort_unstable();
+                            sl
+                        }
+                    };
                     let pruned = pre_read && {
                         let shard = shards[H::shard(&key, SHARD_COUNT)]
                             .lock()
                             .expect("shard poisoned");
                         match shard.get(&key) {
-                            Some(prev) => !cfg.budget_aware || *prev <= state.depth,
+                            Some(entry) => {
+                                covered_by(entry, state.depth, &canon_sleep, cfg.budget_aware)
+                            }
                             None => false,
                         }
                     };
                     keys.push(key);
+                    canon_sleeps.push(canon_sleep);
+                    arg_perms.push(arg_perm);
                     pre_pruned.push(pruned);
                 }
-                (keys, pre_pruned)
+                (keys, canon_sleeps, arg_perms, pre_pruned, sym_hits)
             });
             drop(key_phase);
 
@@ -1013,24 +1523,106 @@ where
             // rule is order-dependent *within* a batch, so it runs in the
             // one fixed order every thread count shares.
             let _revisit_phase = obs.phase(PhaseId::ExploreRevisit);
-            for (keys, pre_pruned) in keyed {
-                for (key, pre) in keys.into_iter().zip(pre_pruned) {
-                    let state = stack.pop().expect("batch within stack");
+            for (keys, canon_sleeps, arg_perms, pre_pruned, sym_hits) in keyed {
+                symmetry_canonical_hits += sym_hits;
+                for (((key, canon_sleep), arg_perm), pre) in keys
+                    .into_iter()
+                    .zip(canon_sleeps)
+                    .zip(arg_perms)
+                    .zip(pre_pruned)
+                {
+                    let mut state = stack.pop().expect("batch within stack");
                     let keep = !pre && {
                         let mut shard = shards[H::shard(&key, SHARD_COUNT)]
                             .lock()
                             .expect("shard poisoned");
                         match shard.entry(key) {
                             Entry::Occupied(mut e) => {
-                                if !cfg.budget_aware || *e.get() <= state.depth {
+                                if covered_by(e.get(), state.depth, &canon_sleep, cfg.budget_aware)
+                                {
                                     false
                                 } else {
-                                    *e.get_mut() = state.depth;
-                                    true
+                                    // Partial cover — restricted re-expansion
+                                    // (Godefroid's state-space caching). Every
+                                    // decision some *valid* cover (one with at
+                                    // least as much remaining depth budget)
+                                    // did not sleep already has an explored
+                                    // subtree; only the intersection of the
+                                    // valid covers' sleeps may still hide
+                                    // unexplored runs. When that intersection
+                                    // is asleep here too, the covers jointly
+                                    // subsume this visit even though no single
+                                    // one does — prune, after strengthening
+                                    // the front with this visit's cover (its
+                                    // claim is backed by the same union).
+                                    // Otherwise keep the state, restricted to
+                                    // the intersection mapped back from the
+                                    // table's canonical coordinates into this
+                                    // state's own ids (inbox positions
+                                    // survive — permutations preserve inbox
+                                    // order). `restrict` stays `None` exactly
+                                    // when no cover is valid, or when DPOR is
+                                    // off (all sleeps empty then, so any
+                                    // valid cover is a full cover).
+                                    let mut valid = e
+                                        .get()
+                                        .iter()
+                                        .filter(|c| !cfg.budget_aware || c.depth <= state.depth);
+                                    let mandatory = valid.next().map(|first| {
+                                        let mut m = first.sleep.clone();
+                                        for c in valid {
+                                            m.retain(|d| sleep_contains(&c.sleep, *d));
+                                        }
+                                        m
+                                    });
+                                    // The cover this visit records claims
+                                    // only what is actually backed: with a
+                                    // restriction, everything outside
+                                    // `mandatory ∩ canon_sleep` is explored —
+                                    // either expanded now (in `mandatory`,
+                                    // awake) or by the cover union (outside
+                                    // `mandatory`). Recording that smaller
+                                    // sleep makes the front converge: repeat
+                                    // revisits with fresh sleeps shrink the
+                                    // recorded sleep toward the intersection
+                                    // until full prunes take over.
+                                    match mandatory {
+                                        Some(m)
+                                            if m.iter()
+                                                .all(|d| sleep_contains(&canon_sleep, *d)) =>
+                                        {
+                                            push_cover(e.get_mut(), state.depth, m);
+                                            false
+                                        }
+                                        Some(mut m) => {
+                                            let cover_sleep: Vec<ExploreDecision> = m
+                                                .iter()
+                                                .copied()
+                                                .filter(|d| sleep_contains(&canon_sleep, *d))
+                                                .collect();
+                                            if let Some(pi) = arg_perm {
+                                                let inv = &sym_perms[pi].inverse;
+                                                for (p, _) in m.iter_mut() {
+                                                    *p = ProcessId(inv[p.index()]);
+                                                }
+                                                m.sort_unstable();
+                                            }
+                                            state.restrict = Some(m);
+                                            push_cover(e.get_mut(), state.depth, cover_sleep);
+                                            true
+                                        }
+                                        None => {
+                                            push_cover(e.get_mut(), state.depth, canon_sleep);
+                                            true
+                                        }
+                                    }
                                 }
                             }
                             Entry::Vacant(v) => {
-                                v.insert(state.depth);
+                                v.insert(vec![SeenCover {
+                                    depth: state.depth,
+                                    sleep: canon_sleep,
+                                }]);
                                 true
                             }
                         }
@@ -1048,15 +1640,32 @@ where
         }
 
         // Enforce the state cap mid-batch, in batch order, so the set of
-        // expanded states is identical at every thread count.
+        // expanded states is identical at every thread count. Restricted
+        // revisits (partial cache hits — see [`State::restrict`]) count
+        // neither toward the cap nor toward `states_visited`: the state
+        // itself was already visited in full; only its residual decisions
+        // are expanded. They land in `dedup_hits` with the fully covered
+        // revisits.
         let remaining = cfg.max_states - states_visited;
-        if survivors.len() > remaining {
+        let mut full_visits = 0usize;
+        let mut cut = survivors.len();
+        for (i, s) in survivors.iter().enumerate() {
+            if s.restrict.is_none() {
+                if full_visits == remaining {
+                    cut = i;
+                    break;
+                }
+                full_visits += 1;
+            }
+        }
+        if cut < survivors.len() {
             states_capped = true;
-            for s in survivors.drain(remaining..) {
+            for s in survivors.drain(cut..) {
                 recycle_rr(s);
             }
         }
-        states_visited += survivors.len();
+        states_visited += full_visits;
+        dedup_hits += survivors.len() - full_visits;
         if survivors.is_empty() {
             continue;
         }
@@ -1067,6 +1676,7 @@ where
         // expansion workers never contend on the detector.
         let oracle_phase = obs.phase(PhaseId::ExploreOracle);
         fd_cache.clear();
+        dpor_stable.clear();
         for state in &survivors {
             obs.record(HistId::ExploreStateDepth, state.depth as u64);
             if state.depth >= cfg.max_depth {
@@ -1079,6 +1689,20 @@ where
                         .entry((p.index(), t))
                         .or_insert_with(|| detector.query(p, t));
                 }
+            }
+            if cfg.dpor && !dpor_stable.contains_key(&t) {
+                // Independence at depth `t` commutes a step between times
+                // `t` and `t + 1`; that is only behavior-preserving when
+                // no process's crash status changes and every alive
+                // process sees the same detector value at both times.
+                let stable = ProcessId::all(n).all(|p| {
+                    let crashed = pattern.is_crashed(p, t);
+                    crashed == pattern.is_crashed(p, t + 1)
+                        && (crashed
+                            || debug_fp(&fd_cache[&(p.index(), t)])
+                                == debug_fp(&detector.query(p, t + 1)))
+                });
+                dpor_stable.insert(t, stable);
             }
         }
         drop(oracle_phase);
@@ -1096,18 +1720,31 @@ where
                 ),
                 violations: Vec::new(),
                 depth_bounded: false,
+                dpor_pruned: 0,
+                restricted: 0,
             };
             let mut outputs = Vec::new();
             let mut bufs: (SendBuf<P>, Vec<P::Output>) = (Vec::new(), Vec::new());
+            // DPOR scratch, reused across the chunk's states: the sleeping
+            // decisions' footprints and the decisions already executed at
+            // the current state (with theirs).
+            let mut sleep_fps: Vec<(ExploreDecision, Footprint)> = Vec::new();
+            let mut executed: Vec<(ExploreDecision, Footprint)> = Vec::new();
             for state in &survivors[range.clone()] {
-                materialize_outputs(&state.outputs, state.outputs_len, &mut outputs);
-                if let Err(message) = safety(&state.procs, &outputs) {
-                    out.violations.push(FoundViolation {
-                        message,
-                        decisions: materialize_decisions(&state.decisions),
-                    });
-                    halt.store(true, Ordering::Relaxed); // wfd-lint: allow(d3-atomics, publishes the expansion-skip hint; relaxed is enough because no result depends on when it lands)
-                    continue;
+                // A restricted revisit's safety verdict is fixed by its
+                // first visit — the key covers the procs and the output
+                // history, and a violation there would have ended the
+                // exploration — so only full visits are checked.
+                if state.restrict.is_none() {
+                    materialize_outputs(&state.outputs, state.outputs_len, &mut outputs);
+                    if let Err(message) = safety(&state.procs, &outputs) {
+                        out.violations.push(FoundViolation {
+                            message,
+                            decisions: materialize_decisions(&state.decisions),
+                        });
+                        halt.store(true, Ordering::Relaxed); // wfd-lint: allow(d3-atomics, publishes the expansion-skip hint; relaxed is enough because no result depends on when it lands)
+                        continue;
+                    }
                 }
                 if state.depth >= cfg.max_depth {
                     out.depth_bounded = true;
@@ -1124,22 +1761,55 @@ where
                     continue;
                 }
                 let t = state.depth as Time;
-                for p in ProcessId::all(n) {
-                    if pattern.is_crashed(p, t) {
-                        continue;
-                    }
-                    let idx = p.index();
-                    let fd = &fd_cache[&(idx, t)];
-                    // First step (start + invocation) and λ steps are both
-                    // the single `None` choice; otherwise branch over
-                    // every pending message. Choices are iterated
-                    // directly — no per-(state, process) vector.
-                    if !state.started[idx] || state.inboxes[idx].is_empty() {
-                        let mut dst = free.pop().unwrap_or_else(State::blank);
-                        apply_step_into(&env, state, &mut dst, p, fd.clone(), None, &mut bufs);
-                        out.children.push(dst);
-                    } else {
-                        for i in 0..state.inboxes[idx].len() {
+                if cfg.dpor {
+                    // Sleep-set expansion (Godefroid): skip sleeping
+                    // decisions; a child's sleep is the still-independent
+                    // part of the parent's sleep plus the earlier-executed
+                    // independent decisions — certified only when the
+                    // pattern and detector are stable at this depth.
+                    let stable =
+                        cfg.unstable_sleep || dpor_stable.get(&t).copied().unwrap_or(false);
+                    sleep_fps.clear();
+                    sleep_fps.extend(
+                        state
+                            .sleep
+                            .iter()
+                            .map(|&d| (d, decision_footprint(state, d, n))),
+                    );
+                    executed.clear();
+                    for p in ProcessId::all(n) {
+                        if pattern.is_crashed(p, t) {
+                            continue;
+                        }
+                        let idx = p.index();
+                        let fd = &fd_cache[&(idx, t)];
+                        let single = !state.started[idx] || state.inboxes[idx].is_empty();
+                        let choices = if single { 1 } else { state.inboxes[idx].len() };
+                        for c in 0..choices {
+                            let choice = (!single).then_some(c);
+                            let d = (p, choice);
+                            if sleep_contains(&state.sleep, d) {
+                                out.dpor_pruned += 1;
+                                continue;
+                            }
+                            if let Some(mandatory) = &state.restrict {
+                                if !sleep_contains(mandatory, d) {
+                                    // Outside the restriction: an earlier
+                                    // visit's recorded expansion already
+                                    // covers this subtree (see the
+                                    // resolution pass). Skip it, and — when
+                                    // independence is certified at this
+                                    // depth — let later siblings' children
+                                    // sleep it, exactly as if it had been
+                                    // executed first.
+                                    out.restricted += 1;
+                                    if stable {
+                                        sleep_fps.push((d, decision_footprint(state, d, n)));
+                                    }
+                                    continue;
+                                }
+                            }
+                            let fp = decision_footprint(state, d, n);
                             let mut dst = free.pop().unwrap_or_else(State::blank);
                             apply_step_into(
                                 &env,
@@ -1147,10 +1817,65 @@ where
                                 &mut dst,
                                 p,
                                 fd.clone(),
-                                Some(i),
+                                choice,
                                 &mut bufs,
+                                Some(&fp),
+                            );
+                            if stable {
+                                dst.sleep.extend(
+                                    sleep_fps
+                                        .iter()
+                                        .chain(executed.iter())
+                                        .filter(|(e, efp)| {
+                                            independent(*e, efp, d, &fp, &state.started)
+                                        })
+                                        .map(|(e, _)| *e),
+                                );
+                                dst.sleep.sort_unstable();
+                            }
+                            out.children.push(dst);
+                            executed.push((d, fp));
+                        }
+                    }
+                } else {
+                    for p in ProcessId::all(n) {
+                        if pattern.is_crashed(p, t) {
+                            continue;
+                        }
+                        let idx = p.index();
+                        let fd = &fd_cache[&(idx, t)];
+                        // First step (start + invocation) and λ steps are
+                        // both the single `None` choice; otherwise branch
+                        // over every pending message. Choices are iterated
+                        // directly — no per-(state, process) vector.
+                        if !state.started[idx] || state.inboxes[idx].is_empty() {
+                            let mut dst = free.pop().unwrap_or_else(State::blank);
+                            apply_step_into(
+                                &env,
+                                state,
+                                &mut dst,
+                                p,
+                                fd.clone(),
+                                None,
+                                &mut bufs,
+                                None,
                             );
                             out.children.push(dst);
+                        } else {
+                            for i in 0..state.inboxes[idx].len() {
+                                let mut dst = free.pop().unwrap_or_else(State::blank);
+                                apply_step_into(
+                                    &env,
+                                    state,
+                                    &mut dst,
+                                    p,
+                                    fd.clone(),
+                                    Some(i),
+                                    &mut bufs,
+                                    None,
+                                );
+                                out.children.push(dst);
+                            }
                         }
                     }
                 }
@@ -1176,8 +1901,12 @@ where
         // report guarantee.
         let mut outs = outs;
         let mut violations: Vec<FoundViolation> = Vec::new();
+        let mut batch_dpor_pruned = 0usize;
+        let mut batch_restricted = 0usize;
         for out in &mut outs {
             depth_bounded |= out.depth_bounded;
+            batch_dpor_pruned += out.dpor_pruned;
+            batch_restricted += out.restricted;
             violations.append(&mut out.violations);
         }
         if let Some(best) = violations
@@ -1186,6 +1915,12 @@ where
         {
             break Some(best);
         }
+        // Committed only for violation-free batches: in a violating batch
+        // the racy `halt` hint makes the prune counts (like the discarded
+        // children) timing-dependent. Restricted-out children are
+        // seen-table economies, so they land in `dedup_hits`.
+        states_pruned_dpor += batch_dpor_pruned;
+        dedup_hits += batch_restricted;
         for (slot, mut out) in outs.into_iter().enumerate() {
             stack.append(&mut out.children);
             // `append` left `children` empty but with its capacity — hand
@@ -1225,6 +1960,11 @@ where
         obs.add(CounterId::ExploreStatesVisited, states_visited as u64);
         obs.add(CounterId::ExploreDedupHits, dedup_hits as u64);
         obs.add(CounterId::ExploreDedupEntries, dedup_entries as u64);
+        obs.add(CounterId::ExploreDporPruned, states_pruned_dpor as u64);
+        obs.add(
+            CounterId::ExploreSymmetryHits,
+            symmetry_canonical_hits as u64,
+        );
     }
     ExploreReport {
         states_visited,
@@ -1237,46 +1977,11 @@ where
         dedup_entries,
         dedup_hits,
         max_frontier_len,
+        states_pruned_dpor,
+        symmetry_canonical_hits,
+        reduction_enabled: cfg.dpor || cfg.symmetry,
         threads_used: threads,
     }
-}
-
-/// Deprecated name for [`explore_custom`] — a thin forwarding shim, kept
-/// so pre-redesign callers still compile. For the shipped hashers the
-/// idiomatic spelling is now [`explore`] + [`ExploreConfig::with_hasher`];
-/// the `explore_dedup` equivalence ladder proves both routes produce
-/// byte-identical reports.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `explore` with `ExploreConfig::with_hasher`, or `explore_custom` for a user-defined StateHasher"
-)]
-pub fn explore_with_hasher<H, P, D>(
-    cfg: ExploreConfig,
-    hasher: H,
-    make_procs: impl Fn() -> Vec<P>,
-    invocations: Vec<Option<P::Inv>>,
-    pattern: &FailurePattern,
-    detector: D,
-    safety: impl Fn(&[P], &[(ProcessId, P::Output)]) -> Result<(), String> + Sync,
-) -> ExploreReport
-where
-    H: StateHasher,
-    P: Protocol + Clone + Debug + Send + Sync,
-    P::Msg: Send + Sync,
-    P::Output: Send + Sync,
-    P::Inv: Send + Sync,
-    P::Fd: Sync,
-    D: FdOracle<Value = P::Fd>,
-{
-    explore_custom(
-        cfg,
-        hasher,
-        make_procs,
-        invocations,
-        pattern,
-        detector,
-        safety,
-    )
 }
 
 /// Re-execute one decision list under [`explore`]'s step semantics.
@@ -1326,7 +2031,7 @@ where
             continue;
         }
         let fd = detector.query(p, cur.depth as Time);
-        apply_step_into(&env, &cur, &mut next, p, fd, choice, &mut bufs);
+        apply_step_into(&env, &cur, &mut next, p, fd, choice, &mut bufs, None);
         std::mem::swap(&mut cur, &mut next);
         materialize_outputs(&cur.outputs, cur.outputs_len, &mut outputs);
         safety(&cur.procs, &outputs)?;
@@ -1616,6 +2321,7 @@ mod tests {
         assert!(report.dedup_hits > 0, "delivery orders converge on Tag");
         assert!(report.max_frontier_len >= 1);
         assert!(report.threads_used >= 1);
+        assert!(!report.reduction_enabled, "reductions are opt-in");
         let json = report.to_json();
         for field in [
             "states_visited",
@@ -1624,6 +2330,9 @@ mod tests {
             "max_frontier_len",
             "threads_used",
             "violation",
+            "states_pruned_dpor",
+            "symmetry_canonical_hits",
+            "reduction_enabled",
         ] {
             assert!(json.get(field).is_some(), "missing {field}");
         }
@@ -1849,5 +2558,139 @@ mod tests {
             "the output-blind key unexpectedly found the violation — the \
              regression fixture no longer exercises the outputs key component"
         );
+    }
+
+    /// Invocation broadcasts to the others; deliveries are absorbed
+    /// silently — so two deliveries at different processes are genuinely
+    /// independent. Declares precise footprints and full symmetry.
+    #[derive(Clone, Debug, Default)]
+    struct Quiet {
+        seen: Vec<u8>,
+    }
+
+    impl Protocol for Quiet {
+        type Msg = u8;
+        type Output = u8;
+        type Inv = u8;
+        type Fd = ();
+
+        fn on_invoke(&mut self, ctx: &mut Ctx<Self>, inv: u8) {
+            ctx.broadcast_others(inv);
+        }
+
+        fn on_message(&mut self, _ctx: &mut Ctx<Self>, _from: ProcessId, msg: u8) {
+            self.seen.push(msg);
+        }
+
+        fn footprint(&self, me: ProcessId, n: usize, step: StepKind<'_, Self>) -> Footprint {
+            match step {
+                StepKind::Start { inv: Some(_) } => Footprint::local().sends_to_others(n, me),
+                StepKind::Start { inv: None } | StepKind::Tick | StepKind::Deliver { .. } => {
+                    Footprint::local()
+                }
+            }
+        }
+
+        fn symmetry(_n: usize) -> Symmetry {
+            Symmetry::Full
+        }
+    }
+
+    fn quiet_explore(cfg: ExploreConfig, invs: Vec<Option<u8>>) -> ExploreReport {
+        let n = invs.len();
+        explore(
+            cfg,
+            move || (0..n).map(|_| Quiet::default()).collect(),
+            invs,
+            &FailurePattern::failure_free(n),
+            NoDetector,
+            |_, _| Ok(()),
+        )
+    }
+
+    #[test]
+    fn dpor_with_opaque_footprints_is_a_no_op() {
+        // Tag keeps the default `Footprint::opaque`, so every step pair is
+        // dependent and sleep sets never fill: same space, nothing pruned.
+        let run = |dpor: bool| {
+            explore(
+                ExploreConfig::new(8).with_dpor(dpor),
+                two_taggers,
+                vec![Some(1), Some(2)],
+                &FailurePattern::failure_free(2),
+                NoDetector,
+                |_, _| Ok(()),
+            )
+        };
+        let base = run(false);
+        let dpor = run(true);
+        assert_eq!(dpor.states_pruned_dpor, 0);
+        assert_eq!(dpor.states_visited, base.states_visited);
+        assert_eq!(dpor.violation, base.violation);
+        assert!(dpor.reduction_enabled);
+    }
+
+    #[test]
+    fn trivial_symmetry_is_a_no_op() {
+        // Tag keeps the default `Symmetry::Trivial`: only the identity is
+        // ever tried, so canonicalization can never hit.
+        let run = |sym: bool| {
+            explore(
+                ExploreConfig::new(8).with_symmetry(sym),
+                two_taggers,
+                vec![Some(1), Some(1)],
+                &FailurePattern::failure_free(2),
+                NoDetector,
+                |_, _| Ok(()),
+            )
+        };
+        let base = run(false);
+        let sym = run(true);
+        assert_eq!(sym.symmetry_canonical_hits, 0);
+        assert_eq!(sym.states_visited, base.states_visited);
+        assert!(sym.reduction_enabled);
+    }
+
+    #[test]
+    fn precise_footprints_let_dpor_prune() {
+        // Dedup off isolates the sleep sets' own effect: with it on, a
+        // pruned interleaving can also *weaken* a cover (smaller sleep
+        // sets cover fewer revisits), so raw interleavings — not the
+        // dedup'd state count — are the honest measure here.
+        let base = quiet_explore(
+            ExploreConfig::new(10).with_dedup(false),
+            vec![Some(1), Some(2)],
+        );
+        let dpor = quiet_explore(
+            ExploreConfig::new(10).with_dedup(false).with_dpor(true),
+            vec![Some(1), Some(2)],
+        );
+        assert!(dpor.states_pruned_dpor > 0, "{dpor:?}");
+        assert!(dpor.states_visited < base.states_visited);
+        assert_eq!(dpor.violation, base.violation);
+    }
+
+    #[test]
+    fn symmetric_scenarios_canonicalize_asymmetric_ones_do_not() {
+        // Equal invocations: swapping the two processes maps reachable
+        // states onto each other, so canonicalization collapses mirrored
+        // branches.
+        let sym = quiet_explore(
+            ExploreConfig::new(10).with_symmetry(true),
+            vec![Some(7), Some(7)],
+        );
+        let base = quiet_explore(ExploreConfig::new(10), vec![Some(7), Some(7)]);
+        assert!(sym.symmetry_canonical_hits > 0, "{sym:?}");
+        assert!(sym.states_visited <= base.states_visited);
+        assert_eq!(sym.violation, base.violation);
+
+        // Distinct invocations: no non-identity permutation preserves the
+        // invocation vector, so the protocol's Full group is cut down to
+        // the identity and canonicalization never fires.
+        let asym = quiet_explore(
+            ExploreConfig::new(10).with_symmetry(true),
+            vec![Some(1), Some(2)],
+        );
+        assert_eq!(asym.symmetry_canonical_hits, 0, "{asym:?}");
     }
 }

@@ -83,8 +83,6 @@ mod trace;
 
 pub use engine::{RunOutcome, Sim, SimConfig, SimParts, StopReason};
 pub use env::{EnvOverrides, MetricsMode};
-#[allow(deprecated)]
-pub use explore::explore_with_hasher;
 pub use explore::{
     explore, explore_custom, replay_explore, ExactKeyHasher, ExploreConfig, ExploreDecision,
     ExploreReport, ExploreViolation, FingerprintHasher, Hasher, StateHasher,
@@ -93,7 +91,9 @@ pub use failure::{Environment, FailurePattern, PatternSampler};
 pub use id::{ProcessId, ProcessSet, Time};
 pub use obs::{CounterId, HistId, MetricsSnapshot, Obs, PhaseId, PhaseTimer};
 pub use oracle::{ConstDetector, FdOracle, FnDetector, NoDetector};
-pub use protocol::{Ctx, Protocol};
+pub use protocol::{
+    Ctx, Footprint, Permutation, Protocol, StepKind, Symmetry, FULL_SYMMETRY_MAX_N,
+};
 pub use repro::{OracleSpec, Repro, ReproDecisions, ReproInvocation, ReproSource, SchedulerSpec};
 pub use rng::SimRng;
 pub use scheduler::{

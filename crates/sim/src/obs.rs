@@ -113,6 +113,11 @@ metric_ids! {
         ExploreDedupEntries => "explore_dedup_entries",
         /// Frontier batches the explorer processed.
         ExploreBatches => "explore_batches",
+        /// Child states skipped by sleep-set partial-order reduction.
+        ExploreDporPruned => "explore_dpor_pruned",
+        /// Keyed states whose canonical form used a non-identity
+        /// permutation (symmetry canonicalization took effect).
+        ExploreSymmetryHits => "explore_symmetry_hits",
         /// Completed [`explore`](crate::explore()) calls.
         ExploreRuns => "explore_runs",
         /// Runs completed by an instrumented sweep.

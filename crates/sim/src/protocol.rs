@@ -1,8 +1,250 @@
 //! The process automaton abstraction: [`Protocol`] and its step context
-//! [`Ctx`].
+//! [`Ctx`] — plus the reduction-facing declarations ([`Footprint`],
+//! [`Symmetry`], [`Permutation`]) that let the bounded explorer prove
+//! steps independent and states equivalent without executing them.
 
 use crate::id::{ProcessId, Time};
 use std::fmt::Debug;
+
+/// A conservative, declared bound on what one step may do to the world
+/// outside its own process: which inboxes it may append to and whether it
+/// may emit an output. (Every step implicitly reads and writes its *own*
+/// process — local state, own inbox, started flag — so own-process
+/// effects are not part of the footprint.)
+///
+/// The explorer's dynamic partial-order reduction uses footprints to
+/// prove two enabled steps of different processes *independent*: disjoint
+/// send-sets, at most one output emitter, and neither sending to a
+/// process whose pending step is a λ step (a send would disable it).
+/// Over-declaring (the [`Footprint::opaque`] default) is always sound and
+/// merely disables pruning; **under-declaring is unsound** — the engine
+/// and the explorer therefore validate every executed step against its
+/// declared footprint and panic on a violation.
+///
+/// Process sets are stored as a bitmask, so systems are capped at 64
+/// processes — far above anything the explorer can enumerate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Footprint {
+    sends: u64,
+    output: bool,
+}
+
+impl Footprint {
+    /// A step that sends nothing and outputs nothing (pure local step).
+    pub fn local() -> Self {
+        Footprint {
+            sends: 0,
+            output: false,
+        }
+    }
+
+    /// The sound default: may send to everyone and may output. Makes the
+    /// step dependent with every other step, disabling DPOR around it.
+    pub fn opaque(n: usize) -> Self {
+        Footprint {
+            sends: Self::mask_all(n),
+            output: true,
+        }
+    }
+
+    fn mask_all(n: usize) -> u64 {
+        if n >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+
+    fn bit(p: ProcessId) -> u64 {
+        1u64 << (p.index().min(63))
+    }
+
+    /// Builder: the step may send to `p`.
+    pub fn sends_to(mut self, p: ProcessId) -> Self {
+        self.sends |= Self::bit(p);
+        self
+    }
+
+    /// Builder: the step may send to every process (broadcast).
+    pub fn sends_to_all(mut self, n: usize) -> Self {
+        self.sends |= Self::mask_all(n);
+        self
+    }
+
+    /// Builder: the step may send to every process except `me`
+    /// ([`Ctx::broadcast_others`]).
+    pub fn sends_to_others(mut self, n: usize, me: ProcessId) -> Self {
+        self.sends |= Self::mask_all(n) & !Self::bit(me);
+        self
+    }
+
+    /// Builder: the step may emit an output.
+    pub fn outputs(mut self) -> Self {
+        self.output = true;
+        self
+    }
+
+    /// Whether the declared send-set contains `p`.
+    pub fn may_send_to(&self, p: ProcessId) -> bool {
+        self.sends & Self::bit(p) != 0
+    }
+
+    /// Whether the step may emit an output.
+    pub fn may_output(&self) -> bool {
+        self.output
+    }
+
+    /// Whether the two declared send-sets share any recipient (two sends
+    /// to a common inbox do not commute — the append order is visible).
+    pub fn sends_intersect(&self, other: &Footprint) -> bool {
+        self.sends & other.sends != 0
+    }
+}
+
+/// What kind of step a decision would take — the explorer hands this to
+/// [`Protocol::footprint`] so the declaration can be per-handler (and,
+/// for deliveries, per-message) rather than a single worst case.
+#[derive(Debug)]
+pub enum StepKind<'a, P: Protocol> {
+    /// The process's first step: `on_start`, then `on_invoke` if an
+    /// invocation is pending.
+    Start {
+        /// The pending invocation that will be delivered, if any.
+        inv: Option<&'a P::Inv>,
+    },
+    /// A λ step (`on_tick`).
+    Tick,
+    /// Delivery of `msg` from `from` (`on_message`).
+    Deliver {
+        /// The sender recorded with the pending message.
+        from: ProcessId,
+        /// The message that would be delivered.
+        msg: &'a P::Msg,
+    },
+}
+
+/// A bijection on process ids, written as the image table: `map[i]` is
+/// the id process `i` is renamed to. Built by [`Symmetry::permutations`];
+/// applied to states by the explorer's symmetry canonicalization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    map: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity on `n` processes.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            map: (0..n).collect(),
+        }
+    }
+
+    /// Build from an image table (`map[i]` = image of process `i`). The
+    /// table must be a bijection on `0..map.len()`.
+    pub fn from_map(map: Vec<usize>) -> Self {
+        let n = map.len();
+        let mut seen = vec![false; n];
+        for &img in &map {
+            assert!(img < n && !seen[img], "not a bijection on 0..{n}: {map:?}");
+            seen[img] = true;
+        }
+        Permutation { map }
+    }
+
+    /// The number of processes this permutation acts on.
+    pub fn n(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The image of `p`.
+    pub fn apply(&self, p: ProcessId) -> ProcessId {
+        ProcessId(self.map[p.index()])
+    }
+
+    /// The preimage table: `inverse()[j]` is the process mapped *to* `j`.
+    pub fn inverse_map(&self) -> Vec<usize> {
+        let mut inv = vec![0; self.map.len()];
+        for (i, &img) in self.map.iter().enumerate() {
+            inv[img] = i;
+        }
+        inv
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().enumerate().all(|(i, &img)| i == img)
+    }
+}
+
+/// The process-id symmetry group a protocol declares — the set of
+/// renamings under which its behavior is *equivariant*: renaming the
+/// processes of a reachable state by any group element yields a state
+/// whose futures are the same renaming of the original's futures.
+///
+/// Declaring symmetry is a soundness claim. It holds when handler
+/// behavior depends on ids only through the declared structure (e.g.
+/// "reply to the sender" is fine under [`Symmetry::Full`]; "send to
+/// `me + 1`" is equivariant only under [`Symmetry::Cyclic`]) and when
+/// every embedded id in local state, messages and outputs is rewritten by
+/// the [`Protocol::permute`]/[`Protocol::permute_msg`]/
+/// [`Protocol::permute_output`] hooks. The explorer additionally
+/// restricts the group to elements that preserve the failure pattern and
+/// the initial invocation vector, so asymmetric *scenarios* never
+/// inherit a symmetric protocol's full group.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Symmetry {
+    /// No declared symmetry (the default): only the identity.
+    #[default]
+    Trivial,
+    /// Rotations `p ↦ p + k (mod n)` — ring topologies.
+    Cyclic,
+    /// Every permutation of the `n` ids — fully id-agnostic protocols
+    /// (broadcast + reply-to-sender structure, id-free payloads or
+    /// payloads rewritten by the permute hooks).
+    Full,
+}
+
+/// Enumerating [`Symmetry::Full`] costs `n!` candidate permutations per
+/// keyed state; above this bound the explorer falls back to the cyclic
+/// subgroup, which stays linear in `n`.
+pub const FULL_SYMMETRY_MAX_N: usize = 6;
+
+impl Symmetry {
+    /// The group's elements on `n` processes, identity first, in a fixed
+    /// deterministic order. [`Symmetry::Full`] falls back to the cyclic
+    /// subgroup above [`FULL_SYMMETRY_MAX_N`] processes (factorial blowup).
+    pub fn permutations(&self, n: usize) -> Vec<Permutation> {
+        match self {
+            Symmetry::Trivial => vec![Permutation::identity(n)],
+            Symmetry::Cyclic => (0..n.max(1))
+                .map(|k| Permutation {
+                    map: (0..n).map(|i| (i + k) % n.max(1)).collect(),
+                })
+                .collect(),
+            Symmetry::Full if n > FULL_SYMMETRY_MAX_N => Symmetry::Cyclic.permutations(n),
+            Symmetry::Full => {
+                // Lexicographic enumeration of all image tables, identity
+                // first (the identity is lexicographically least).
+                let mut out = Vec::new();
+                let mut map: Vec<usize> = (0..n).collect();
+                loop {
+                    out.push(Permutation { map: map.clone() });
+                    // Next lexicographic permutation, or stop.
+                    let Some(i) = (0..n.saturating_sub(1))
+                        .rev()
+                        .find(|&i| map[i] < map[i + 1])
+                    else {
+                        break;
+                    };
+                    let j = (i + 1..n).rev().find(|&j| map[j] > map[i]).expect("succ");
+                    map.swap(i, j);
+                    map[i + 1..].reverse();
+                }
+                out
+            }
+        }
+    }
+}
 
 /// A distributed algorithm, written as one automaton per process.
 ///
@@ -42,6 +284,46 @@ pub trait Protocol: Sized {
 
     /// A step in which the application invokes an operation.
     fn on_invoke(&mut self, _ctx: &mut Ctx<Self>, _inv: Self::Inv) {}
+
+    // -- Reduction declarations (all optional, defaults are sound) -------
+
+    /// A conservative bound on what the step described by `step` would do
+    /// beyond this process, given the current local state: which inboxes
+    /// it may append to and whether it may output. The default is
+    /// [`Footprint::opaque`] — sound, but it makes the step dependent
+    /// with everything and so yields no DPOR pruning.
+    ///
+    /// The declaration must *cover* the actual behavior: the explorer and
+    /// the engine check every executed step against it and panic on an
+    /// undeclared send or output, so a too-tight footprint cannot
+    /// silently cause unsound pruning.
+    fn footprint(&self, _me: ProcessId, n: usize, _step: StepKind<'_, Self>) -> Footprint {
+        Footprint::opaque(n)
+    }
+
+    /// The process-id symmetry group this protocol is equivariant under
+    /// (see [`Symmetry`]). The default, [`Symmetry::Trivial`], disables
+    /// symmetry canonicalization for the protocol. Declaring a larger
+    /// group is a soundness claim about the handlers *and* about the
+    /// permute hooks below rewriting every embedded id.
+    fn symmetry(_n: usize) -> Symmetry {
+        Symmetry::Trivial
+    }
+
+    /// Rewrite every process id embedded in this local state under
+    /// `perm`. The default no-op is correct exactly when the state stores
+    /// no ids; protocols declaring non-trivial [`Protocol::symmetry`]
+    /// with id-bearing state must override it.
+    fn permute(&mut self, _perm: &Permutation) {}
+
+    /// Rewrite every process id embedded in a message payload under
+    /// `perm` (the id the message is *addressed* with is handled by the
+    /// explorer; this hook is for ids inside the payload).
+    fn permute_msg(_msg: &mut Self::Msg, _perm: &Permutation) {}
+
+    /// Rewrite every process id embedded in an output value under `perm`
+    /// (the emitting process's id is handled by the explorer).
+    fn permute_output(_out: &mut Self::Output, _perm: &Permutation) {}
 }
 
 /// Everything a process may consult or effect during one atomic step.
@@ -235,5 +517,96 @@ mod tests {
     fn processes_enumerates_system() {
         let ctx = Ctx::<Echo>::detached(ProcessId(0), 4, 0, ());
         assert_eq!(ctx.processes().count(), 4);
+    }
+
+    #[test]
+    fn footprint_builders_compose() {
+        let fp = Footprint::local();
+        assert!(!fp.may_output());
+        assert!((0..4).all(|p| !fp.may_send_to(ProcessId(p))));
+
+        let fp = Footprint::local().sends_to(ProcessId(2)).outputs();
+        assert!(fp.may_send_to(ProcessId(2)));
+        assert!(!fp.may_send_to(ProcessId(1)));
+        assert!(fp.may_output());
+
+        let all = Footprint::local().sends_to_all(3);
+        assert!((0..3).all(|p| all.may_send_to(ProcessId(p))));
+        assert!(!all.may_output());
+
+        let others = Footprint::local().sends_to_others(3, ProcessId(1));
+        assert!(others.may_send_to(ProcessId(0)));
+        assert!(!others.may_send_to(ProcessId(1)));
+        assert!(others.may_send_to(ProcessId(2)));
+
+        let opaque = Footprint::opaque(3);
+        assert!(opaque.may_output());
+        assert!((0..3).all(|p| opaque.may_send_to(ProcessId(p))));
+    }
+
+    #[test]
+    fn footprint_send_sets_intersect_only_on_common_recipients() {
+        let a = Footprint::local().sends_to(ProcessId(0));
+        let b = Footprint::local().sends_to(ProcessId(1));
+        let c = Footprint::local()
+            .sends_to(ProcessId(1))
+            .sends_to(ProcessId(2));
+        assert!(!a.sends_intersect(&b));
+        assert!(b.sends_intersect(&c));
+        assert!(!a.sends_intersect(&c));
+        assert!(!Footprint::local().sends_intersect(&Footprint::opaque(4)));
+    }
+
+    #[test]
+    fn permutation_apply_inverse_identity() {
+        let id = Permutation::identity(4);
+        assert!(id.is_identity());
+        assert_eq!(id.n(), 4);
+
+        let p = Permutation::from_map(vec![2, 0, 1]);
+        assert!(!p.is_identity());
+        assert_eq!(p.apply(ProcessId(0)), ProcessId(2));
+        assert_eq!(p.apply(ProcessId(2)), ProcessId(1));
+        let inv = p.inverse_map();
+        // inverse_map()[j] is the preimage of j: p.apply(inv[j]) == j.
+        for (j, &pre) in inv.iter().enumerate() {
+            assert_eq!(p.apply(ProcessId(pre)), ProcessId(j));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a bijection")]
+    fn permutation_rejects_non_bijections() {
+        let _ = Permutation::from_map(vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn symmetry_groups_enumerate_identity_first() {
+        let trivial = Symmetry::Trivial.permutations(3);
+        assert_eq!(trivial.len(), 1);
+        assert!(trivial[0].is_identity());
+
+        let cyclic = Symmetry::Cyclic.permutations(4);
+        assert_eq!(cyclic.len(), 4);
+        assert!(cyclic[0].is_identity());
+        assert_eq!(cyclic[1].apply(ProcessId(3)), ProcessId(0));
+
+        let full = Symmetry::Full.permutations(3);
+        assert_eq!(full.len(), 6);
+        assert!(full[0].is_identity());
+        // All elements distinct.
+        for (i, a) in full.iter().enumerate() {
+            for b in &full[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn full_symmetry_falls_back_to_cyclic_past_the_bound() {
+        let n = FULL_SYMMETRY_MAX_N + 1;
+        let full = Symmetry::Full.permutations(n);
+        assert_eq!(full, Symmetry::Cyclic.permutations(n));
+        assert_eq!(full.len(), n);
     }
 }
