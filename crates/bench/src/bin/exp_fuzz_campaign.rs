@@ -121,15 +121,31 @@ fn replay(paths: &[String]) -> ExitCode {
     let mut failures = 0usize;
     for path in paths {
         match Repro::load(Path::new(path)).and_then(|r| replay_repro(&r).map(|v| (r, v))) {
-            Ok((repro, Some(message))) => {
-                println!("{path}: reproduced [{}] {message}", repro.checker);
-            }
-            Ok((repro, None)) => {
-                println!(
-                    "{path}: DID NOT reproduce (checker {} is now clean)",
-                    repro.checker
-                );
-                failures += 1;
+            Ok((repro, outcome)) => {
+                // A drifted replay is a failure even when the checker
+                // message matches: past the first divergence the run is
+                // the fallback scheduler's, not the artifact's.
+                match (&outcome.message, outcome.divergences) {
+                    (Some(message), 0) => {
+                        println!("{path}: reproduced [{}] {message}", repro.checker);
+                    }
+                    (Some(message), d) => {
+                        println!(
+                            "{path}: DRIFTED ({d} divergence(s) fell back to the default \
+                             scheduler; checker [{}] still reports: {message})",
+                            repro.checker
+                        );
+                        failures += 1;
+                    }
+                    (None, d) => {
+                        println!(
+                            "{path}: DID NOT reproduce (checker {} is now clean, \
+                             {d} divergence(s))",
+                            repro.checker
+                        );
+                        failures += 1;
+                    }
+                }
             }
             Err(e) => {
                 eprintln!("{path}: {e}");
@@ -190,7 +206,9 @@ fn selftest() -> ExitCode {
         shrunk.accepted
     );
 
-    let still_fails = matches!(replay_repro(&shrunk.repro), Ok(Some(_)));
+    let outcome = replay_repro(&shrunk.repro).ok();
+    let still_fails = outcome.as_ref().is_some_and(|o| o.message.is_some());
+    let zero_divergences = outcome.as_ref().is_some_and(|o| o.divergences == 0);
     let fewer_decisions = shrunk.repro.decisions.len() < original.decisions.len();
     let fewer_crashes =
         shrunk.repro.crashes.iter().flatten().count() < original.crashes.iter().flatten().count();
@@ -206,6 +224,10 @@ fn selftest() -> ExitCode {
 
     for (name, ok) in [
         ("shrunk artifact still fails its checker", still_fails),
+        (
+            "shrunk artifact replays with zero divergences",
+            zero_divergences,
+        ),
         ("strictly fewer decisions", fewer_decisions),
         ("strictly fewer crashes", fewer_crashes),
         ("artifact JSON round-trips", round_trip),

@@ -227,13 +227,32 @@ pub fn run_spec(spec: &FuzzSpec) -> RunReport {
     }
 }
 
-/// Re-execute a fuzz-sourced artifact and re-run its violated checker.
-///
-/// Returns `Ok(Some(message))` if the same checker clause still fails,
-/// `Ok(None)` if the run is now clean (or fails a *different* clause —
-/// that is a different bug), and `Err` if the artifact names a protocol,
-/// oracle or checker this harness does not know how to build.
-pub fn replay_repro(repro: &Repro) -> Result<Option<String>, String> {
+/// Outcome of re-executing a fuzz-sourced artifact ([`replay_repro`]).
+#[derive(Clone, Debug)]
+pub struct ReplayOutcome {
+    /// The original checker clause's failure message, if the rebuilt run
+    /// still fails it (`None`: clean, or fails a *different* clause —
+    /// that is a different bug).
+    pub message: Option<String>,
+    /// Scheduler consultations that did not match the recorded decision
+    /// log and fell back to the deterministic default. A faithful replay
+    /// has zero; anything else means the run the checker judged is *not*
+    /// the run the artifact describes.
+    pub divergences: usize,
+}
+
+/// A rebuilt fuzz scenario: the finished simulation plus the proposals
+/// and failure pattern it ran under ([`run_artifact`]'s success value).
+type RebuiltRun<S> = (
+    Sim<OmegaSigmaConsensus<u64>, ConsensusOracle, S>,
+    Vec<Option<u64>>,
+    FailurePattern,
+);
+
+/// Rebuild the simulation a fuzz artifact describes and run it under
+/// `sched` — shared by [`replay_repro`] (which replays the decision log)
+/// and the shrink normalizer (which re-records the effective log).
+fn run_artifact<S: wfd_sim::Scheduler>(repro: &Repro, sched: S) -> Result<RebuiltRun<S>, String> {
     if repro.source != ReproSource::Fuzz {
         return Err("explore-sourced artifacts replay via wfd_sim::replay_explore".to_string());
     }
@@ -254,7 +273,7 @@ pub fn replay_repro(repro: &Repro) -> Result<Option<String>, String> {
         consensus_procs(repro.n),
         pattern.clone(),
         consensus_oracle(&pattern, stabilize_at, seed),
-        repro.replay_schedule(),
+        sched,
     );
     let mut proposals: Vec<Option<u64>> = vec![None; repro.n];
     for inv in &repro.invocations {
@@ -269,19 +288,56 @@ pub fn replay_repro(repro: &Repro) -> Result<Option<String>, String> {
         sim.schedule_invoke(ProcessId(inv.pid), inv.at, v);
     }
     sim.run();
+    Ok((sim, proposals, pattern))
+}
+
+/// Re-execute a fuzz-sourced artifact and re-run its violated checker.
+///
+/// Returns the checker verdict *and* the replay's divergence count; a
+/// caller that ignores the latter cannot tell a faithful reproduction
+/// from a drifted run that happens to fail the same way on the fallback
+/// scheduler. `Err` means the artifact names a protocol, oracle or
+/// checker this harness does not know how to build.
+pub fn replay_repro(repro: &Repro) -> Result<ReplayOutcome, String> {
+    let (sim, proposals, pattern) = run_artifact(repro, repro.replay_schedule())?;
     let base = if repro.checker == CHECKER_FIXTURE {
         CHECKER_FIXTURE
     } else {
         CHECKER_CONSENSUS
     };
-    Ok(evaluate(base, sim.trace(), &proposals, &pattern)
-        .and_then(|(checker, message)| (checker == repro.checker).then_some(message)))
+    let message = evaluate(base, sim.trace(), &proposals, &pattern)
+        .and_then(|(checker, message)| (checker == repro.checker).then_some(message));
+    Ok(ReplayOutcome {
+        message,
+        divergences: sim.scheduler().divergences(),
+    })
 }
 
 /// Minimize a fuzz-sourced artifact, re-running its violated checker (via
-/// [`replay_repro`]) as the shrink oracle.
+/// [`replay_repro`]) as the shrink oracle, then *normalize* the winner.
+///
+/// Shrink mutations edit the decision log directly (ddmin deletions,
+/// dropped crashes), so the minimized log generally no longer lines up
+/// with the run it induces — every later consultation would count as a
+/// divergence even though the failure is real. Normalization re-runs the
+/// shrunk artifact once with its replayer wrapped in a recorder and
+/// stores the recorder's *effective* decision list (each fallback
+/// materialized), so the shipped artifact replays with zero divergences
+/// and an identical trace.
 pub fn shrink_repro(repro: &Repro) -> ShrinkReport {
-    shrink(repro, |candidate| replay_repro(candidate).ok().flatten())
+    let mut report = shrink(repro, |candidate| {
+        replay_repro(candidate).ok().and_then(|o| o.message)
+    });
+    if let Ok((sim, _, _)) = run_artifact(
+        &report.repro,
+        RecordedSchedule::new(report.repro.replay_schedule()),
+    ) {
+        // The recorder is transparent, so this run IS the shrunk run;
+        // recording its consultations just renames each decision to the
+        // one actually taken.
+        report.repro.decisions = ReproDecisions::Engine(sim.scheduler().log().to_vec());
+    }
+    report
 }
 
 /// Campaign-level knobs, overridable from the environment:
@@ -419,12 +475,16 @@ mod tests {
         let repro = report.violation.expect("fixture always fails");
         assert_eq!(repro.checker, CHECKER_FIXTURE);
         assert!(!repro.decisions.is_empty());
-        // The artifact replays to the same failure...
-        let msg = replay_repro(&repro).unwrap().expect("still fails");
-        assert_eq!(msg, repro.violation);
+        // The artifact replays to the same failure, divergence-free...
+        let outcome = replay_repro(&repro).unwrap();
+        assert_eq!(outcome.message.as_deref(), Some(repro.violation.as_str()));
+        assert_eq!(outcome.divergences, 0);
         // ...and survives a JSON round-trip.
         let parsed = Repro::from_json(&repro.to_json()).unwrap();
-        assert_eq!(replay_repro(&parsed).unwrap().unwrap(), repro.violation);
+        assert_eq!(
+            replay_repro(&parsed).unwrap().message.unwrap(),
+            repro.violation
+        );
     }
 
     #[test]

@@ -69,10 +69,15 @@ fn shrinker_minimizes_fixture_counterexample() {
         "crashes must strictly shrink"
     );
     assert_eq!(shrunk.repro.checker, CHECKER_FIXTURE);
-    let message = replay_repro(&shrunk.repro)
-        .expect("known target")
-        .expect("shrunk artifact must still fail");
+    let outcome = replay_repro(&shrunk.repro).expect("known target");
+    let message = outcome.message.expect("shrunk artifact must still fail");
     assert_eq!(message, shrunk.repro.violation);
+    // The shipped artifact is normalized: its decision log is the
+    // effective one, so the replay takes zero fallback decisions.
+    assert_eq!(
+        outcome.divergences, 0,
+        "a normalized shrunk artifact must replay divergence-free"
+    );
 }
 
 /// A saved artifact reproduces its failure after a disk round-trip.
@@ -88,10 +93,9 @@ fn saved_artifact_replays_from_disk() {
     let path = repro.save(&dir).expect("save");
     let loaded = Repro::load(&path).expect("load");
     assert_eq!(loaded, repro);
-    assert_eq!(
-        replay_repro(&loaded).unwrap().as_deref(),
-        Some(repro.violation.as_str())
-    );
+    let outcome = replay_repro(&loaded).unwrap();
+    assert_eq!(outcome.message.as_deref(), Some(repro.violation.as_str()));
+    assert_eq!(outcome.divergences, 0);
     std::fs::remove_file(path).ok();
 }
 

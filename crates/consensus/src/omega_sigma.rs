@@ -105,7 +105,7 @@ enum ProposerPhase<V> {
 /// Invoke with the proposal value; the process outputs
 /// [`ConsensusOutput::Decided`] exactly once. The failure detector value is
 /// the pair `(Ω leader, Σ quorum)`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct OmegaSigmaConsensus<V> {
     // Acceptor state.
     promised: Ballot,
@@ -383,6 +383,25 @@ impl<V: Clone + Debug + PartialEq> Protocol for OmegaSigmaConsensus<V> {
             fp
         } else {
             fp.outputs()
+        }
+    }
+
+    fn props() -> &'static [&'static str] {
+        &["all-decided", "some-decided"]
+    }
+
+    /// `all-decided`: every correct process holds a decision —
+    /// `F "all-decided"` is consensus termination, checkable over all
+    /// fair runs by the liveness layer. `some-decided` marks the first
+    /// decision (useful for `U`-shaped properties).
+    fn eval_prop(prop: usize, procs: &[Self], view: &wfd_sim::PropView<'_>) -> bool {
+        let mut correct = procs
+            .iter()
+            .zip(view.correct)
+            .filter_map(|(p, &c)| c.then_some(p));
+        match prop {
+            0 => correct.all(|p| p.decided.is_some()),
+            _ => correct.any(|p| p.decided.is_some()),
         }
     }
 }

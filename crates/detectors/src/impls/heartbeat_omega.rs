@@ -23,9 +23,13 @@ pub struct Heartbeat;
 ///
 /// Outputs its leader estimate ([`ProcessId`]) whenever the estimate
 /// changes, plus periodically so that histories stay densely sampled.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HeartbeatOmega {
-    /// Own steps since the last heartbeat from each peer.
+    /// Own steps since the last heartbeat from each peer, saturated at
+    /// `timeout + 1`: past that the comparison against the timeout can
+    /// never change again until the counter is reset, so larger values
+    /// are behaviorally indistinguishable. The cap keeps the state space
+    /// finite, which the liveness checker's state graph requires.
     staleness: Vec<u64>,
     /// Current per-peer timeout (in own steps).
     timeout: Vec<u64>,
@@ -89,7 +93,7 @@ impl HeartbeatOmega {
             if q == me {
                 continue;
             }
-            self.staleness[q] += 1;
+            self.staleness[q] = (self.staleness[q] + 1).min(self.timeout[q] + 1);
             if self.staleness[q] > self.timeout[q] {
                 self.suspected[q] = true;
             }
@@ -168,6 +172,23 @@ impl Protocol for HeartbeatOmega {
         } else {
             fp
         }
+    }
+
+    fn props() -> &'static [&'static str] {
+        &["leader-agreed"]
+    }
+
+    /// `leader-agreed`: every correct process's estimate is the smallest
+    /// correct id — the stabilized state Ω promises. The paper property
+    /// is `F G "leader-agreed"` over all fair runs.
+    fn eval_prop(_prop: usize, procs: &[Self], view: &wfd_sim::PropView<'_>) -> bool {
+        let Some(expected) = view.correct.iter().position(|&c| c) else {
+            return false;
+        };
+        procs
+            .iter()
+            .zip(view.correct)
+            .all(|(p, &c)| !c || p.leader == ProcessId(expected))
     }
 }
 

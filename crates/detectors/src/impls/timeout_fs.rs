@@ -30,7 +30,7 @@ pub enum FsMsg {
 ///
 /// Outputs [`Signal`] values; green periodically while no failure is
 /// suspected, red (forever) once one is.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TimeoutFs {
     staleness: Vec<u64>,
     threshold: u64,
@@ -188,6 +188,28 @@ impl Protocol for TimeoutFs {
             staleness[perm.apply(ProcessId(q)).index()] = s;
         }
         self.staleness = staleness;
+    }
+
+    fn props() -> &'static [&'static str] {
+        &["some-correct-red", "all-correct-red"]
+    }
+
+    /// `some-correct-red`: at least one correct process has turned red —
+    /// its absence forever (`G !"some-correct-red"`) is FS accuracy on
+    /// failure-free patterns. `all-correct-red`: every correct process is
+    /// red — `F "all-correct-red"` is FS completeness once someone
+    /// crashes. Both quantify over *correct* processes only, so they are
+    /// invariant under the scenario symmetry group (which preserves the
+    /// failure pattern).
+    fn eval_prop(prop: usize, procs: &[Self], view: &wfd_sim::PropView<'_>) -> bool {
+        let mut correct = procs
+            .iter()
+            .zip(view.correct)
+            .filter_map(|(p, &c)| c.then_some(p));
+        match prop {
+            0 => correct.any(|p| p.red),
+            _ => correct.all(|p| p.red),
+        }
     }
 }
 

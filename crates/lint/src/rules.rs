@@ -77,18 +77,11 @@ static RULES: [Rule; 6] = [
         summary: "HashMap/HashSet iteration order is nondeterministic",
         help: "use BTreeMap/BTreeSet (or sort before iterating); membership-only \
                uses may carry an allow stating nothing iterates the collection",
-        excluded: &[
-            (
-                "crates/sim/src/explore.rs",
-                "sharded seen-table and fd_cache are keyed insert/lookup only; \
-                 no code path iterates them",
-            ),
-            (
-                "crates/sim/src/explore_baseline.rs",
-                "the baseline seen-table is keyed insert/lookup only, kept \
+        excluded: &[(
+            "crates/sim/src/explore_baseline.rs",
+            "the baseline seen-table is keyed insert/lookup only, kept \
                  byte-identical to PR 2 as a differential anchor",
-            ),
-        ],
+        )],
         only: None,
         matcher: match_hash_collections,
     },

@@ -11,6 +11,12 @@ use crate::scheduler::{MsgMeta, Scheduler};
 use crate::trace::{EventKind, Trace, TraceMode, TraceSummary};
 use std::collections::VecDeque;
 
+/// Schedulers choose among at most this many oldest messages per step (a
+/// bounded window keeps per-step cost O(1) for flood-y protocols).
+/// Shared with `crate::liveness`, whose fair state graph must branch on
+/// exactly the deliveries a scheduler could pick.
+pub(crate) const POLICY_WINDOW: usize = 32;
+
 /// Static parameters of a simulation.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -521,6 +527,10 @@ where
     /// (no step for `max_step_gap`), the most-overdue one is forced;
     /// otherwise the policy picks among all alive processes.
     fn choose_actor(&mut self, alive: &[ProcessId]) -> ProcessId {
+        // NOTE: the liveness checker (`crate::liveness`) mirrors this rule
+        // and `choose_message` exactly when it builds its fair state
+        // graph. Any change to the forcing rules here must be reflected
+        // there, or "all fair runs" stops meaning "all engine runs".
         let overdue = alive
             .iter()
             .copied()
@@ -560,7 +570,6 @@ where
         // keeps per-step cost O(1) for flood-y protocols); reordering
         // within the window plus the overdue rule above preserves
         // fairness.
-        const POLICY_WINDOW: usize = 32;
         let mut metas = std::mem::take(&mut self.metas_buf);
         metas.clear();
         metas.extend(inbox.iter().take(POLICY_WINDOW).map(|e| MsgMeta {

@@ -122,7 +122,7 @@ use crate::oracle::FdOracle;
 use crate::par::par_map_with;
 use crate::protocol::{Ctx, Footprint, Permutation, Protocol, SendBuf, StepKind, Symmetry};
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::HashMap; // wfd-lint: allow(d1-hash-collections, imported only for the sharded seen-table, which is keyed insert/lookup; nothing iterates it)
 use std::fmt::Debug;
 use std::hash::{Hash, Hasher as _};
 use std::sync::atomic::{AtomicBool, Ordering}; // wfd-lint: allow(d3-atomics, the halt flag is an expansion-skip hint only; the merge step resolves every batch deterministically regardless of timing)
@@ -736,11 +736,95 @@ fn push_cover(entry: &mut Vec<SeenCover>, depth: usize, sleep: Vec<ExploreDecisi
 /// Fingerprint one `Debug` rendering — used to compare detector values
 /// and invocation slots for equality, since `Fd`/`Inv` only promise
 /// `Debug` (the same representation choice the state keys make).
-fn debug_fp<T: Debug>(v: &T) -> u128 {
+pub(crate) fn debug_fp<T: Debug>(v: &T) -> u128 {
     use std::fmt::Write;
     let mut w = Fingerprint128::new();
     write!(w, "{v:?}").expect("fingerprint writer is infallible");
     w.finish()
+}
+
+/// Dense per-batch cache of one detector value per `(process, time)`
+/// pair, with a touched-slot list so clearing between batches costs
+/// O(entries written), not O(capacity). Replaces a `HashMap` keyed by
+/// `(usize, Time)`: the cache sits on determinism-scoped code, and dense
+/// indexing leaves no iteration-order question for wfd-lint to audit.
+struct FdTable<F> {
+    slots: Vec<Option<F>>,
+    touched: Vec<usize>,
+    stride: usize,
+}
+
+impl<F> FdTable<F> {
+    /// One slot per `(p, t)` with `p < n` and `t <= max_depth`.
+    fn new(n: usize, max_depth: usize) -> Self {
+        let stride = max_depth + 1;
+        FdTable {
+            slots: (0..n * stride).map(|_| None).collect(),
+            touched: Vec::new(),
+            stride,
+        }
+    }
+
+    fn clear(&mut self) {
+        for &i in &self.touched {
+            self.slots[i] = None;
+        }
+        self.touched.clear();
+    }
+
+    fn fill_with(&mut self, p: usize, t: Time, f: impl FnOnce() -> F) {
+        let i = p * self.stride + t as usize;
+        if self.slots[i].is_none() {
+            self.slots[i] = Some(f());
+            self.touched.push(i);
+        }
+    }
+
+    fn get(&self, p: usize, t: Time) -> &F {
+        self.slots[p * self.stride + t as usize]
+            .as_ref()
+            .expect("oracle phase fills every alive (p, t) in the batch")
+    }
+}
+
+/// Dense per-batch map from a survivor depth to the DPOR stability
+/// verdict at that depth (same touched-list clearing discipline as
+/// [`FdTable`], same `HashMap`-replacement rationale).
+struct DepthTable {
+    slots: Vec<Option<bool>>,
+    touched: Vec<usize>,
+}
+
+impl DepthTable {
+    fn new(max_depth: usize) -> Self {
+        DepthTable {
+            slots: vec![None; max_depth + 1],
+            touched: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        for &i in &self.touched {
+            self.slots[i] = None;
+        }
+        self.touched.clear();
+    }
+
+    fn contains(&self, t: Time) -> bool {
+        self.slots[t as usize].is_some()
+    }
+
+    fn insert(&mut self, t: Time, v: bool) {
+        let i = t as usize;
+        if self.slots[i].is_none() {
+            self.touched.push(i);
+        }
+        self.slots[i] = Some(v);
+    }
+
+    fn get(&self, t: Time) -> Option<bool> {
+        self.slots[t as usize]
+    }
 }
 
 /// Whether two enabled decisions at the same state are *independent* —
@@ -793,19 +877,20 @@ fn decision_footprint<P: Protocol>(state: &State<P>, d: ExploreDecision, n: usiz
 /// A usable non-identity symmetry group element, with its inverse image
 /// table cached for state rebuilding (`inverse[j]` = the original slot
 /// canonical slot `j` is filled from).
-struct SymPerm {
-    perm: Permutation,
-    inverse: Vec<usize>,
+pub(crate) struct SymPerm {
+    pub(crate) perm: Permutation,
+    pub(crate) inverse: Vec<usize>,
 }
 
 /// Restrict the protocol's declared symmetry group to the elements this
 /// *scenario* cannot distinguish: preserving the failure pattern at every
 /// step time, mapping invocation slots onto `Debug`-equal ones, and
-/// seeing a `Debug`-equal detector at every alive `(p, t)`. Asymmetric
+/// seeing a structurally equal detector value at every alive `(p, t)`
+/// (`P::Fd: PartialEq`; invocations only promise `Debug`). Asymmetric
 /// scenarios thus never inherit a symmetric protocol's full group. The
 /// identity is excluded — it is the implicit first candidate of every
 /// canonicalization.
-fn scenario_symmetry<P, D>(
+pub(crate) fn scenario_symmetry<P, D>(
     n: usize,
     max_depth: usize,
     pattern: &FailurePattern,
@@ -824,12 +909,12 @@ where
     let inv_fps: Vec<u128> = invocations.iter().map(debug_fp).collect();
     // One detector sample per (p, t) — oracles are pure in (p, t), so
     // sampling here cannot perturb the exploration's own queries.
-    let fd_fps: Vec<Vec<Option<u128>>> = ProcessId::all(n)
+    let fd_samples: Vec<Vec<Option<P::Fd>>> = ProcessId::all(n)
         .map(|p| {
             (0..max_depth)
                 .map(|t| {
                     let t = t as Time;
-                    (!pattern.is_crashed(p, t)).then(|| debug_fp(&detector.query(p, t)))
+                    (!pattern.is_crashed(p, t)).then(|| detector.query(p, t))
                 })
                 .collect()
         })
@@ -843,7 +928,7 @@ where
                 inv_fps[p.index()] == inv_fps[q.index()]
                     && (0..max_depth).all(|t| {
                         pattern.is_crashed(p, t as Time) == pattern.is_crashed(q, t as Time)
-                            && fd_fps[p.index()][t] == fd_fps[q.index()][t]
+                            && fd_samples[p.index()][t] == fd_samples[q.index()][t]
                     })
             })
         })
@@ -937,7 +1022,7 @@ where
 
 /// One link of the persistent decision list. Children share their entire
 /// prefix with the parent state; only the head differs.
-struct DecisionNode {
+pub(crate) struct DecisionNode {
     decision: ExploreDecision,
     parent: Option<Arc<DecisionNode>>,
 }
@@ -958,7 +1043,7 @@ impl Drop for DecisionNode {
 }
 
 /// One link of the persistent output-history list.
-struct OutputNode<P: Protocol> {
+pub(crate) struct OutputNode<P: Protocol> {
     output: (ProcessId, P::Output),
     parent: Option<Arc<OutputNode<P>>>,
 }
@@ -1006,15 +1091,15 @@ fn materialize_outputs<P: Protocol>(
     debug_assert_eq!(into.len(), len);
 }
 
-struct State<P: Protocol> {
-    procs: Vec<P>,
-    inboxes: Vec<Vec<(ProcessId, P::Msg)>>,
-    started: Vec<bool>,
-    pending_inv: Vec<Option<P::Inv>>,
-    outputs: Option<Arc<OutputNode<P>>>,
-    outputs_len: usize,
-    depth: usize,
-    decisions: Option<Arc<DecisionNode>>,
+pub(crate) struct State<P: Protocol> {
+    pub(crate) procs: Vec<P>,
+    pub(crate) inboxes: Vec<Vec<(ProcessId, P::Msg)>>,
+    pub(crate) started: Vec<bool>,
+    pub(crate) pending_inv: Vec<Option<P::Inv>>,
+    pub(crate) outputs: Option<Arc<OutputNode<P>>>,
+    pub(crate) outputs_len: usize,
+    pub(crate) depth: usize,
+    pub(crate) decisions: Option<Arc<DecisionNode>>,
     /// DPOR sleep set: enabled decisions whose exploration from this
     /// state is provably redundant. Sorted; always empty unless
     /// [`ExploreConfig::dpor`] is on. Not part of the dedup key — it
@@ -1034,7 +1119,7 @@ struct State<P: Protocol> {
 impl<P: Protocol> State<P> {
     /// An empty shell, ready to be [`State::copy_from`]-ed into. Used as
     /// the free-list element when the arena runs dry.
-    fn blank() -> Self {
+    pub(crate) fn blank() -> Self {
         State {
             procs: Vec::new(),
             inboxes: Vec::new(),
@@ -1054,7 +1139,7 @@ impl<P: Protocol> State<P> {
     /// The sleep set and the expansion restriction are *not* copied —
     /// they are properties of the visit that created a state, set
     /// explicitly by the expansion and resolution passes.
-    fn copy_from(&mut self, src: &State<P>)
+    pub(crate) fn copy_from(&mut self, src: &State<P>)
     where
         P: Clone,
     {
@@ -1084,7 +1169,10 @@ fn recycle<P: Protocol>(mut s: State<P>, pool: &mut Vec<State<P>>) {
     pool.push(s);
 }
 
-fn initial_state<P: Protocol>(procs: Vec<P>, invocations: Vec<Option<P::Inv>>) -> State<P> {
+pub(crate) fn initial_state<P: Protocol>(
+    procs: Vec<P>,
+    invocations: Vec<Option<P::Inv>>,
+) -> State<P> {
     let n = procs.len();
     assert_eq!(invocations.len(), n, "one invocation slot per process");
     State {
@@ -1107,9 +1195,9 @@ fn initial_state<P: Protocol>(procs: Vec<P>, invocations: Vec<Option<P::Inv>>) -
 
 /// Everything a step needs besides the two states: shared between the
 /// parallel expansion workers and the sequential replay.
-struct StepEnv<'a> {
-    pattern: &'a FailurePattern,
-    n: usize,
+pub(crate) struct StepEnv<'a> {
+    pub(crate) pattern: &'a FailurePattern,
+    pub(crate) n: usize,
 }
 
 /// Apply one step of `src` into `dst` (overwritten; allocations reused).
@@ -1131,7 +1219,7 @@ struct StepEnv<'a> {
 /// under-declaration panics — a too-tight footprint must never silently
 /// prune a reachable violation.
 #[allow(clippy::too_many_arguments)] // one hot-path fn, each arg documented above
-fn apply_step_into<P>(
+pub(crate) fn apply_step_into<P>(
     env: &StepEnv<'_>,
     src: &State<P>,
     dst: &mut State<P>,
@@ -1387,8 +1475,8 @@ where
     // predicate reads outputs, so two branches that converge in
     // `(procs, inboxes, started)` but emitted different outputs are
     // *different* states to the checker.
-    let shards: Vec<Mutex<HashMap<H::Key, Vec<SeenCover>>>> = (0..SHARD_COUNT)
-        .map(|_| Mutex::new(HashMap::new()))
+    let shards: Vec<Mutex<HashMap<H::Key, Vec<SeenCover>>>> = (0..SHARD_COUNT) // wfd-lint: allow(d1-hash-collections, keyed insert/lookup only; the dedup_entries sum reads len(), never iterates entries)
+        .map(|_| Mutex::new(HashMap::new())) // wfd-lint: allow(d1-hash-collections, constructor for the seen-table excused above)
         .collect();
 
     let mut stack = vec![root];
@@ -1402,11 +1490,11 @@ where
         (0..threads).map(|_| Mutex::new(Vec::new())).collect();
     let mut next_pool = 0usize;
     let mut survivors: Vec<State<P>> = Vec::new();
-    let mut fd_cache: HashMap<(usize, Time), P::Fd> = HashMap::new();
+    let mut fd_cache: FdTable<P::Fd> = FdTable::new(n, cfg.max_depth);
     // Per-batch map: survivor depth `t` → whether the failure pattern and
     // the detector are stable across times `t` and `t + 1` (the
     // precondition for certifying independence at that depth).
-    let mut dpor_stable: HashMap<Time, bool> = HashMap::new();
+    let mut dpor_stable = DepthTable::new(cfg.max_depth);
 
     let mut states_visited = 0usize;
     let mut depth_bounded = false;
@@ -1685,22 +1773,21 @@ where
             let t = state.depth as Time;
             for p in ProcessId::all(n) {
                 if !pattern.is_crashed(p, t) {
-                    fd_cache
-                        .entry((p.index(), t))
-                        .or_insert_with(|| detector.query(p, t));
+                    fd_cache.fill_with(p.index(), t, || detector.query(p, t));
                 }
             }
-            if cfg.dpor && !dpor_stable.contains_key(&t) {
+            if cfg.dpor && !dpor_stable.contains(t) {
                 // Independence at depth `t` commutes a step between times
                 // `t` and `t + 1`; that is only behavior-preserving when
                 // no process's crash status changes and every alive
                 // process sees the same detector value at both times.
+                // The comparison is structural (`P::Fd: PartialEq`): a
+                // `Debug`-fingerprint proxy would wrongly certify
+                // independence for distinct values that print alike.
                 let stable = ProcessId::all(n).all(|p| {
                     let crashed = pattern.is_crashed(p, t);
                     crashed == pattern.is_crashed(p, t + 1)
-                        && (crashed
-                            || debug_fp(&fd_cache[&(p.index(), t)])
-                                == debug_fp(&detector.query(p, t + 1)))
+                        && (crashed || *fd_cache.get(p.index(), t) == detector.query(p, t + 1))
                 });
                 dpor_stable.insert(t, stable);
             }
@@ -1767,8 +1854,7 @@ where
                     // part of the parent's sleep plus the earlier-executed
                     // independent decisions — certified only when the
                     // pattern and detector are stable at this depth.
-                    let stable =
-                        cfg.unstable_sleep || dpor_stable.get(&t).copied().unwrap_or(false);
+                    let stable = cfg.unstable_sleep || dpor_stable.get(t).unwrap_or(false);
                     sleep_fps.clear();
                     sleep_fps.extend(
                         state
@@ -1782,7 +1868,7 @@ where
                             continue;
                         }
                         let idx = p.index();
-                        let fd = &fd_cache[&(idx, t)];
+                        let fd = fd_cache.get(idx, t);
                         let single = !state.started[idx] || state.inboxes[idx].is_empty();
                         let choices = if single { 1 } else { state.inboxes[idx].len() };
                         for c in 0..choices {
@@ -1843,7 +1929,7 @@ where
                             continue;
                         }
                         let idx = p.index();
-                        let fd = &fd_cache[&(idx, t)];
+                        let fd = fd_cache.get(idx, t);
                         // First step (start + invocation) and λ steps are
                         // both the single `None` choice; otherwise branch
                         // over every pending message. Choices are iterated

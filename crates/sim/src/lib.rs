@@ -71,6 +71,7 @@ pub mod explore_baseline;
 mod failure;
 mod id;
 pub mod json;
+pub mod liveness;
 pub mod obs;
 mod oracle;
 pub mod par;
@@ -89,10 +90,14 @@ pub use explore::{
 };
 pub use failure::{Environment, FailurePattern, PatternSampler};
 pub use id::{ProcessId, ProcessSet, Time};
+pub use liveness::{
+    check_liveness, replay_lasso, LassoWitness, LivenessConfig, LivenessReport, LivenessVerdict,
+    Ltl,
+};
 pub use obs::{CounterId, HistId, MetricsSnapshot, Obs, PhaseId, PhaseTimer};
 pub use oracle::{ConstDetector, FdOracle, FnDetector, NoDetector};
 pub use protocol::{
-    Ctx, Footprint, Permutation, Protocol, StepKind, Symmetry, FULL_SYMMETRY_MAX_N,
+    Ctx, Footprint, Permutation, PropView, Protocol, StepKind, Symmetry, FULL_SYMMETRY_MAX_N,
 };
 pub use repro::{OracleSpec, Repro, ReproDecisions, ReproInvocation, ReproSource, SchedulerSpec};
 pub use rng::SimRng;

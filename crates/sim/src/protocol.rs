@@ -271,7 +271,12 @@ pub trait Protocol: Sized {
     /// Operation invocations injected by the harness.
     type Inv: Clone + Debug;
     /// The failure detector value this protocol queries each step.
-    type Fd: Clone + Debug;
+    ///
+    /// `PartialEq` is required because the explorer's reduction layer
+    /// certifies DPOR independence only when the detector answers
+    /// *structurally* equal values at adjacent step times — a `Debug`
+    /// rendering is not a sound proxy (distinct values may print alike).
+    type Fd: Clone + Debug + PartialEq;
 
     /// First step of the process.
     fn on_start(&mut self, _ctx: &mut Ctx<Self>) {}
@@ -324,6 +329,51 @@ pub trait Protocol: Sized {
     /// Rewrite every process id embedded in an output value under `perm`
     /// (the emitting process's id is handled by the explorer).
     fn permute_output(_out: &mut Self::Output, _perm: &Permutation) {}
+
+    // -- Temporal-property declarations (optional) -----------------------
+
+    /// Names of the atomic propositions this protocol exposes to the
+    /// liveness checker (`wfd_sim::liveness`), in declaration order. LTL
+    /// formulas refer to propositions by these names; the index of a name
+    /// in this slice is the `prop` argument to
+    /// [`eval_prop`](Protocol::eval_prop). At most 32 propositions may be
+    /// declared. The default — no propositions — leaves the protocol
+    /// checkable only against proposition-free formulas.
+    fn props() -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Evaluate proposition `prop` (an index into
+    /// [`props`](Protocol::props)) over a global configuration: the local
+    /// state of every process plus the [`PropView`] of who is alive and
+    /// who is correct. Propositions must be *state predicates* — pure
+    /// functions of the arguments, with no history or hidden inputs — and,
+    /// when the protocol declares a non-trivial [`Protocol::symmetry`],
+    /// invariant under every permutation in that group (quantify over
+    /// processes instead of naming one). The default answers `false` for
+    /// every proposition, matching the empty [`props`](Protocol::props).
+    fn eval_prop(_prop: usize, _procs: &[Self], _view: &PropView<'_>) -> bool {
+        false
+    }
+}
+
+/// The failure-pattern facts visible to an atomic proposition, alongside
+/// the per-process protocol states (see [`Protocol::eval_prop`]).
+///
+/// Both slices are indexed by process id. `alive` describes the instant
+/// the proposition is evaluated at; `correct` is the whole-run fact
+/// (never crashes in the pattern under check). Propositions about
+/// *eventual* behavior — "all correct processes decide", "the correct
+/// processes agree on a leader" — quantify over `correct`; propositions
+/// about the current instant quantify over `alive`.
+#[derive(Debug, Clone, Copy)]
+pub struct PropView<'a> {
+    /// `alive[p]`: process `p` has not crashed yet at the evaluation
+    /// instant.
+    pub alive: &'a [bool],
+    /// `correct[p]`: process `p` never crashes in the pattern under
+    /// check.
+    pub correct: &'a [bool],
 }
 
 /// Everything a process may consult or effect during one atomic step.

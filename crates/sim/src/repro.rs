@@ -205,6 +205,9 @@ pub enum ReproSource {
     Fuzz,
     /// A counterexample branch of [`explore`](crate::explore()).
     Explore,
+    /// An accepting lasso found by the liveness checker
+    /// ([`check_liveness`](crate::liveness::check_liveness)).
+    Liveness,
 }
 
 /// One scheduled operation invocation, payload rendered as a string (the
@@ -231,6 +234,19 @@ pub enum ReproDecisions {
     /// chains); it is exactly what
     /// [`replay_explore`](crate::replay_explore) consumes.
     Explore(Vec<ExploreDecision>),
+    /// A liveness lasso ([`ReproSource::Liveness`]): a finite `stem` from
+    /// the initial configuration to a recurrent configuration, plus a
+    /// non-empty `cycle` that returns to it — together denoting the
+    /// infinite fair run `stem · cycleʷ`. Both halves use explorer
+    /// decision vocabulary, so `stem ++ cycle` (and any number of further
+    /// cycle repetitions) replays through
+    /// [`replay_explore`](crate::replay_explore).
+    Lasso {
+        /// Decisions from the initial configuration to the loop head.
+        stem: Vec<ExploreDecision>,
+        /// Decisions around the loop, back to the same configuration.
+        cycle: Vec<ExploreDecision>,
+    },
 }
 
 impl ReproDecisions {
@@ -239,6 +255,7 @@ impl ReproDecisions {
         match self {
             ReproDecisions::Engine(d) => d.len(),
             ReproDecisions::Explore(d) => d.len(),
+            ReproDecisions::Lasso { stem, cycle } => stem.len() + cycle.len(),
         }
     }
 
@@ -259,6 +276,19 @@ impl ReproDecisions {
         match self {
             ReproDecisions::Engine(d) => ReproDecisions::Engine(cut(d, start, end)),
             ReproDecisions::Explore(d) => ReproDecisions::Explore(cut(d, start, end)),
+            // Piecewise over the concatenation `stem ++ cycle`: indices
+            // below `stem.len()` cut the stem, the rest cut the cycle.
+            ReproDecisions::Lasso { stem, cycle } => {
+                let clamp = |d: &[ExploreDecision], lo: usize| {
+                    let s = start.saturating_sub(lo).min(d.len());
+                    let e = end.saturating_sub(lo).min(d.len());
+                    cut(d, s, e)
+                };
+                ReproDecisions::Lasso {
+                    stem: clamp(stem, 0),
+                    cycle: clamp(cycle, stem.len()),
+                }
+            }
         }
     }
 
@@ -266,7 +296,7 @@ impl ReproDecisions {
     pub fn as_engine(&self) -> Option<&[Decision]> {
         match self {
             ReproDecisions::Engine(d) => Some(d),
-            ReproDecisions::Explore(_) => None,
+            _ => None,
         }
     }
 
@@ -274,7 +304,15 @@ impl ReproDecisions {
     pub fn as_explore(&self) -> Option<&[ExploreDecision]> {
         match self {
             ReproDecisions::Explore(d) => Some(d),
-            ReproDecisions::Engine(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The `(stem, cycle)` halves, if this is a liveness lasso.
+    pub fn as_lasso(&self) -> Option<(&[ExploreDecision], &[ExploreDecision])> {
+        match self {
+            ReproDecisions::Lasso { stem, cycle } => Some((stem, cycle)),
+            _ => None,
         }
     }
 
@@ -295,29 +333,18 @@ impl ReproDecisions {
                     })
                     .collect(),
             ),
-            ReproDecisions::Explore(d) => Json::Arr(
-                d.iter()
-                    .map(|(p, choice)| {
-                        Json::Obj(vec![
-                            ("step".to_string(), Json::usize(p.index())),
-                            (
-                                "msg".to_string(),
-                                match choice {
-                                    Some(i) => Json::usize(*i),
-                                    None => Json::Null,
-                                },
-                            ),
-                        ])
-                    })
-                    .collect(),
-            ),
+            ReproDecisions::Explore(d) => explore_steps_to_json(d),
+            ReproDecisions::Lasso { stem, cycle } => Json::Obj(vec![
+                ("stem".to_string(), explore_steps_to_json(stem)),
+                ("cycle".to_string(), explore_steps_to_json(cycle)),
+            ]),
         }
     }
 
     fn from_json(v: &Json, source: ReproSource) -> Result<Self, String> {
-        let items = v.as_array().ok_or("decisions is not an array")?;
         match source {
             ReproSource::Fuzz => {
+                let items = v.as_array().ok_or("decisions is not an array")?;
                 let mut out = Vec::with_capacity(items.len());
                 for d in items {
                     if let Some(actor) = d.get("actor") {
@@ -336,24 +363,52 @@ impl ReproDecisions {
                 }
                 Ok(ReproDecisions::Engine(out))
             }
-            ReproSource::Explore => {
-                let mut out = Vec::with_capacity(items.len());
-                for d in items {
-                    let p = d
-                        .get("step")
-                        .and_then(Json::as_usize)
-                        .ok_or("decision.step missing")?;
-                    let msg = match d.get("msg") {
-                        Some(v) if v.is_null() => None,
-                        Some(v) => Some(v.as_usize().ok_or("decision.msg is not an index")?),
-                        None => None,
-                    };
-                    out.push((ProcessId(p), msg));
-                }
-                Ok(ReproDecisions::Explore(out))
-            }
+            ReproSource::Explore => Ok(ReproDecisions::Explore(explore_steps_from_json(v)?)),
+            ReproSource::Liveness => Ok(ReproDecisions::Lasso {
+                stem: explore_steps_from_json(v.get("stem").ok_or("decisions.stem missing")?)?,
+                cycle: explore_steps_from_json(v.get("cycle").ok_or("decisions.cycle missing")?)?,
+            }),
         }
     }
+}
+
+/// Encode explorer decisions as the `{"step": p, "msg": i|null}` array
+/// shared by the explore and lasso variants.
+fn explore_steps_to_json(d: &[ExploreDecision]) -> Json {
+    Json::Arr(
+        d.iter()
+            .map(|(p, choice)| {
+                Json::Obj(vec![
+                    ("step".to_string(), Json::usize(p.index())),
+                    (
+                        "msg".to_string(),
+                        match choice {
+                            Some(i) => Json::usize(*i),
+                            None => Json::Null,
+                        },
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn explore_steps_from_json(v: &Json) -> Result<Vec<ExploreDecision>, String> {
+    let items = v.as_array().ok_or("decisions is not an array")?;
+    let mut out = Vec::with_capacity(items.len());
+    for d in items {
+        let p = d
+            .get("step")
+            .and_then(Json::as_usize)
+            .ok_or("decision.step missing")?;
+        let msg = match d.get("msg") {
+            Some(v) if v.is_null() => None,
+            Some(v) => Some(v.as_usize().ok_or("decision.msg is not an index")?),
+            None => None,
+        };
+        out.push((ProcessId(p), msg));
+    }
+    Ok(out)
 }
 
 /// A deterministic, self-contained counterexample artifact.
@@ -430,6 +485,9 @@ impl Repro {
             ReproDecisions::Explore(_) => {
                 panic!("explore-sourced repro: replay via replay_explore")
             }
+            ReproDecisions::Lasso { .. } => {
+                panic!("liveness-sourced repro: replay via liveness::replay_lasso")
+            }
         }
     }
 
@@ -462,6 +520,43 @@ impl Repro {
         repro
     }
 
+    /// Build an artifact from a liveness lasso counterexample.
+    ///
+    /// The artifact stores the checker's fairness bounds in `max_delay` /
+    /// `max_step_gap` and the stabilization time in `horizon`, so a
+    /// replayer can rebuild the exact fair model the lasso was found in.
+    #[allow(clippy::too_many_arguments)] // flat artifact constructor, one field each
+    pub fn from_lasso(
+        protocol: &str,
+        property: &str,
+        violation: &str,
+        stem: Vec<ExploreDecision>,
+        cycle: Vec<ExploreDecision>,
+        t_stable: Time,
+        max_delay: Time,
+        max_step_gap: Time,
+        pattern: &FailurePattern,
+        oracle: OracleSpec,
+    ) -> Self {
+        let mut repro = Repro {
+            protocol: protocol.to_string(),
+            checker: property.to_string(),
+            violation: violation.to_string(),
+            n: pattern.n(),
+            horizon: t_stable,
+            max_delay,
+            max_step_gap,
+            crashes: Vec::new(),
+            oracle,
+            scheduler: SchedulerSpec::Exhaustive,
+            invocations: Vec::new(),
+            decisions: ReproDecisions::Lasso { stem, cycle },
+            source: ReproSource::Liveness,
+        };
+        repro.set_pattern(pattern);
+        repro
+    }
+
     /// Serialize to pretty-enough JSON (one logical field per line for the
     /// scalar header, compact arrays).
     pub fn to_json(&self) -> String {
@@ -472,6 +567,7 @@ impl Repro {
                 Json::str(match self.source {
                     ReproSource::Fuzz => "fuzz",
                     ReproSource::Explore => "explore",
+                    ReproSource::Liveness => "liveness",
                 }),
             ),
             ("protocol".to_string(), Json::str(&self.protocol)),
@@ -539,6 +635,7 @@ impl Repro {
         let source = match v.get("source").and_then(Json::as_str) {
             Some("fuzz") => ReproSource::Fuzz,
             Some("explore") => ReproSource::Explore,
+            Some("liveness") => ReproSource::Liveness,
             Some(other) => return Err(format!("bad source '{other}'")),
             None => return Err("source missing".to_string()),
         };

@@ -254,6 +254,12 @@ impl<S: Scheduler> RecordedSchedule<S> {
         &self.log
     }
 
+    /// The wrapped policy — e.g. to read a replaying inner scheduler's
+    /// divergence count while the wrapper re-records the effective run.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
     /// Consume the wrapper, returning the decision log.
     pub fn into_log(self) -> Vec<Decision> {
         self.log

@@ -504,6 +504,107 @@ fn naive_sleep_sets_would_miss_the_oracle_transition() {
     );
 }
 
+/// Regression fixture for the DPOR stability certificate's detector
+/// comparison: it must be *structural* (`P::Fd: PartialEq`), never a
+/// `Debug`-rendering fingerprint.
+///
+/// The scenario is [`naive_sleep_sets_would_miss_the_oracle_transition`]
+/// verbatim except the detector value is wrapped in [`Opaque`], whose
+/// handwritten `Debug` impl renders every value identically. The detector
+/// still transitions between `t = 0` and `t = 1`, so independence is
+/// *not* certifiable at depth 0 — but a fingerprint of the renderings
+/// cannot see that: `{:?}` says `Opaque(·) == Opaque(·)`, the certificate
+/// wrongly reports the detector stable, sleep sets get built, and the
+/// single armed interleaving is pruned. The historical implementation
+/// compared exactly those fingerprints, so this test fails on it
+/// (`run(false)` reports a clean space); the structural comparison sees
+/// `Opaque(0) != Opaque(1)` and keeps the violation reachable.
+/// `with_unstable_sleep` reproduces the miss on demand — for this
+/// scenario it builds the same sleep sets the fingerprint certificate
+/// would have certified.
+#[test]
+fn debug_alike_fd_values_must_not_certify_independence() {
+    /// Structurally distinct detector values sharing one `Debug` rendering.
+    #[derive(Clone, PartialEq)]
+    struct Opaque(Time);
+
+    impl std::fmt::Debug for Opaque {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Opaque(·)")
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Sleeper {
+        started: bool,
+        armed: bool,
+    }
+
+    impl Protocol for Sleeper {
+        type Msg = ();
+        type Output = ();
+        type Inv = ();
+        type Fd = Opaque;
+
+        fn on_start(&mut self, ctx: &mut Ctx<Self>) {
+            self.started = true;
+            if ctx.me() == ProcessId(1) && *ctx.fd() == Opaque(0) {
+                self.armed = true;
+            }
+        }
+
+        fn on_message(&mut self, _ctx: &mut Ctx<Self>, _from: ProcessId, _msg: ()) {}
+
+        // Honest and exact: no handler ever sends or outputs.
+        fn footprint(&self, _me: ProcessId, _n: usize, _step: StepKind<'_, Self>) -> Footprint {
+            Footprint::local()
+        }
+    }
+
+    let run = |unstable: bool| {
+        explore(
+            ExploreConfig::new(2)
+                .with_threads(1)
+                .with_batch(1)
+                .with_dpor(true)
+                .with_unstable_sleep(unstable),
+            || {
+                (0..2)
+                    .map(|_| Sleeper {
+                        started: false,
+                        armed: false,
+                    })
+                    .collect()
+            },
+            vec![None, None],
+            &FailurePattern::failure_free(2),
+            FnDetector::new(|_p: ProcessId, t: Time| Opaque(t)),
+            |procs: &[Sleeper], _: &[(ProcessId, ())]| {
+                if procs[0].started && procs[1].armed {
+                    Err("p1 armed behind an opaque rendering and p0 started after it".into())
+                } else {
+                    Ok(())
+                }
+            },
+        )
+    };
+
+    let structural = run(false);
+    assert!(
+        structural.violation.is_some(),
+        "a Debug-blind detector transition must still block the certificate: {structural:?}"
+    );
+    let fingerprint_alike = run(true);
+    assert!(
+        fingerprint_alike.violation.is_none(),
+        "fixture stale: the rendering collision no longer prunes the miss: {fingerprint_alike:?}"
+    );
+    assert!(
+        fingerprint_alike.states_pruned_dpor > 0,
+        "the fingerprint miss must come from a sleep prune: {fingerprint_alike:?}"
+    );
+}
+
 /// Dedup on a clean family may only *reduce* the states expanded, never
 /// miss any verdict-relevant ones — sanity-check the count relation too.
 #[test]

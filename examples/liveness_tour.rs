@@ -1,0 +1,127 @@
+//! Liveness tour: temporal properties checked over *all* fair runs.
+//!
+//! The bounded explorer proves safety up to a depth; the liveness layer
+//! (`wfd_sim::liveness`) proves *temporal* properties — "eventually",
+//! "forever" — over every fair infinite run of a small instance, by
+//! compiling an LTL formula to a Büchi automaton and hunting for an
+//! accepting lasso in the product with the engine's fair state graph.
+//!
+//! Three stops:
+//!
+//! 1. a planted livelock (a token bounced forever, nobody decides) is
+//!    **caught**, and its lasso counterexample replays as a real fair run;
+//! 2. Ω stabilization — `F G "leader-agreed"` — **holds** for the
+//!    heartbeat implementation, even when the initial leader crashes;
+//! 3. (Ω, Σ) consensus termination — `F "all-decided"` — **holds** in the
+//!    paper's headline environment, a crashed majority.
+//!
+//! Run with: `cargo run --example liveness_tour`
+
+use weakest_failure_detectors::prelude::*;
+use weakest_failure_detectors::sim::liveness::fixtures::PingPong;
+
+fn main() {
+    // ── 1. Catch a livelock ─────────────────────────────────────────────
+    // PingPong never decides: the token just bounces. Finite-horizon
+    // checking can only say "not yet"; the liveness checker says "never",
+    // and hands back the offending cycle.
+    let n = 3;
+    let pattern = FailurePattern::failure_free(n);
+    let goal = Ltl::prop("decided").eventually();
+    let report = check_liveness(
+        LivenessConfig::new(3, 3, 0),
+        || PingPong::fleet(n),
+        vec![None; n],
+        &pattern,
+        NoDetector,
+        &goal,
+    )
+    .expect("well-formed scenario");
+    println!(
+        "{goal} on PingPong: {} ({} states, {} edges)",
+        report.verdict.as_str(),
+        report.states,
+        report.edges
+    );
+    assert_eq!(report.verdict, LivenessVerdict::Violated);
+    let lasso = report.lasso.expect("a violation carries a witness");
+    println!(
+        "  lasso witness: {}-step stem into a {}-step fair cycle",
+        lasso.stem.len(),
+        lasso.cycle.len()
+    );
+    // The witness is not just a trace claim — it replays as a fair
+    // infinite run (stem reaches the loop head, cycle returns to it,
+    // every decision legal under the fairness forcing rules).
+    replay_lasso(
+        &LivenessConfig::new(3, 3, 0),
+        || PingPong::fleet(n),
+        vec![None; n],
+        &pattern,
+        NoDetector,
+        &lasso.stem,
+        &lasso.cycle,
+    )
+    .expect("the witness replays");
+    println!("  replayed: the cycle is a real fair run\n");
+
+    // ── 2. Ω stabilization ──────────────────────────────────────────────
+    // The heartbeat Ω must *eventually forever* agree on a correct
+    // leader — the property that makes it an Ω implementation at all.
+    let n = 2;
+    let omega = || (0..n).map(|_| HeartbeatOmega::new(n, 8)).collect();
+    let stabilize = Ltl::prop("leader-agreed").always().eventually();
+    for (name, pattern) in [
+        ("failure-free", FailurePattern::failure_free(n)),
+        (
+            "leader crashed at t=0",
+            FailurePattern::failure_free(n).with_crash(ProcessId(0), 0),
+        ),
+    ] {
+        let report = check_liveness(
+            LivenessConfig::new(2, 2, 0),
+            omega,
+            vec![None; n],
+            &pattern,
+            NoDetector,
+            &stabilize,
+        )
+        .expect("well-formed scenario");
+        println!(
+            "{stabilize} on HeartbeatOmega ({name}): {} ({} states)",
+            report.verdict.as_str(),
+            report.states
+        );
+        assert_eq!(report.verdict, LivenessVerdict::Holds);
+    }
+    println!();
+
+    // ── 3. Consensus termination with a crashed majority ────────────────
+    // (Ω, Σ) consensus must terminate even when a majority crashes — the
+    // environment where majority-based algorithms block, and the reason
+    // the paper pairs Ω with Σ.
+    let pattern = FailurePattern::failure_free(3)
+        .with_crash(ProcessId(1), 0)
+        .with_crash(ProcessId(2), 0);
+    let detector = PairOracle::new(
+        OmegaOracle::new(&pattern, 0, 0),
+        SigmaOracle::new(&pattern, 0, 0),
+    );
+    let terminate = Ltl::prop("all-decided").eventually();
+    let report = check_liveness(
+        LivenessConfig::new(2, 2, 0),
+        || (0..3).map(|_| OmegaSigmaConsensus::<u64>::new()).collect(),
+        vec![Some(4), Some(7), Some(9)],
+        &pattern,
+        detector,
+        &terminate,
+    )
+    .expect("well-formed scenario");
+    println!(
+        "{terminate} on (Ω,Σ)-consensus, majority crashed: {} ({} states)",
+        report.verdict.as_str(),
+        report.states
+    );
+    assert_eq!(report.verdict, LivenessVerdict::Holds);
+    println!("\nall three verdicts are over *every* fair run, not a sample");
+}

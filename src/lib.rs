@@ -41,7 +41,10 @@ pub use wfd_sim as sim;
 /// registers, consensus, the engine) plus the cross-crate entry points
 /// every example needs — the bounded explorer and its builder
 /// ([`explore`](wfd_sim::explore()), [`ExploreConfig`](wfd_sim::ExploreConfig),
-/// [`Hasher`](wfd_sim::Hasher)), the observability layer
+/// [`Hasher`](wfd_sim::Hasher)), the liveness checker
+/// ([`check_liveness`](wfd_sim::check_liveness()),
+/// [`LivenessConfig`](wfd_sim::LivenessConfig), [`Ltl`](wfd_sim::Ltl)),
+/// the observability layer
 /// ([`Obs`](wfd_sim::Obs), [`EnvOverrides`](wfd_sim::EnvOverrides)), the
 /// theorem harnesses ([`theorems`](wfd_core::theorems)), and the ABD
 /// op-history helpers.
@@ -50,7 +53,8 @@ pub mod prelude {
     pub use wfd_core::theorems::{self, RunSetup};
     pub use wfd_registers::abd::{op_history_from_trace, AbdOp};
     pub use wfd_sim::{
-        explore, replay_explore, EnvOverrides, ExploreConfig, Hasher, MetricsMode, NoDetector, Obs,
+        check_liveness, explore, replay_explore, replay_lasso, EnvOverrides, ExploreConfig, Hasher,
+        LivenessConfig, LivenessReport, LivenessVerdict, Ltl, MetricsMode, NoDetector, Obs,
         TraceMode,
     };
 }
