@@ -1,0 +1,172 @@
+//! **State-space diagrams.** Render the reachable configuration graph of
+//! two paper targets as DOT and Mermaid state diagrams, violating states
+//! highlighted:
+//!
+//! * `heartbeat_omega` — the adaptive-timeout Ω implementation on 3
+//!   processes with the initial leader crashed at `t = 0`. "Violating"
+//!   states are those where a *correct* process has most recently
+//!   announced the crashed process as leader — the transient Ω permits
+//!   and the diagram makes visible.
+//! * `omega_sigma_consensus` — the paper's (Ω, Σ) consensus on 2
+//!   processes in the headline environment (the other process crashed at
+//!   `t = 0`, i.e. a crashed majority — where Σ earns its keep). The
+//!   checker is the fuzz fixture ("nobody ever decides"), so every
+//!   *deciding* state lights up: the highlighted frontier is exactly
+//!   where termination happens.
+//!
+//! Both walks are breadth-first over the same pure
+//! [`wfd_sim::Machine`] the engine, explorer and liveness checker step —
+//! the diagram is a drawing of the shared transition system, not of a
+//! fourth reimplementation.
+//!
+//! Artifacts go to `$WFD_EXPERIMENTS_DIR` (default `target/experiments`)
+//! as `DIAGRAM_<name>.dot` / `DIAGRAM_<name>.mmd`. The binary self-checks
+//! the output (balanced DOT braces, a highlighted violation in each
+//! diagram, Mermaid header present) and exits non-zero on any miss, so CI
+//! can run it as a gate and upload the artifacts.
+
+use std::process::ExitCode;
+use wfd_bench::Table;
+use wfd_consensus::{ConsensusOutput, OmegaSigmaConsensus};
+use wfd_detectors::impls::HeartbeatOmega;
+use wfd_detectors::oracles::{OmegaOracle, PairOracle, SigmaOracle};
+use wfd_sim::{Diagram, DiagramConfig, FailurePattern, NoDetector, ProcessId};
+
+/// One rendered scenario: the diagram plus its artifact base name.
+struct Rendered {
+    name: &'static str,
+    diagram: Diagram,
+}
+
+fn heartbeat_scenario() -> Result<Rendered, String> {
+    let n = 3;
+    let pattern = FailurePattern::failure_free(n).with_crash(ProcessId(0), 0);
+    let correct = |p: ProcessId| pattern.is_correct(p);
+    let diagram = Diagram::walk(
+        &DiagramConfig::new("heartbeat-Ω, 3 processes, leader crashed at t=0")
+            .with_max_states(96)
+            .with_max_depth(10),
+        || (0..n).map(|_| HeartbeatOmega::new(n, 1)).collect(),
+        vec![None; n],
+        &pattern,
+        NoDetector,
+        |_procs: &[HeartbeatOmega], outputs: &[(ProcessId, ProcessId)]| {
+            // The *latest* announcement per correct process: pointing at
+            // the crashed initial leader is the transient worth seeing.
+            for p in (0..n).map(ProcessId).filter(|&p| correct(p)) {
+                if let Some((_, leader)) = outputs.iter().rev().find(|(q, _)| *q == p) {
+                    if !correct(*leader) {
+                        return Err(format!("{p} announces crashed leader {leader}"));
+                    }
+                }
+            }
+            Ok(())
+        },
+    )?;
+    Ok(Rendered {
+        name: "heartbeat_omega",
+        diagram,
+    })
+}
+
+fn consensus_scenario() -> Result<Rendered, String> {
+    let n = 2;
+    let pattern = FailurePattern::failure_free(n).with_crash(ProcessId(1), 0);
+    let detector = PairOracle::new(
+        OmegaOracle::new(&pattern, 0, 1),
+        SigmaOracle::new(&pattern, 0, 1),
+    );
+    let diagram = Diagram::walk(
+        &DiagramConfig::new("(Ω,Σ)-consensus, 2 processes, majority crashed")
+            .with_max_states(96)
+            .with_max_depth(16),
+        || (0..n).map(|_| OmegaSigmaConsensus::<u64>::new()).collect(),
+        vec![Some(10), Some(20)],
+        &pattern,
+        detector,
+        |_procs: &[OmegaSigmaConsensus<u64>], outputs: &[(ProcessId, ConsensusOutput<u64>)]| {
+            match outputs.first() {
+                Some((p, ConsensusOutput::Decided(v))) => Err(format!("{p} decided {v}")),
+                _ => Ok(()),
+            }
+        },
+    )?;
+    Ok(Rendered {
+        name: "omega_sigma_consensus",
+        diagram,
+    })
+}
+
+/// The structural self-checks that make this binary a CI gate: every
+/// diagram must actually show a highlighted violation, and both renderers
+/// must produce well-formed documents.
+fn verify(r: &Rendered) -> Result<(), String> {
+    let d = &r.diagram;
+    if d.nodes.is_empty() || d.edges.is_empty() {
+        return Err(format!("{}: empty diagram", r.name));
+    }
+    if !d.has_violation() {
+        return Err(format!("{}: no violating state to highlight", r.name));
+    }
+    let dot = d.to_dot();
+    let open = dot.matches('{').count();
+    let close = dot.matches('}').count();
+    if open != close {
+        return Err(format!(
+            "{}: unbalanced DOT braces ({open} vs {close})",
+            r.name
+        ));
+    }
+    if !dot.contains("peripheries=2") {
+        return Err(format!("{}: DOT lost the violation highlight", r.name));
+    }
+    let mmd = d.to_mermaid();
+    if !mmd.starts_with("---\ntitle:") || !mmd.contains("stateDiagram-v2") {
+        return Err(format!("{}: malformed Mermaid header", r.name));
+    }
+    if !mmd.contains("classDef violating") || !mmd.contains(" violating") {
+        return Err(format!("{}: Mermaid lost the violation highlight", r.name));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let dir = Table::artifact_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let scenarios = [heartbeat_scenario(), consensus_scenario()];
+    for scenario in scenarios {
+        let rendered = match scenario {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("diagram walk failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = verify(&rendered) {
+            eprintln!("self-check failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        let d = &rendered.diagram;
+        let violating = d.nodes.iter().filter(|nd| nd.violation.is_some()).count();
+        println!(
+            "{}: {} states, {} edges, {} violating{}",
+            rendered.name,
+            d.nodes.len(),
+            d.edges.len(),
+            violating,
+            if d.truncated { " (truncated)" } else { "" }
+        );
+        for (ext, body) in [("dot", d.to_dot()), ("mmd", d.to_mermaid())] {
+            let path = dir.join(format!("DIAGRAM_{}.{ext}", rendered.name));
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("  saved {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -14,7 +14,9 @@
 //!   rungs are **skipped** (marked `"skipped_1_cpu"` in the artifact)
 //!   when [`std::thread::available_parallelism`] reports a single CPU:
 //!   the reports would still be byte-identical, but the timings would be
-//!   time-slicing noise, not scaling data,
+//!   time-slicing noise, not scaling data. The seen-table width each run
+//!   rung allocated ([`wfd_sim::seen_shard_width`] of its worker count)
+//!   is recorded in the artifact,
 //! * `reduced_dpor` / `reduced_symmetry` / `reduced_dpor_symmetry` — the
 //!   state-space reductions ([`ExploreConfig::with_dpor`] /
 //!   [`ExploreConfig::with_symmetry`]) on the single-thread optimized
@@ -42,8 +44,8 @@ use wfd_bench::{MetricsFlag, Table};
 use wfd_sim::explore_baseline::explore_baseline;
 use wfd_sim::json::Json;
 use wfd_sim::{
-    explore, Ctx, ExactKeyHasher, ExploreConfig, ExploreReport, FailurePattern, FingerprintHasher,
-    Footprint, NoDetector, ProcessId, Protocol, StepKind, Symmetry,
+    explore, seen_shard_width, Ctx, ExactKeyHasher, ExploreConfig, ExploreReport, FailurePattern,
+    FingerprintHasher, Footprint, NoDetector, ProcessId, Protocol, StepKind, Symmetry,
 };
 
 /// The benchmark workload: a token-relay mesh with decaying traffic.
@@ -216,6 +218,7 @@ fn main() {
     ];
     // Multi-thread rungs are scaling data only where scaling exists.
     let mut skipped: Vec<&'static str> = Vec::new();
+    let mut thread_counts_run = vec![1usize];
     for threads in [2usize, 4] {
         let name: &'static str = if threads == 2 {
             "optimized_2_threads"
@@ -226,6 +229,7 @@ fn main() {
             skipped.push(name);
             continue;
         }
+        thread_counts_run.push(threads);
         rungs.push(time_rung(name, reps, || {
             explore(
                 optimized(threads),
@@ -457,6 +461,18 @@ fn main() {
             ]),
         ),
         ("available_parallelism".to_string(), Json::usize(available)),
+        // The seen-table width each rung actually allocated: sized from
+        // the worker count (itself clamped by available parallelism),
+        // not the historical fixed 64 — a 1-CPU host runs one shard.
+        (
+            "seen_shard_width".to_string(),
+            Json::Obj(
+                thread_counts_run
+                    .iter()
+                    .map(|&t| (format!("{t}_threads"), Json::usize(seen_shard_width(t))))
+                    .collect(),
+            ),
+        ),
         ("states_per_sec".to_string(), Json::Obj(states_per_sec)),
         (
             "speedup".to_string(),

@@ -244,7 +244,7 @@ fn selftest() -> ExitCode {
 /// bounded explorer against the same (Ω, Σ) consensus target with the
 /// same broken fixture checker, prove the parallel frontier is invisible
 /// to the report, and round-trip the counterexample through a `Repro`
-/// artifact back into [`wfd_sim::replay_explore`].
+/// artifact back into [`wfd_sim::Replay`].
 fn explore_selftest() -> ExitCode {
     use wfd_consensus::{ConsensusOutput, OmegaSigmaConsensus};
     use wfd_detectors::oracles::{OmegaOracle, PairOracle, SigmaOracle};
@@ -343,9 +343,8 @@ fn explore_selftest() -> ExitCode {
             .with("seed", 1),
     );
     let round_trip = wfd_sim::Repro::from_json(&repro.to_json()).as_ref() == Ok(&repro);
-    let replayed = repro.decisions.as_explore().is_some_and(|decisions| {
-        wfd_sim::replay_explore(
-            decisions,
+    let replayed = wfd_sim::Replay::from_repro(&repro).is_ok_and(|replay| {
+        replay.run(
             make_procs,
             vec![Some(10), Some(20)],
             &pattern,
@@ -359,7 +358,7 @@ fn explore_selftest() -> ExitCode {
         ("1- and 2-thread reports agree semantically", deterministic),
         ("reduced run agrees on the verdict", reduced_verdict),
         ("explore artifact JSON round-trips", round_trip),
-        ("replay_explore reproduces the violation", replayed),
+        ("machine-layer Replay reproduces the violation", replayed),
     ] {
         println!("  [{}] {name}", if ok { "ok" } else { "FAIL" });
         if !ok {

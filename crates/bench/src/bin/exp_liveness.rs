@@ -30,8 +30,8 @@ use wfd_detectors::impls::{HeartbeatOmega, TimeoutFs};
 use wfd_detectors::oracles::{OmegaOracle, PairOracle, SigmaOracle};
 use wfd_sim::liveness::fixtures::PingPong;
 use wfd_sim::{
-    check_liveness, replay_lasso, shrink, FailurePattern, LivenessConfig, LivenessReport,
-    LivenessVerdict, Ltl, NoDetector, OracleSpec, ProcessId, Repro,
+    check_liveness, shrink, FailurePattern, LivenessConfig, LivenessReport, LivenessVerdict, Ltl,
+    NoDetector, OracleSpec, ProcessId, Replay, Repro,
 };
 
 /// One table row: a named check with its expectation and outcome.
@@ -125,14 +125,12 @@ fn livelock_leg(outcomes: &mut Vec<Outcome>) {
             let round_trip = Repro::from_json(&repro.to_json()).as_ref() == Ok(&repro);
             // Replay: the decisions must denote a real fair infinite run.
             let replays = |stem: &[_], cycle: &[_]| {
-                replay_lasso(
+                Replay::lasso(stem.to_vec(), cycle.to_vec()).run_fair(
                     &cfg(),
                     || PingPong::fleet(n),
                     vec![None; n],
                     &pattern,
                     NoDetector,
-                    stem,
-                    cycle,
                 )
             };
             let replayed = replays(&lasso.stem, &lasso.cycle);

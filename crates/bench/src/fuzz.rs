@@ -254,7 +254,7 @@ type RebuiltRun<S> = (
 /// and the shrink normalizer (which re-records the effective log).
 fn run_artifact<S: wfd_sim::Scheduler>(repro: &Repro, sched: S) -> Result<RebuiltRun<S>, String> {
     if repro.source != ReproSource::Fuzz {
-        return Err("explore-sourced artifacts replay via wfd_sim::replay_explore".to_string());
+        return Err("explore-sourced artifacts replay via wfd_sim::Replay".to_string());
     }
     if repro.protocol != PROTOCOL_CONSENSUS {
         return Err(format!("unknown protocol {:?}", repro.protocol));

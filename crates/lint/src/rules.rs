@@ -174,6 +174,8 @@ static RULES: [Rule; 6] = [
             "crates/sim/src/explore.rs",
             "crates/sim/src/explore_baseline.rs",
             "crates/sim/src/engine.rs",
+            "crates/sim/src/machine.rs",
+            "crates/sim/src/diagram.rs",
         ]),
         matcher: match_unwrap,
     },

@@ -2,6 +2,7 @@
 
 use crate::failure::FailurePattern;
 use crate::id::{ProcessId, Time};
+use crate::machine::{dispatch, ResolvedStep};
 use crate::obs::{CounterId, HistId, Obs, PhaseId};
 use crate::oracle::FdOracle;
 use crate::protocol::{Ctx, Protocol};
@@ -377,8 +378,14 @@ where
         #[cfg(debug_assertions)]
         let mut declared: Option<Footprint> = None;
 
-        // Decide the step kind: start > pending invocation > message/λ.
-        if !self.started[actor.index()] {
+        // Resolve the step kind: start > pending invocation > message/λ.
+        // The resolution (scheduler picks, trace events, footprint
+        // declarations) is the engine's own; the callback routing is the
+        // shared [`dispatch`], so the engine executes the same step
+        // semantics as the explorer and the liveness checker. Invocations
+        // arrive over time here, so they stay stand-alone steps instead
+        // of being folded into `Start` as the machine layer does.
+        let step: ResolvedStep<P> = if !self.started[actor.index()] {
             self.started[actor.index()] = true;
             if record_msgs {
                 self.trace.push(self.now, actor, EventKind::Start);
@@ -391,7 +398,7 @@ where
                     StepKind::Start { inv: None },
                 ));
             }
-            self.procs[actor.index()].on_start(&mut ctx);
+            ResolvedStep::Start { inv: None }
         } else if self.invocations[actor.index()]
             .front()
             .is_some_and(|(t, _)| *t <= self.now)
@@ -402,7 +409,7 @@ where
             if record_msgs {
                 self.trace.push(self.now, actor, EventKind::Invoke);
             }
-            self.procs[actor.index()].on_invoke(&mut ctx, inv);
+            ResolvedStep::Invoke(inv)
         } else {
             match self.choose_message(actor) {
                 Some(pos) => {
@@ -431,7 +438,10 @@ where
                             },
                         ));
                     }
-                    self.procs[actor.index()].on_message(&mut ctx, env.from, env.msg);
+                    ResolvedStep::Deliver {
+                        from: env.from,
+                        msg: env.msg,
+                    }
                 }
                 None => {
                     if record_msgs {
@@ -445,10 +455,11 @@ where
                             StepKind::Tick,
                         ));
                     }
-                    self.procs[actor.index()].on_tick(&mut ctx);
+                    ResolvedStep::Tick
                 }
             }
-        }
+        };
+        dispatch(&mut self.procs[actor.index()], &mut ctx, step);
 
         let (mut sends, mut outs) = ctx.into_buffers();
         #[cfg(debug_assertions)]

@@ -15,8 +15,17 @@
 //!
 //! A violation comes back as an [`ExploreViolation`] carrying the full
 //! decision list `(actor, message choice)` of the counterexample branch;
-//! [`replay_explore`] re-executes such a list deterministically, and
-//! [`crate::repro`] packages it as a portable artifact.
+//! [`Replay`](crate::Replay) re-executes such a list deterministically,
+//! and [`crate::repro`] packages it as a portable artifact.
+//!
+//! The step semantics itself — how one decision becomes `Protocol`
+//! callbacks, sends and outputs — is not defined here: the explorer
+//! drives the shared [`crate::machine`] layer
+//! ([`enabled_decisions`](crate::machine)/`apply_step_into`), the same
+//! transition system the engine, the liveness checker and [`Replay`]
+//! execute.
+//!
+//! [`Replay`]: crate::Replay
 //!
 //! ## Performance model
 //!
@@ -79,7 +88,7 @@
 //!   ([`ExploreReport::symmetry_canonical_hits`]). Decisions and
 //!   violations always stay in *original* ids — only the dedup key is
 //!   canonicalized — so counterexamples found under reduction replay
-//!   through [`replay_explore`] and [`crate::repro`] unchanged. Symmetry
+//!   through [`Replay`](crate::Replay) and [`crate::repro`] unchanged. Symmetry
 //!   is sound only when the safety predicate is itself invariant under
 //!   the declared group.
 //!
@@ -117,21 +126,40 @@
 use crate::failure::FailurePattern;
 use crate::id::{ProcessId, Time};
 use crate::json::Json;
+use crate::machine::{
+    apply_step_into, enabled_decisions, initial_state, materialize_decisions, materialize_outputs,
+    ReductionConfig, State, StepEnv,
+};
 use crate::obs::{CounterId, HistId, Obs, PhaseId};
 use crate::oracle::FdOracle;
 use crate::par::par_map_with;
-use crate::protocol::{Ctx, Footprint, Permutation, Protocol, SendBuf, StepKind, Symmetry};
+use crate::protocol::{Footprint, Permutation, Protocol, SendBuf, StepKind, Symmetry};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap; // wfd-lint: allow(d1-hash-collections, imported only for the sharded seen-table, which is keyed insert/lookup; nothing iterates it)
 use std::fmt::Debug;
 use std::hash::{Hash, Hasher as _};
 use std::sync::atomic::{AtomicBool, Ordering}; // wfd-lint: allow(d3-atomics, the halt flag is an expansion-skip hint only; the merge step resolves every batch deterministically regardless of timing)
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 use std::time::Instant; // wfd-lint: allow(d2-wall-clock, feeds obs phase timers only, a side table nothing on the decision path reads; proven by obs_invariance.rs)
 
-/// Shards of the seen-table; workers pick a shard from the fingerprint
-/// prefix, so concurrent pre-reads rarely contend.
-const SHARD_COUNT: usize = 64;
+/// Upper bound on seen-table shards (the historical fixed width).
+const MAX_SHARD_COUNT: usize = 64;
+
+/// How many seen-table shards an exploration with `threads` workers
+/// uses; workers pick a shard from the fingerprint prefix, so concurrent
+/// pre-reads rarely contend. A single worker gets a single shard — a
+/// 1-CPU host has no contention to spread, and 64 mutex-wrapped maps are
+/// pure overhead there — and each additional worker buys 8× its own
+/// width, capped at the historical fixed width of 64. Sharding only
+/// partitions the table; it never changes what is explored, so every
+/// width produces the same [`ExploreReport`].
+pub fn seen_shard_width(threads: usize) -> usize {
+    if threads <= 1 {
+        1
+    } else {
+        (threads * 8).next_power_of_two().min(MAX_SHARD_COUNT)
+    }
+}
 
 /// Cap on the free-list arena (recycled `State` allocations).
 const POOL_CAP: usize = 2048;
@@ -186,21 +214,19 @@ pub struct ExploreConfig {
     /// Which built-in hasher keys the seen-table (default:
     /// [`Hasher::Fingerprint`]).
     pub hasher: Hasher,
-    /// Dynamic partial-order reduction via sleep sets (default: off).
-    /// Requires honest [`Protocol::footprint`] declarations — the default
-    /// opaque footprint is sound but prunes nothing. See the
+    /// The state-space reductions ([`ReductionConfig`], shared with
+    /// [`LivenessConfig`](crate::LivenessConfig); default: none). DPOR
+    /// requires honest [`Protocol::footprint`] declarations — the default
+    /// opaque footprint is sound but prunes nothing; symmetry requires
+    /// dedup and a group-invariant safety predicate. See the
     /// [module docs](self#state-space-reduction).
-    pub dpor: bool,
-    /// Process-symmetry canonicalization of dedup keys (default: off).
-    /// Requires dedup; sound only for group-invariant safety predicates.
-    /// See the [module docs](self#state-space-reduction).
-    pub symmetry: bool,
+    pub reduction: ReductionConfig,
     /// Build sleep sets even at depths where the failure pattern or the
     /// detector oracle changes between `t` and `t + 1` — **test-only**:
     /// reintroduces the naive (unsound) sleep-set implementation that
     /// commutes steps across an oracle transition, so the regression
     /// fixture can prove the stability guard is load-bearing. Meaningless
-    /// without [`ExploreConfig::dpor`].
+    /// without [`ReductionConfig::dpor`].
     pub unstable_sleep: bool,
     /// Observability handle (default: [`Obs::off`], which costs nothing).
     /// Metrics never influence the traversal or the report.
@@ -219,8 +245,7 @@ impl ExploreConfig {
             batch: DEFAULT_BATCH,
             budget_aware: true,
             hasher: Hasher::Fingerprint,
-            dpor: false,
-            symmetry: false,
+            reduction: ReductionConfig::none(),
             unstable_sleep: false,
             obs: Obs::off(),
         }
@@ -266,24 +291,33 @@ impl ExploreConfig {
         self
     }
 
-    /// Enable sleep-set dynamic partial-order reduction (default: off).
-    /// Prunes interleavings that merely commute independent steps, as
-    /// proven by the protocol's declared [`Protocol::footprint`]s; with
-    /// the default opaque footprints it is a sound no-op. The verdict is
-    /// unchanged; the traversal-shaped counters legitimately shrink.
+    /// Replace the whole reduction configuration (the struct shared with
+    /// [`LivenessConfig`](crate::LivenessConfig)).
+    pub fn with_reduction(mut self, reduction: ReductionConfig) -> Self {
+        self.reduction = reduction;
+        self
+    }
+
+    /// Enable sleep-set dynamic partial-order reduction (default: off;
+    /// shorthand for toggling [`ExploreConfig::reduction`]). Prunes
+    /// interleavings that merely commute independent steps, as proven by
+    /// the protocol's declared [`Protocol::footprint`]s; with the default
+    /// opaque footprints it is a sound no-op. The verdict is unchanged;
+    /// the traversal-shaped counters legitimately shrink.
     pub fn with_dpor(mut self, dpor: bool) -> Self {
-        self.dpor = dpor;
+        self.reduction.dpor = dpor;
         self
     }
 
     /// Enable process-symmetry canonicalization of dedup keys (default:
-    /// off). Effective only with dedup on and a non-trivial declared
+    /// off; shorthand for toggling [`ExploreConfig::reduction`]).
+    /// Effective only with dedup on and a non-trivial declared
     /// [`Protocol::symmetry`] group; **sound only when the safety
     /// predicate is invariant under that group** (restricted to elements
     /// preserving the failure pattern and invocation vector — the
     /// explorer enforces the restriction itself).
     pub fn with_symmetry(mut self, symmetry: bool) -> Self {
-        self.symmetry = symmetry;
+        self.reduction.symmetry = symmetry;
         self
     }
 
@@ -309,10 +343,7 @@ impl ExploreConfig {
     }
 }
 
-/// One exploration step: which process acted, and which of its pending
-/// messages it received (`None` ⇒ the first step of the process or a λ
-/// step; `Some(i)` ⇒ the message at inbox position `i` at that moment).
-pub type ExploreDecision = (ProcessId, Option<usize>);
+pub use crate::machine::ExploreDecision;
 
 /// A safety violation found by [`explore`]: the predicate's message plus
 /// the complete decision list of the branch that produced it.
@@ -322,7 +353,7 @@ pub struct ExploreViolation {
     pub message: String,
     /// The counterexample branch, one `(actor, message choice)` per step,
     /// materialized from the explorer's shared-prefix chain into a flat
-    /// vector. Replayable with [`replay_explore`].
+    /// vector. Replayable with [`Replay`](crate::Replay).
     pub decisions: Vec<ExploreDecision>,
 }
 
@@ -367,15 +398,15 @@ pub struct ExploreReport {
     /// High-water mark of the pending-state frontier, in states.
     pub max_frontier_len: usize,
     /// Child states skipped by sleep-set partial-order reduction. 0
-    /// unless [`ExploreConfig::dpor`] is on — and 0 with it on when the
+    /// unless [`ReductionConfig::dpor`] is on — and 0 with it on when the
     /// protocol declares only the opaque default footprint.
     pub states_pruned_dpor: usize,
     /// Keyed states whose canonical form used a non-identity permutation
     /// (a renaming of an already-seen state was collapsed onto it). 0
-    /// unless [`ExploreConfig::symmetry`] found a usable group.
+    /// unless [`ReductionConfig::symmetry`] found a usable group.
     pub symmetry_canonical_hits: usize,
-    /// Whether a state-space reduction ([`ExploreConfig::dpor`] or
-    /// [`ExploreConfig::symmetry`]) was requested for this run.
+    /// Whether a state-space reduction ([`ReductionConfig::dpor`] or
+    /// [`ReductionConfig::symmetry`]) was requested for this run.
     pub reduction_enabled: bool,
     /// The resolved worker count. Informational: it is the one field that
     /// legitimately differs between otherwise identical reports.
@@ -1017,144 +1048,8 @@ where
 }
 
 // ---------------------------------------------------------------------------
-// Shared-prefix state representation
+// The explorer
 // ---------------------------------------------------------------------------
-
-/// One link of the persistent decision list. Children share their entire
-/// prefix with the parent state; only the head differs.
-pub(crate) struct DecisionNode {
-    decision: ExploreDecision,
-    parent: Option<Arc<DecisionNode>>,
-}
-
-impl Drop for DecisionNode {
-    // Unlink iteratively: a naive recursive drop of a depth-D chain
-    // overflows the stack for the deep explorations this module exists
-    // to make cheap.
-    fn drop(&mut self) {
-        let mut link = self.parent.take();
-        while let Some(node) = link {
-            match Arc::try_unwrap(node) {
-                Ok(mut n) => link = n.parent.take(),
-                Err(_) => break, // still shared: someone else keeps it alive
-            }
-        }
-    }
-}
-
-/// One link of the persistent output-history list.
-pub(crate) struct OutputNode<P: Protocol> {
-    output: (ProcessId, P::Output),
-    parent: Option<Arc<OutputNode<P>>>,
-}
-
-impl<P: Protocol> Drop for OutputNode<P> {
-    fn drop(&mut self) {
-        let mut link = self.parent.take();
-        while let Some(node) = link {
-            match Arc::try_unwrap(node) {
-                Ok(mut n) => link = n.parent.take(),
-                Err(_) => break,
-            }
-        }
-    }
-}
-
-/// Materialize a decision chain (stored newest-first) into the flat,
-/// oldest-first vector that [`ExploreViolation::decisions`] and
-/// [`replay_explore`] use.
-fn materialize_decisions(link: &Option<Arc<DecisionNode>>) -> Vec<ExploreDecision> {
-    let mut out = Vec::new();
-    let mut cur = link.as_deref();
-    while let Some(node) = cur {
-        out.push(node.decision);
-        cur = node.parent.as_deref();
-    }
-    out.reverse();
-    out
-}
-
-/// Materialize an output chain into `into` (cleared first), oldest-first.
-fn materialize_outputs<P: Protocol>(
-    link: &Option<Arc<OutputNode<P>>>,
-    len: usize,
-    into: &mut Vec<(ProcessId, P::Output)>,
-) {
-    into.clear();
-    into.reserve(len);
-    let mut cur = link.as_deref();
-    while let Some(node) = cur {
-        into.push(node.output.clone());
-        cur = node.parent.as_deref();
-    }
-    into.reverse();
-    debug_assert_eq!(into.len(), len);
-}
-
-pub(crate) struct State<P: Protocol> {
-    pub(crate) procs: Vec<P>,
-    pub(crate) inboxes: Vec<Vec<(ProcessId, P::Msg)>>,
-    pub(crate) started: Vec<bool>,
-    pub(crate) pending_inv: Vec<Option<P::Inv>>,
-    pub(crate) outputs: Option<Arc<OutputNode<P>>>,
-    pub(crate) outputs_len: usize,
-    pub(crate) depth: usize,
-    pub(crate) decisions: Option<Arc<DecisionNode>>,
-    /// DPOR sleep set: enabled decisions whose exploration from this
-    /// state is provably redundant. Sorted; always empty unless
-    /// [`ExploreConfig::dpor`] is on. Not part of the dedup key — it
-    /// feeds the seen-table cover check instead.
-    sleep: Vec<ExploreDecision>,
-    /// Restricted re-expansion (Godefroid's state-space caching): when a
-    /// revisit is only *partially* covered by the seen-table, every
-    /// decision some valid cover did **not** sleep already has a fully
-    /// explored subtree with at least as much depth budget — only the
-    /// intersection of the valid covers' sleeps may still hide unexplored
-    /// runs. The resolution pass records that intersection here (sorted,
-    /// in this state's own coordinates) and expansion is limited to it.
-    /// `None` means unrestricted (a first visit, or no valid cover).
-    restrict: Option<Vec<ExploreDecision>>,
-}
-
-impl<P: Protocol> State<P> {
-    /// An empty shell, ready to be [`State::copy_from`]-ed into. Used as
-    /// the free-list element when the arena runs dry.
-    pub(crate) fn blank() -> Self {
-        State {
-            procs: Vec::new(),
-            inboxes: Vec::new(),
-            started: Vec::new(),
-            pending_inv: Vec::new(),
-            outputs: None,
-            outputs_len: 0,
-            depth: 0,
-            decisions: None,
-            sleep: Vec::new(),
-            restrict: None,
-        }
-    }
-
-    /// Overwrite `self` with a copy of `src`, reusing every allocation
-    /// `self` already owns (`clone_from` down to the per-inbox vectors).
-    /// The sleep set and the expansion restriction are *not* copied —
-    /// they are properties of the visit that created a state, set
-    /// explicitly by the expansion and resolution passes.
-    pub(crate) fn copy_from(&mut self, src: &State<P>)
-    where
-        P: Clone,
-    {
-        self.procs.clone_from(&src.procs);
-        self.inboxes.clone_from(&src.inboxes);
-        self.started.clone_from(&src.started);
-        self.pending_inv.clone_from(&src.pending_inv);
-        self.outputs.clone_from(&src.outputs);
-        self.outputs_len = src.outputs_len;
-        self.depth = src.depth;
-        self.decisions.clone_from(&src.decisions);
-        self.sleep.clear();
-        self.restrict = None;
-    }
-}
 
 /// Return a no-longer-needed state to the arena (dropping its shared
 /// history links so unshared chain segments are freed promptly).
@@ -1168,144 +1063,6 @@ fn recycle<P: Protocol>(mut s: State<P>, pool: &mut Vec<State<P>>) {
     s.restrict = None;
     pool.push(s);
 }
-
-pub(crate) fn initial_state<P: Protocol>(
-    procs: Vec<P>,
-    invocations: Vec<Option<P::Inv>>,
-) -> State<P> {
-    let n = procs.len();
-    assert_eq!(invocations.len(), n, "one invocation slot per process");
-    State {
-        procs,
-        inboxes: vec![Vec::new(); n],
-        started: vec![false; n],
-        pending_inv: invocations,
-        outputs: None,
-        outputs_len: 0,
-        depth: 0,
-        decisions: None,
-        sleep: Vec::new(),
-        restrict: None,
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Step application
-// ---------------------------------------------------------------------------
-
-/// Everything a step needs besides the two states: shared between the
-/// parallel expansion workers and the sequential replay.
-pub(crate) struct StepEnv<'a> {
-    pub(crate) pattern: &'a FailurePattern,
-    pub(crate) n: usize,
-}
-
-/// Apply one step of `src` into `dst` (overwritten; allocations reused).
-///
-/// `choice` follows the [`ExploreDecision`] convention: `None` for a first
-/// step or λ, `Some(i)` for delivery of the message at inbox position `i`.
-/// Out-of-range choices are clamped deterministically (oldest message), so
-/// shrunk decision lists still define a unique run.
-///
-/// `fd` is the detector value for this step, sampled by the caller —
-/// oracles are pure functions of `(p, t)` (the FdOracle contract), so
-/// where the sample happens cannot change the step.
-///
-/// `bufs` is the recycled `Ctx` send/output buffer pair — one per worker,
-/// so steady-state stepping allocates nothing.
-///
-/// `declared` is the step's declared [`Footprint`] when DPOR is active:
-/// the executed sends and outputs are validated against it, and an
-/// under-declaration panics — a too-tight footprint must never silently
-/// prune a reachable violation.
-#[allow(clippy::too_many_arguments)] // one hot-path fn, each arg documented above
-pub(crate) fn apply_step_into<P>(
-    env: &StepEnv<'_>,
-    src: &State<P>,
-    dst: &mut State<P>,
-    p: ProcessId,
-    fd: P::Fd,
-    choice: Option<usize>,
-    bufs: &mut (SendBuf<P>, Vec<P::Output>),
-    declared: Option<&Footprint>,
-) where
-    P: Protocol + Clone,
-{
-    let t = src.depth as Time;
-    dst.copy_from(src);
-    dst.depth += 1;
-    let mut ctx = Ctx::<P>::with_buffers(
-        p,
-        env.n,
-        t,
-        fd,
-        std::mem::take(&mut bufs.0),
-        std::mem::take(&mut bufs.1),
-    );
-    let idx = p.index();
-    let decision;
-    if !dst.started[idx] {
-        dst.started[idx] = true;
-        decision = (p, None);
-        dst.procs[idx].on_start(&mut ctx);
-        if let Some(inv) = dst.pending_inv[idx].take() {
-            dst.procs[idx].on_invoke(&mut ctx, inv);
-        }
-    } else {
-        let inbox_len = dst.inboxes[idx].len();
-        match choice {
-            Some(i) if inbox_len > 0 => {
-                let i = i.min(inbox_len - 1);
-                decision = (p, Some(i));
-                let (from, msg) = dst.inboxes[idx].remove(i);
-                dst.procs[idx].on_message(&mut ctx, from, msg);
-            }
-            _ => {
-                decision = (p, None);
-                dst.procs[idx].on_tick(&mut ctx);
-            }
-        }
-    }
-    dst.decisions = Some(Arc::new(DecisionNode {
-        decision,
-        parent: dst.decisions.take(),
-    }));
-    let (mut sends, mut outs) = ctx.into_buffers();
-    if let Some(declared) = declared {
-        for (to, _) in &sends {
-            assert!(
-                declared.may_send_to(*to),
-                "footprint violation in {}: undeclared send {p} -> {to} at t={t} \
-                 (an under-declared Protocol::footprint would make DPOR unsound)",
-                std::any::type_name::<P>(),
-            );
-        }
-        assert!(
-            outs.is_empty() || declared.may_output(),
-            "footprint violation in {}: undeclared output by {p} at t={t} \
-             (an under-declared Protocol::footprint would make DPOR unsound)",
-            std::any::type_name::<P>(),
-        );
-    }
-    for (to, msg) in sends.drain(..) {
-        if !env.pattern.is_crashed(to, t) {
-            dst.inboxes[to.index()].push((p, msg));
-        }
-    }
-    for out in outs.drain(..) {
-        dst.outputs = Some(Arc::new(OutputNode {
-            output: (p, out),
-            parent: dst.outputs.take(),
-        }));
-        dst.outputs_len += 1;
-    }
-    bufs.0 = sends;
-    bufs.1 = outs;
-}
-
-// ---------------------------------------------------------------------------
-// The explorer
-// ---------------------------------------------------------------------------
 
 /// A violation as collected inside a batch, pre-materialized.
 struct FoundViolation {
@@ -1450,7 +1207,7 @@ where
                                                   // Resolve the scenario's usable symmetry group before the invocation
                                                   // vector is consumed by the initial state (the filter compares its
                                                   // slots). Without dedup there is no key to canonicalize.
-    let sym_perms: Vec<SymPerm> = if cfg.symmetry && cfg.dedup {
+    let sym_perms: Vec<SymPerm> = if cfg.reduction.symmetry && cfg.dedup {
         scenario_symmetry::<P, D>(
             invocations.len(),
             cfg.max_depth,
@@ -1475,7 +1232,8 @@ where
     // predicate reads outputs, so two branches that converge in
     // `(procs, inboxes, started)` but emitted different outputs are
     // *different* states to the checker.
-    let shards: Vec<Mutex<HashMap<H::Key, Vec<SeenCover>>>> = (0..SHARD_COUNT) // wfd-lint: allow(d1-hash-collections, keyed insert/lookup only; the dedup_entries sum reads len(), never iterates entries)
+    let shard_count = seen_shard_width(threads);
+    let shards: Vec<Mutex<HashMap<H::Key, Vec<SeenCover>>>> = (0..shard_count) // wfd-lint: allow(d1-hash-collections, keyed insert/lookup only; the dedup_entries sum reads len(), never iterates entries)
         .map(|_| Mutex::new(HashMap::new())) // wfd-lint: allow(d1-hash-collections, constructor for the seen-table excused above)
         .collect();
 
@@ -1588,7 +1346,7 @@ where
                         }
                     };
                     let pruned = pre_read && {
-                        let shard = shards[H::shard(&key, SHARD_COUNT)]
+                        let shard = shards[H::shard(&key, shard_count)]
                             .lock()
                             .expect("shard poisoned");
                         match shard.get(&key) {
@@ -1621,7 +1379,7 @@ where
                 {
                     let mut state = stack.pop().expect("batch within stack");
                     let keep = !pre && {
-                        let mut shard = shards[H::shard(&key, SHARD_COUNT)]
+                        let mut shard = shards[H::shard(&key, shard_count)]
                             .lock()
                             .expect("shard poisoned");
                         match shard.entry(key) {
@@ -1776,7 +1534,7 @@ where
                     fd_cache.fill_with(p.index(), t, || detector.query(p, t));
                 }
             }
-            if cfg.dpor && !dpor_stable.contains(t) {
+            if cfg.reduction.dpor && !dpor_stable.contains(t) {
                 // Independence at depth `t` commutes a step between times
                 // `t` and `t + 1`; that is only behavior-preserving when
                 // no process's crash status changes and every alive
@@ -1812,6 +1570,9 @@ where
             };
             let mut outputs = Vec::new();
             let mut bufs: (SendBuf<P>, Vec<P::Output>) = (Vec::new(), Vec::new());
+            // The machine-layer enabled set of the current state, reused
+            // across the chunk.
+            let mut enabled: Vec<ExploreDecision> = Vec::new();
             // DPOR scratch, reused across the chunk's states: the sleeping
             // decisions' footprints and the decisions already executed at
             // the current state (with theirs).
@@ -1848,7 +1609,13 @@ where
                     continue;
                 }
                 let t = state.depth as Time;
-                if cfg.dpor {
+                // The branching rule is the machine layer's enabled set —
+                // the same enumeration, in the same order, that
+                // `ProtocolMachine` exposes and the baseline explorer
+                // walks.
+                enabled.clear();
+                enabled_decisions(state, pattern, n, &mut enabled);
+                if cfg.reduction.dpor {
                     // Sleep-set expansion (Godefroid): skip sleeping
                     // decisions; a child's sleep is the still-independent
                     // part of the parent's sleep plus the earlier-executed
@@ -1863,106 +1630,70 @@ where
                             .map(|&d| (d, decision_footprint(state, d, n))),
                     );
                     executed.clear();
-                    for p in ProcessId::all(n) {
-                        if pattern.is_crashed(p, t) {
+                    for &d in &enabled {
+                        let (p, choice) = d;
+                        if sleep_contains(&state.sleep, d) {
+                            out.dpor_pruned += 1;
                             continue;
                         }
-                        let idx = p.index();
-                        let fd = fd_cache.get(idx, t);
-                        let single = !state.started[idx] || state.inboxes[idx].is_empty();
-                        let choices = if single { 1 } else { state.inboxes[idx].len() };
-                        for c in 0..choices {
-                            let choice = (!single).then_some(c);
-                            let d = (p, choice);
-                            if sleep_contains(&state.sleep, d) {
-                                out.dpor_pruned += 1;
+                        if let Some(mandatory) = &state.restrict {
+                            if !sleep_contains(mandatory, d) {
+                                // Outside the restriction: an earlier
+                                // visit's recorded expansion already
+                                // covers this subtree (see the
+                                // resolution pass). Skip it, and — when
+                                // independence is certified at this
+                                // depth — let later siblings' children
+                                // sleep it, exactly as if it had been
+                                // executed first.
+                                out.restricted += 1;
+                                if stable {
+                                    sleep_fps.push((d, decision_footprint(state, d, n)));
+                                }
                                 continue;
                             }
-                            if let Some(mandatory) = &state.restrict {
-                                if !sleep_contains(mandatory, d) {
-                                    // Outside the restriction: an earlier
-                                    // visit's recorded expansion already
-                                    // covers this subtree (see the
-                                    // resolution pass). Skip it, and — when
-                                    // independence is certified at this
-                                    // depth — let later siblings' children
-                                    // sleep it, exactly as if it had been
-                                    // executed first.
-                                    out.restricted += 1;
-                                    if stable {
-                                        sleep_fps.push((d, decision_footprint(state, d, n)));
-                                    }
-                                    continue;
-                                }
-                            }
-                            let fp = decision_footprint(state, d, n);
-                            let mut dst = free.pop().unwrap_or_else(State::blank);
-                            apply_step_into(
-                                &env,
-                                state,
-                                &mut dst,
-                                p,
-                                fd.clone(),
-                                choice,
-                                &mut bufs,
-                                Some(&fp),
-                            );
-                            if stable {
-                                dst.sleep.extend(
-                                    sleep_fps
-                                        .iter()
-                                        .chain(executed.iter())
-                                        .filter(|(e, efp)| {
-                                            independent(*e, efp, d, &fp, &state.started)
-                                        })
-                                        .map(|(e, _)| *e),
-                                );
-                                dst.sleep.sort_unstable();
-                            }
-                            out.children.push(dst);
-                            executed.push((d, fp));
                         }
+                        let fd = fd_cache.get(p.index(), t);
+                        let fp = decision_footprint(state, d, n);
+                        let mut dst = free.pop().unwrap_or_else(State::blank);
+                        apply_step_into(
+                            &env,
+                            state,
+                            &mut dst,
+                            p,
+                            fd.clone(),
+                            choice,
+                            &mut bufs,
+                            Some(&fp),
+                        );
+                        if stable {
+                            dst.sleep.extend(
+                                sleep_fps
+                                    .iter()
+                                    .chain(executed.iter())
+                                    .filter(|(e, efp)| independent(*e, efp, d, &fp, &state.started))
+                                    .map(|(e, _)| *e),
+                            );
+                            dst.sleep.sort_unstable();
+                        }
+                        out.children.push(dst);
+                        executed.push((d, fp));
                     }
                 } else {
-                    for p in ProcessId::all(n) {
-                        if pattern.is_crashed(p, t) {
-                            continue;
-                        }
-                        let idx = p.index();
-                        let fd = fd_cache.get(idx, t);
-                        // First step (start + invocation) and λ steps are
-                        // both the single `None` choice; otherwise branch
-                        // over every pending message. Choices are iterated
-                        // directly — no per-(state, process) vector.
-                        if !state.started[idx] || state.inboxes[idx].is_empty() {
-                            let mut dst = free.pop().unwrap_or_else(State::blank);
-                            apply_step_into(
-                                &env,
-                                state,
-                                &mut dst,
-                                p,
-                                fd.clone(),
-                                None,
-                                &mut bufs,
-                                None,
-                            );
-                            out.children.push(dst);
-                        } else {
-                            for i in 0..state.inboxes[idx].len() {
-                                let mut dst = free.pop().unwrap_or_else(State::blank);
-                                apply_step_into(
-                                    &env,
-                                    state,
-                                    &mut dst,
-                                    p,
-                                    fd.clone(),
-                                    Some(i),
-                                    &mut bufs,
-                                    None,
-                                );
-                                out.children.push(dst);
-                            }
-                        }
+                    for &(p, choice) in &enabled {
+                        let fd = fd_cache.get(p.index(), t);
+                        let mut dst = free.pop().unwrap_or_else(State::blank);
+                        apply_step_into(
+                            &env,
+                            state,
+                            &mut dst,
+                            p,
+                            fd.clone(),
+                            choice,
+                            &mut bufs,
+                            None,
+                        );
+                        out.children.push(dst);
                     }
                 }
             }
@@ -2065,70 +1796,52 @@ where
         max_frontier_len,
         states_pruned_dpor,
         symmetry_canonical_hits,
-        reduction_enabled: cfg.dpor || cfg.symmetry,
+        reduction_enabled: cfg.reduction.any(),
         threads_used: threads,
     }
 }
 
 /// Re-execute one decision list under [`explore`]'s step semantics.
 ///
-/// `decisions` is the *materialized* (flat, oldest-first) decision list —
-/// the format of [`ExploreViolation::decisions`] and of explore-sourced
-/// [`crate::repro`] artifacts: one `(actor, message choice)` pair per
-/// step, where the choice is `None` for a first step or λ and `Some(i)`
-/// for delivery of inbox position `i` at that moment. (Internally the
-/// explorer keeps decisions as shared-prefix chains; they are flattened
-/// into this form before they ever leave it.)
-///
-/// Runs the single branch described by `decisions` from the initial
-/// configuration, evaluating `safety` in the initial state and after every
-/// step, and returns the first violation (`Err`) or `Ok(())` if the branch
-/// completes safely. Replaying the decision list of an
-/// [`ExploreViolation`] over the same inputs reproduces its violation
-/// message exactly — including counterexamples found by multi-threaded
-/// explorations, since the report is thread-count-invariant.
-///
-/// The replay is deterministic even for *mutated* decision lists (as
-/// produced by [`crate::shrink()`]): steps by out-of-range or crashed
-/// processes are skipped and out-of-range message choices are clamped to
-/// the oldest message.
+/// Deprecated shim over the unified [`Replay`](crate::Replay) entry
+/// point: `replay_explore(d, ...)` is exactly
+/// `Replay::explore(d.to_vec()).run(...)` — same machine semantics
+/// ([`crate::machine::ProtocolMachine`]), same skip/clamp rules for
+/// mutated decision lists, same result — and the equivalence ladder in
+/// `tests/machine_equiv.rs` holds the two byte-identical until the shim
+/// is removed next cycle.
+#[deprecated(
+    since = "0.6.0",
+    note = "use wfd_sim::Replay::explore(decisions.to_vec()).run(...)"
+)]
 pub fn replay_explore<P, D>(
     decisions: &[ExploreDecision],
     make_procs: impl Fn() -> Vec<P>,
     invocations: Vec<Option<P::Inv>>,
     pattern: &FailurePattern,
-    mut detector: D,
-    mut safety: impl FnMut(&[P], &[(ProcessId, P::Output)]) -> Result<(), String>,
+    detector: D,
+    safety: impl FnMut(&[P], &[(ProcessId, P::Output)]) -> Result<(), String>,
 ) -> Result<(), String>
 where
     P: Protocol + Clone + Debug,
     D: FdOracle<Value = P::Fd>,
 {
-    let mut cur = initial_state(make_procs(), invocations);
-    let n = cur.procs.len();
-    let env = StepEnv { pattern, n };
-    let mut next: State<P> = State::blank();
-    let mut outputs = Vec::new();
-    let mut bufs: (SendBuf<P>, Vec<P::Output>) = (Vec::new(), Vec::new());
-    materialize_outputs(&cur.outputs, cur.outputs_len, &mut outputs);
-    safety(&cur.procs, &outputs)?;
-    for &(p, choice) in decisions {
-        if p.index() >= n || pattern.is_crashed(p, cur.depth as Time) {
-            continue;
-        }
-        let fd = detector.query(p, cur.depth as Time);
-        apply_step_into(&env, &cur, &mut next, p, fd, choice, &mut bufs, None);
-        std::mem::swap(&mut cur, &mut next);
-        materialize_outputs(&cur.outputs, cur.outputs_len, &mut outputs);
-        safety(&cur.procs, &outputs)?;
-    }
-    Ok(())
+    crate::machine::Replay::explore(decisions.to_vec()).run(
+        make_procs,
+        invocations,
+        pattern,
+        detector,
+        safety,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::machine::{DecisionNode, OutputNode, Replay};
     use crate::oracle::NoDetector;
+    use crate::protocol::Ctx;
+    use std::sync::Arc;
 
     /// Each process outputs every message payload it receives.
     #[derive(Clone, Debug)]
@@ -2221,8 +1934,7 @@ mod tests {
             safety,
         );
         let violation = report.violation.expect("must find the violation");
-        let replayed = replay_explore(
-            &violation.decisions,
+        let replayed = Replay::explore(violation.decisions.clone()).run(
             two_taggers,
             vec![Some(1), Some(2)],
             &pattern,
@@ -2236,8 +1948,7 @@ mod tests {
     fn replay_of_safe_decision_list_is_ok() {
         // A single p0 step cannot produce any output.
         let pattern = FailurePattern::failure_free(2);
-        let replayed = replay_explore(
-            &[(ProcessId(0), None)],
+        let replayed = Replay::explore(vec![(ProcessId(0), None)]).run(
             two_taggers,
             vec![Some(1), Some(2)],
             &pattern,
@@ -2264,8 +1975,7 @@ mod tests {
             (ProcessId(0), None),
             (ProcessId(0), Some(42)), // empty inbox: λ
         ];
-        let replayed = replay_explore(
-            &decisions,
+        let replayed = Replay::explore(decisions).run(
             two_taggers,
             vec![Some(1), Some(2)],
             &pattern,
@@ -2598,8 +2308,7 @@ mod tests {
         assert_eq!(violation.message, "delivered 1 before 2");
         // Both orders sit at the same depth, so this is caught only by the
         // outputs component of the key — and the counterexample replays.
-        let replayed = replay_explore(
-            &violation.decisions,
+        let replayed = Replay::explore(violation.decisions.clone()).run(
             || vec![EmitBug, EmitBug],
             vec![None, None],
             &FailurePattern::failure_free(2),

@@ -63,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diagram;
 mod engine;
 pub mod env;
 pub mod explore;
@@ -72,6 +73,7 @@ mod failure;
 mod id;
 pub mod json;
 pub mod liveness;
+pub mod machine;
 pub mod obs;
 mod oracle;
 pub mod par;
@@ -82,17 +84,25 @@ mod scheduler;
 pub mod shrink;
 mod trace;
 
+pub use diagram::{Diagram, DiagramConfig, DiagramNode};
 pub use engine::{RunOutcome, Sim, SimConfig, SimParts, StopReason};
 pub use env::{EnvOverrides, MetricsMode};
+#[allow(deprecated)] // the shim stays exported until the next cycle removes it
+pub use explore::replay_explore;
 pub use explore::{
-    explore, explore_custom, replay_explore, ExactKeyHasher, ExploreConfig, ExploreDecision,
+    explore, explore_custom, seen_shard_width, ExactKeyHasher, ExploreConfig, ExploreDecision,
     ExploreReport, ExploreViolation, FingerprintHasher, Hasher, StateHasher,
 };
 pub use failure::{Environment, FailurePattern, PatternSampler};
 pub use id::{ProcessId, ProcessSet, Time};
+#[allow(deprecated)] // the shim stays exported until the next cycle removes it
+pub use liveness::replay_lasso;
 pub use liveness::{
-    check_liveness, replay_lasso, LassoWitness, LivenessConfig, LivenessReport, LivenessVerdict,
-    Ltl,
+    check_liveness, LassoWitness, LivenessConfig, LivenessReport, LivenessVerdict, Ltl,
+};
+pub use machine::{
+    oracle_fn, FairMachine, LiveNode, Machine, ProtocolMachine, ReductionConfig, Replay, State,
+    StepResult,
 };
 pub use obs::{CounterId, HistId, MetricsSnapshot, Obs, PhaseId, PhaseTimer};
 pub use oracle::{ConstDetector, FdOracle, FnDetector, NoDetector};

@@ -49,8 +49,9 @@
 //!
 //! # Symmetry
 //!
-//! With [`LivenessConfig::symmetry`] on, nodes are canonicalized under
-//! the scenario-preserving subgroup of [`Protocol::symmetry`] (the same
+//! With [`ReductionConfig::symmetry`](crate::ReductionConfig) on (via
+//! [`LivenessConfig::reduction`]), nodes are canonicalized under the
+//! scenario-preserving subgroup of [`Protocol::symmetry`] (the same
 //! restriction the safety explorer applies). Propositions must then be
 //! symmetric — invariant under the declared group — which is checked on
 //! every canonicalization. The quotient preserves verdicts; to keep
@@ -59,20 +60,21 @@
 //!
 //! # DPOR
 //!
-//! [`LivenessConfig::dpor`] is accepted for configuration parity with
-//! the safety explorer but deliberately **ignored**: sleep-set reduction
-//! is unsound for cycle detection without a cycle proviso (an ignored
-//! transition may close the only accepting cycle), and the fair graphs
-//! this checker targets are small enough not to need it.
+//! [`ReductionConfig::dpor`](crate::ReductionConfig) is **rejected** by
+//! this checker at validation time rather than silently ignored:
+//! sleep-set reduction is unsound for cycle detection without a cycle
+//! proviso (an ignored transition may close the only accepting cycle),
+//! and the fair graphs this checker targets are small enough not to
+//! need it. A configuration sweep that flips the flag gets an explicit
+//! error instead of a quietly identical verdict.
 
-use crate::engine::POLICY_WINDOW;
-use crate::explore::{
-    apply_step_into, debug_fp, initial_state, scenario_symmetry, ExploreDecision, State, StepEnv,
-    SymPerm,
-};
+use crate::explore::{debug_fp, scenario_symmetry, SymPerm};
 use crate::failure::FailurePattern;
 use crate::id::{ProcessId, Time};
 use crate::json::Json;
+use crate::machine::{
+    node_eq, ExploreDecision, FairMachine, LiveNode, ReductionConfig, Replay, State,
+};
 use crate::oracle::FdOracle;
 use crate::par::{explore_threads, par_map_with};
 use crate::protocol::{PropView, Protocol, SendBuf};
@@ -542,13 +544,11 @@ pub struct LivenessConfig {
     /// Per-inbox message capacity; edges that would overflow are dropped
     /// (`Holds` then degrades to `Inconclusive`).
     pub max_inbox: usize,
-    /// Canonicalize nodes under the scenario-preserving symmetry group.
-    pub symmetry: bool,
-    /// Accepted for parity with [`ExploreConfig`](crate::ExploreConfig)
-    /// but **ignored**: sleep-set DPOR is unsound for lasso detection
-    /// without a cycle proviso. Kept so configuration sweeps can toggle
-    /// it and assert verdict invariance.
-    pub dpor: bool,
+    /// The shared reduction knobs (see [`ReductionConfig`]). Only
+    /// `symmetry` is usable here; a configuration with `dpor` set is
+    /// **rejected** at validation time (see the module docs' DPOR
+    /// section).
+    pub reduction: ReductionConfig,
     /// Worker threads for the graph build; `0` uses
     /// [`explore_threads`] (the `WFD_EXPLORE_THREADS` override or
     /// available parallelism).
@@ -565,8 +565,7 @@ impl LivenessConfig {
             t_stable,
             max_states: 250_000,
             max_inbox: 8,
-            symmetry: false,
-            dpor: false,
+            reduction: ReductionConfig::none(),
             threads: 0,
         }
     }
@@ -583,15 +582,25 @@ impl LivenessConfig {
         self
     }
 
-    /// Toggle symmetry canonicalization.
-    pub fn with_symmetry(mut self, on: bool) -> Self {
-        self.symmetry = on;
+    /// Replace the reduction configuration wholesale.
+    pub fn with_reduction(mut self, reduction: ReductionConfig) -> Self {
+        self.reduction = reduction;
         self
     }
 
-    /// Toggle the (ignored) DPOR flag.
+    /// Toggle symmetry canonicalization.
+    pub fn with_symmetry(mut self, on: bool) -> Self {
+        self.reduction.symmetry = on;
+        self
+    }
+
+    /// Toggle the DPOR flag. Note that a liveness check **rejects** a
+    /// configuration with DPOR on (unsound for cycle detection — see the
+    /// module docs); the builder exists so sweeps constructing one
+    /// [`ReductionConfig`] per run get a clear error instead of a
+    /// silently unreduced check.
     pub fn with_dpor(mut self, on: bool) -> Self {
-        self.dpor = on;
+        self.reduction.dpor = on;
         self
     }
 
@@ -627,7 +636,9 @@ impl LivenessVerdict {
 }
 
 /// A concrete violating run: `stem · cycleʷ` in explorer decision
-/// vocabulary. Replay with [`replay_lasso`]; ship as a
+/// vocabulary. Replay with
+/// [`Replay::lasso`](crate::Replay::lasso) +
+/// [`Replay::run_fair`](crate::Replay::run_fair); ship as a
 /// [`Repro`](crate::Repro) via [`Repro::from_lasso`](crate::Repro::from_lasso).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LassoWitness {
@@ -697,51 +708,10 @@ impl LivenessReport {
 // The fair state graph
 // ---------------------------------------------------------------------------
 
-/// A graph node: the explorer's state plus the fairness bookkeeping that
-/// makes bounded fairness structural. `state.outputs`/`state.decisions`
-/// are always cleared (outputs grow without bound and are irrelevant to
-/// state predicates) and `state.depth` is clamped at `t_stable`.
-struct LiveNode<P: Protocol> {
-    state: State<P>,
-    /// Steps since each process last stepped (or since the run started,
-    /// for processes that never stepped); `0` once crashed.
-    since: Vec<Time>,
-    /// Per-message ages, aligned with `state.inboxes`, saturated at
-    /// `max_delay`; zeroed once the owner crashes.
-    ages: Vec<Vec<Time>>,
-}
-
-fn clone_state<P: Protocol + Clone>(src: &State<P>) -> State<P> {
-    let mut s = State::blank();
-    s.copy_from(src);
-    s
-}
-
-impl<P: Protocol + Clone> Clone for LiveNode<P> {
-    fn clone(&self) -> Self {
-        LiveNode {
-            state: clone_state(&self.state),
-            since: self.since.clone(),
-            ages: self.ages.clone(),
-        }
-    }
-}
-
-fn node_eq<P>(a: &LiveNode<P>, b: &LiveNode<P>) -> bool
-where
-    P: Protocol + PartialEq,
-    P::Msg: PartialEq,
-    P::Inv: PartialEq,
-{
-    a.state.depth == b.state.depth
-        && a.since == b.since
-        && a.ages == b.ages
-        && a.state.started == b.state.started
-        && a.state.procs == b.state.procs
-        && a.state.inboxes == b.state.inboxes
-        && a.state.pending_inv == b.state.pending_inv
-}
-
+// `LiveNode` (the graph node: machine state + fairness bookkeeping) and
+// its structural equality live in [`crate::machine`], shared with the
+// lasso replayer; the fingerprint stays here with the other
+// `debug_fp`-based hashing.
 fn node_fp<P: Protocol + Debug>(node: &LiveNode<P>) -> u128 {
     debug_fp(&(
         &node.state.procs,
@@ -757,7 +727,6 @@ fn node_fp<P: Protocol + Debug>(node: &LiveNode<P>) -> u128 {
 /// Everything the expansion workers share read-only.
 struct GraphEnv<'a, P: Protocol> {
     pattern: &'a FailurePattern,
-    n: usize,
     cfg: &'a LivenessConfig,
     /// `fd[p * stride + t]` for `t ≤ t_stable`, `None` when crashed.
     fd: Vec<Option<P::Fd>>,
@@ -791,135 +760,9 @@ impl<P: Protocol> GraphEnv<'_, P> {
     }
 }
 
-/// The fair decisions available at `node`, in the engine's deterministic
-/// order: a forced overdue actor (most overdue, lowest id on ties) or
-/// every alive actor; per actor, a forced overdue front message or every
-/// policy-window delivery plus λ.
-fn fair_decisions<P: Protocol>(
-    node: &LiveNode<P>,
-    pattern: &FailurePattern,
-    n: usize,
-    max_step_gap: Time,
-    max_delay: Time,
-) -> Vec<ExploreDecision> {
-    let t = node.state.depth as Time;
-    let alive: Vec<usize> = (0..n)
-        .filter(|&q| !pattern.is_crashed(ProcessId(q), t))
-        .collect();
-    let mut forced: Option<usize> = None;
-    for &q in &alive {
-        if node.since[q] >= max_step_gap && forced.is_none_or(|f| node.since[q] > node.since[f]) {
-            forced = Some(q);
-        }
-    }
-    let actors: Vec<usize> = match forced {
-        Some(f) => vec![f],
-        None => alive,
-    };
-    let mut out = Vec::new();
-    for q in actors {
-        let p = ProcessId(q);
-        if !node.state.started[q] {
-            out.push((p, None));
-            continue;
-        }
-        let inbox_len = node.state.inboxes[q].len();
-        if inbox_len == 0 {
-            out.push((p, None));
-            continue;
-        }
-        // The inbox is FIFO (deliveries remove, sends append), so index 0
-        // is the oldest message: overdue ⇒ forced, exactly as the engine.
-        if node.ages[q][0] >= max_delay {
-            out.push((p, Some(0)));
-            continue;
-        }
-        for i in 0..inbox_len.min(POLICY_WINDOW) {
-            out.push((p, Some(i)));
-        }
-        out.push((p, None)); // λ is always a policy option
-    }
-    out
-}
-
-/// Apply one fair step, maintaining the fairness bookkeeping.
-fn live_step<P: Protocol + Clone>(
-    env: &StepEnv<'_>,
-    cfg: &LivenessConfig,
-    node: &LiveNode<P>,
-    decision: ExploreDecision,
-    fd: P::Fd,
-    bufs: &mut (SendBuf<P>, Vec<P::Output>),
-) -> LiveNode<P> {
-    let (p, choice) = decision;
-    let idx = p.index();
-    let mut dst = State::blank();
-    apply_step_into(env, &node.state, &mut dst, p, fd, choice, bufs, None);
-    // Outputs and decision chains grow without bound over an infinite
-    // run; propositions are state predicates, so both are dropped from
-    // the node identity.
-    dst.outputs = None;
-    dst.outputs_len = 0;
-    dst.decisions = None;
-    dst.depth = dst.depth.min(cfg.t_stable as usize);
-    let t_next = dst.depth as Time;
-    let delivered = if node.state.started[idx] {
-        match choice {
-            Some(i) if !node.state.inboxes[idx].is_empty() => {
-                Some(i.min(node.state.inboxes[idx].len() - 1))
-            }
-            _ => None,
-        }
-    } else {
-        None
-    };
-    let n = env.n;
-    let since_bound = cfg.max_step_gap + n as Time;
-    let mut since = Vec::with_capacity(n);
-    for q in 0..n {
-        let s = if env.pattern.is_crashed(ProcessId(q), t_next) {
-            0
-        } else if q == idx {
-            1
-        } else {
-            node.since[q] + 1
-        };
-        // Under the forcing rule a counter provably stays below
-        // G + n (see the module docs); a violation here means the
-        // decisions were not fairness-enumerated.
-        assert!(s < since_bound, "step-gap counter exceeded its fair bound");
-        since.push(s);
-    }
-    let mut ages = Vec::with_capacity(n);
-    for q in 0..n {
-        let mut a = node.ages[q].clone();
-        if q == idx {
-            if let Some(i) = delivered {
-                a.remove(i);
-            }
-        }
-        let new_len = dst.inboxes[q].len();
-        debug_assert!(a.len() <= new_len, "ages desynced from inbox");
-        while a.len() < new_len {
-            a.push(0);
-        }
-        if env.pattern.is_crashed(ProcessId(q), t_next) {
-            // A crashed inbox is frozen and never forces anything; zero
-            // ages keep the quotient canonical.
-            a.fill(0);
-        } else {
-            for x in &mut a {
-                *x = (*x + 1).min(cfg.max_delay);
-            }
-        }
-        ages.push(a);
-    }
-    LiveNode {
-        state: dst,
-        since,
-        ages,
-    }
-}
+// Fair decision enumeration and fair stepping live on
+// [`FairMachine`] in [`crate::machine`] (`enabled_fair` / `step_with`),
+// shared between this graph builder and `Replay::run_fair`.
 
 /// Rebuild `node` with every process renamed through `sp` (canonical
 /// slot `j` is filled from original slot `inverse[j]`, embedded ids
@@ -1012,20 +855,23 @@ where
     P::Output: Send + Sync,
     P::Fd: Send + Sync,
 {
-    let n = env.n;
     let threads = if env.cfg.threads == 0 {
         explore_threads()
     } else {
         env.cfg.threads
     };
-    let root = canonicalize(
-        env,
-        LiveNode {
-            state: initial_state(procs, invocations),
-            since: vec![0; n],
-            ages: vec![Vec::new(); n],
-        },
-    )?;
+    // The fair semantics: enumeration and stepping both come from the
+    // shared machine layer. Workers sample the pre-computed detector
+    // table themselves (the machine's own sampler is the same lookup),
+    // so the hot path reuses per-worker buffers via `step_with`.
+    let machine = FairMachine::<P, _>::new(
+        env.pattern,
+        env.cfg.max_step_gap,
+        env.cfg.max_delay,
+        env.cfg.t_stable,
+        |p: ProcessId, t: Time| env.fd_at(p.index(), t).clone(),
+    );
+    let root = canonicalize(env, machine.initial(procs, invocations))?;
     let root_fp = node_fp(&root);
     let root_val = env.eval(&root.state.procs, 0);
     let mut nodes = vec![root];
@@ -1036,28 +882,19 @@ where
     let mut frontier: Vec<u32> = vec![0];
     let mut truncated = false;
     let mut capped = false;
-    let step_env = StepEnv {
-        pattern: env.pattern,
-        n,
-    };
     while !frontier.is_empty() && !capped {
         type Expanded<P> = Result<(Vec<(ExploreDecision, LiveNode<P>, u128, u32)>, bool), String>;
         let results: Vec<Expanded<P>> = par_map_with(&frontier, threads, |_, &id| {
             let node = &nodes[id as usize];
-            let decisions = fair_decisions(
-                node,
-                env.pattern,
-                n,
-                env.cfg.max_step_gap,
-                env.cfg.max_delay,
-            );
+            let mut decisions = Vec::new();
+            machine.enabled_fair(node, &mut decisions);
             let mut bufs: (SendBuf<P>, Vec<P::Output>) = (Vec::new(), Vec::new());
             let mut out = Vec::with_capacity(decisions.len());
             let mut trunc = false;
             for dec in decisions {
                 let t = node.state.depth as Time;
                 let fd = env.fd_at(dec.0.index(), t).clone();
-                let succ = live_step(&step_env, env.cfg, node, dec, fd, &mut bufs);
+                let succ = machine.step_with(node, dec, fd, &mut bufs);
                 if succ
                     .state
                     .inboxes
@@ -1315,7 +1152,10 @@ fn resolve_props<P: Protocol>() -> Result<BTreeMap<&'static str, u32>, String> {
     Ok(map)
 }
 
-fn validate<P, D>(
+/// Reject ill-formed scenarios and unsound reduction requests before any
+/// graph work. Shared with [`Replay::run_fair`](crate::Replay::run_fair),
+/// so replayed artifacts face exactly the checker's preconditions.
+pub(crate) fn validate<P, D>(
     cfg: &LivenessConfig,
     pattern: &FailurePattern,
     n: usize,
@@ -1326,6 +1166,15 @@ where
     P::Fd: PartialEq,
     D: FdOracle<Value = P::Fd>,
 {
+    if cfg.reduction.dpor {
+        return Err(
+            "LivenessConfig requests DPOR, but sleep-set reduction is unsound for \
+             cycle detection without a cycle proviso (an ignored transition may \
+             close the only accepting cycle); clear ReductionConfig::dpor for \
+             liveness checks"
+                .to_string(),
+        );
+    }
     if n == 0 {
         return Err("a system needs at least one process".to_string());
     }
@@ -1443,7 +1292,7 @@ where
         }
     }
     let correct: Vec<bool> = (0..n).map(|q| pattern.is_correct(ProcessId(q))).collect();
-    let perms = if cfg.symmetry {
+    let perms = if cfg.reduction.symmetry {
         scenario_symmetry::<P, _>(n, stride, pattern, &invocations, &mut detector)
     } else {
         Vec::new()
@@ -1451,7 +1300,6 @@ where
     let used_symmetry = !perms.is_empty();
     let env = GraphEnv::<P> {
         pattern,
-        n,
         cfg: &cfg,
         fd,
         stride,
@@ -1525,12 +1373,16 @@ where
 /// cycle must return the model to the structurally identical
 /// configuration (state, step-gap counters and message ages alike), so
 /// `stem · cycleʷ` really denotes a fair infinite run.
+#[deprecated(
+    since = "0.6.0",
+    note = "use wfd_sim::Replay::lasso(stem.to_vec(), cycle.to_vec()).run_fair(cfg, ...)"
+)]
 pub fn replay_lasso<P, D>(
     cfg: &LivenessConfig,
     make_procs: impl Fn() -> Vec<P>,
     invocations: Vec<Option<P::Inv>>,
     pattern: &FailurePattern,
-    mut detector: D,
+    detector: D,
     stem: &[ExploreDecision],
     cycle: &[ExploreDecision],
 ) -> Result<(), String>
@@ -1540,56 +1392,13 @@ where
     P::Inv: PartialEq,
     D: FdOracle<Value = P::Fd>,
 {
-    if cycle.is_empty() {
-        return Err("a lasso needs a non-empty cycle".to_string());
-    }
-    let procs = make_procs();
-    let n = procs.len();
-    validate::<P, D>(cfg, pattern, n, &mut detector)?;
-    let env = StepEnv { pattern, n };
-    let mut bufs: (SendBuf<P>, Vec<P::Output>) = (Vec::new(), Vec::new());
-    let mut node = LiveNode {
-        state: initial_state(procs, invocations),
-        since: vec![0; n],
-        ages: vec![Vec::new(); n],
-    };
-    let mut head: Option<LiveNode<P>> = None;
-    for (i, &dec) in stem.iter().chain(cycle.iter()).enumerate() {
-        if i == stem.len() {
-            head = Some(node.clone());
-        }
-        let fair = fair_decisions(&node, pattern, n, cfg.max_step_gap, cfg.max_delay);
-        if !fair.contains(&dec) {
-            let (p, _) = dec;
-            return Err(format!(
-                "decision #{i} (process {p}) is not fair-feasible at its \
-                 configuration — the artifact does not denote a fair run"
-            ));
-        }
-        let t = node.state.depth as Time;
-        let fd = detector.query(dec.0, t);
-        node = live_step(&env, cfg, &node, dec, fd, &mut bufs);
-    }
-    let head = match head {
-        Some(h) => h,
-        None => {
-            // Empty stem: the loop head is the initial configuration.
-            let procs = make_procs();
-            LiveNode {
-                state: initial_state(procs, Vec::new()),
-                since: vec![0; n],
-                ages: vec![Vec::new(); n],
-            }
-        }
-    };
-    if !node_eq(&head, &node) {
-        return Err(
-            "cycle does not return to its starting configuration — the artifact \
-             does not denote an infinite run"
-                .to_string(),
-        );
-    }
-    Ok(())
+    Replay::lasso(stem.to_vec(), cycle.to_vec()).run_fair(
+        cfg,
+        make_procs,
+        invocations,
+        pattern,
+        detector,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -1723,16 +1532,15 @@ mod tests {
         assert_eq!(report.verdict, LivenessVerdict::Violated);
         let lasso = report.lasso.expect("a concrete witness");
         assert!(!lasso.cycle.is_empty());
-        replay_lasso(
-            &cfg(),
-            || PingPong::fleet(2),
-            vec![None, None],
-            &FailurePattern::failure_free(2),
-            NoDetector,
-            &lasso.stem,
-            &lasso.cycle,
-        )
-        .expect("the witness must replay");
+        Replay::lasso(lasso.stem.clone(), lasso.cycle.clone())
+            .run_fair(
+                &cfg(),
+                || PingPong::fleet(2),
+                vec![None, None],
+                &FailurePattern::failure_free(2),
+                NoDetector,
+            )
+            .expect("the witness must replay");
     }
 
     #[test]
@@ -1811,6 +1619,20 @@ mod tests {
     }
 
     #[test]
+    fn dpor_requests_are_rejected_not_ignored() {
+        let err = check_liveness(
+            cfg().with_dpor(true),
+            || PingPong::fleet(2),
+            vec![None, None],
+            &FailurePattern::failure_free(2),
+            NoDetector,
+            &Ltl::prop("decided").eventually(),
+        )
+        .expect_err("dpor is unsound for cycle detection");
+        assert!(err.contains("DPOR"), "unexpected error: {err}");
+    }
+
+    #[test]
     fn unknown_propositions_are_rejected_with_the_known_list() {
         let err = check_liveness(
             cfg(),
@@ -1838,16 +1660,15 @@ mod tests {
             .expect("valid scenario");
             assert_eq!(report.verdict, LivenessVerdict::Violated);
             let lasso = report.lasso.expect("witness extraction re-runs concretely");
-            replay_lasso(
-                &cfg(),
-                || PingPong::fleet(3),
-                vec![None, None, None],
-                &FailurePattern::failure_free(3),
-                NoDetector,
-                &lasso.stem,
-                &lasso.cycle,
-            )
-            .expect("witness replays");
+            Replay::lasso(lasso.stem.clone(), lasso.cycle.clone())
+                .run_fair(
+                    &cfg(),
+                    || PingPong::fleet(3),
+                    vec![None, None, None],
+                    &FailurePattern::failure_free(3),
+                    NoDetector,
+                )
+                .expect("witness replays");
         }
     }
 

@@ -8,15 +8,19 @@
 //! decision log) in a single JSON document, with no external
 //! dependencies (see [`crate::json`]).
 //!
-//! Two kinds of run share the format, distinguished by
+//! Three kinds of run share the format, distinguished by
 //! [`Repro::source`]:
 //!
 //! * **fuzz** — a [`Sim`](crate::Sim) run recorded through
 //!   [`RecordedSchedule`](crate::RecordedSchedule); replay builds a
 //!   [`ReplaySchedule`] from the decision log.
 //! * **explore** — a counterexample branch of
-//!   [`explore`](crate::explore()); replay goes through
-//!   [`replay_explore`](crate::replay_explore).
+//!   [`explore`](crate::explore()); replay goes through the machine
+//!   layer: [`Replay::from_repro`](crate::Replay::from_repro) then
+//!   [`Replay::run`](crate::Replay::run).
+//! * **liveness** — an accepting lasso of
+//!   [`check_liveness`](crate::liveness::check_liveness); replay goes
+//!   through [`Replay::run_fair`](crate::Replay::run_fair).
 //!
 //! The protocol, checker and oracle are recorded *by name* (plus numeric
 //! oracle parameters): the artifact stays protocol-agnostic and the
@@ -54,7 +58,7 @@ pub enum SchedulerSpec {
     },
     /// The exhaustive explorer — not an engine policy. Present so
     /// explore-sourced repros can state their provenance; replay goes
-    /// through [`replay_explore`](crate::replay_explore).
+    /// through [`Replay`](crate::Replay).
     Exhaustive,
 }
 
@@ -64,7 +68,7 @@ impl SchedulerSpec {
     /// # Panics
     ///
     /// Panics for [`SchedulerSpec::Exhaustive`]: explore-sourced repros
-    /// replay via [`replay_explore`](crate::replay_explore), not the
+    /// replay via the machine layer ([`Replay`](crate::Replay)), not the
     /// engine.
     pub fn build(&self) -> Box<dyn Scheduler> {
         match *self {
@@ -74,7 +78,7 @@ impl SchedulerSpec {
             }
             SchedulerSpec::Adversarial { seed } => Box::new(Adversarial::new(seed)),
             SchedulerSpec::Exhaustive => {
-                panic!("explore-sourced repros replay via replay_explore, not the engine")
+                panic!("explore-sourced repros replay via wfd_sim::Replay, not the engine")
             }
         }
     }
@@ -232,7 +236,7 @@ pub enum ReproDecisions {
     /// pairs, flat and oldest-first. This is the *materialized* form the
     /// explorer exports (internally it keeps decisions as shared-prefix
     /// chains); it is exactly what
-    /// [`replay_explore`](crate::replay_explore) consumes.
+    /// [`Replay::run`](crate::Replay::run) consumes.
     Explore(Vec<ExploreDecision>),
     /// A liveness lasso ([`ReproSource::Liveness`]): a finite `stem` from
     /// the initial configuration to a recurrent configuration, plus a
@@ -240,7 +244,8 @@ pub enum ReproDecisions {
     /// infinite fair run `stem · cycleʷ`. Both halves use explorer
     /// decision vocabulary, so `stem ++ cycle` (and any number of further
     /// cycle repetitions) replays through
-    /// [`replay_explore`](crate::replay_explore).
+    /// [`Replay::run`](crate::Replay::run) — or, with the fairness bounds
+    /// enforced, through [`Replay::run_fair`](crate::Replay::run_fair).
     Lasso {
         /// Decisions from the initial configuration to the loop head.
         stem: Vec<ExploreDecision>,
@@ -477,16 +482,16 @@ impl Repro {
     /// # Panics
     ///
     /// Panics on explore-sourced artifacts (their decisions follow
-    /// explorer semantics; use [`ReproDecisions::as_explore`] with
-    /// [`replay_explore`](crate::replay_explore)).
+    /// explorer semantics; use [`Replay::from_repro`](crate::Replay::from_repro)
+    /// with [`Replay::run`](crate::Replay::run)).
     pub fn replay_schedule(&self) -> ReplaySchedule {
         match &self.decisions {
             ReproDecisions::Engine(d) => ReplaySchedule::new(d.clone()),
             ReproDecisions::Explore(_) => {
-                panic!("explore-sourced repro: replay via replay_explore")
+                panic!("explore-sourced repro: replay via wfd_sim::Replay")
             }
             ReproDecisions::Lasso { .. } => {
-                panic!("liveness-sourced repro: replay via liveness::replay_lasso")
+                panic!("liveness-sourced repro: replay via wfd_sim::Replay::run_fair")
             }
         }
     }
@@ -840,7 +845,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "replay via replay_explore")]
+    #[should_panic(expected = "replay via wfd_sim::Replay")]
     fn explore_repro_refuses_engine_replay() {
         let violation = crate::explore::ExploreViolation {
             message: "m".to_string(),

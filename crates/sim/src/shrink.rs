@@ -18,16 +18,16 @@
 //! (crash count, total crash time, invocation count, decision count,
 //! horizon), so the pass loop terminates. Replay of a mutated decision
 //! log is always well-defined: [`ReplaySchedule`](crate::ReplaySchedule)
-//! and [`replay_explore`](crate::replay_explore) fall back
+//! and [`Replay::run`](crate::Replay::run) fall back
 //! deterministically when the log no longer matches the run.
 //!
 //! Lasso artifacts (liveness counterexamples,
 //! [`ReproDecisions::Lasso`](crate::ReproDecisions)) shrink through the
 //! same passes: the chunk-deletion pass sees stem and cycle as one
-//! concatenated log, and [`replay_lasso`](crate::replay_lasso) — used as
-//! the `still_fails` oracle — *rejects* rather than repairs a candidate
-//! whose decisions stop being a fair recurring cycle, so only mutations
-//! preserving "this is a real fair infinite run" are kept.
+//! concatenated log, and [`Replay::run_fair`](crate::Replay::run_fair) —
+//! used as the `still_fails` oracle — *rejects* rather than repairs a
+//! candidate whose decisions stop being a fair recurring cycle, so only
+//! mutations preserving "this is a real fair infinite run" are kept.
 
 use crate::repro::Repro;
 

@@ -32,9 +32,8 @@
 //! reproducible via `with_unstable_sleep`).
 
 use wfd_sim::{
-    explore, replay_explore, Ctx, ExploreConfig, ExploreReport, FailurePattern, FnDetector,
-    Footprint, Hasher, NoDetector, OracleSpec, ProcessId, Protocol, Repro, StepKind, Symmetry,
-    Time,
+    explore, Ctx, ExploreConfig, ExploreReport, FailurePattern, FnDetector, Footprint, Hasher,
+    NoDetector, OracleSpec, ProcessId, Protocol, Replay, Repro, StepKind, Symmetry, Time,
 };
 
 /// A seed-parameterized toy protocol: on start, broadcast a burst of
@@ -314,8 +313,13 @@ fn reductions_never_change_the_verdict() {
 
 /// Counterexamples found under full reduction must replay outside the
 /// reduced search: decisions and violations stay in *original* process
-/// ids (only the dedup key is canonicalized), so [`replay_explore`]
+/// ids (only the dedup key is canonicalized), so [`Replay::run`]
 /// reproduces the exact message.
+///
+/// This ladder doubles as the deprecation-equivalence proof for the
+/// `replay_explore` shim: on every violating seed, the shim and
+/// [`Replay::explore`] must return byte-identical results, so removing
+/// the shim next cycle changes nothing observable.
 #[test]
 fn reduced_violations_replay() {
     let mut replayed_some = false;
@@ -330,24 +334,37 @@ fn reduced_violations_replay() {
         };
         let pattern = family_pattern(seed);
         let bar = 20 + (seed % 30);
-        let replayed = replay_explore(
+        let checker = |_procs: &[Mixer], outputs: &[(ProcessId, u64)]| match outputs
+            .iter()
+            .find(|(_, acc)| *acc > bar)
+        {
+            Some((p, acc)) => Err(format!("{p} accumulated {acc} > {bar}")),
+            None => Ok(()),
+        };
+        let replayed = Replay::explore(violation.decisions.clone()).run(
+            move || (0..2).map(|_| Mixer::family(seed)).collect::<Vec<_>>(),
+            vec![None, None],
+            &pattern,
+            NoDetector,
+            checker,
+        );
+        assert_eq!(
+            replayed,
+            Err(violation.message.clone()),
+            "seed {seed}: reduced counterexample did not replay"
+        );
+        #[allow(deprecated)] // the shim must stay byte-equivalent until removal
+        let via_shim = wfd_sim::replay_explore(
             &violation.decisions,
             move || (0..2).map(|_| Mixer::family(seed)).collect::<Vec<_>>(),
             vec![None, None],
             &pattern,
             NoDetector,
-            |_procs: &[Mixer], outputs: &[(ProcessId, u64)]| match outputs
-                .iter()
-                .find(|(_, acc)| *acc > bar)
-            {
-                Some((p, acc)) => Err(format!("{p} accumulated {acc} > {bar}")),
-                None => Ok(()),
-            },
+            checker,
         );
         assert_eq!(
-            replayed,
-            Err(violation.message),
-            "seed {seed}: reduced counterexample did not replay"
+            via_shim, replayed,
+            "seed {seed}: replay_explore shim diverged from Replay"
         );
         replayed_some = true;
     }
@@ -380,25 +397,22 @@ fn reduced_violations_round_trip_through_repro() {
         );
         let parsed = Repro::from_json(&repro.to_json()).expect("repro JSON parses back");
         assert_eq!(parsed.pattern(), pattern, "seed {seed}: pattern survived");
-        let decisions = parsed
-            .decisions
-            .as_explore()
-            .expect("explore-sourced repro carries explore decisions");
         let bar = 20 + (seed % 30);
-        let replayed = replay_explore(
-            decisions,
-            move || (0..2).map(|_| Mixer::family(seed)).collect::<Vec<_>>(),
-            vec![None, None],
-            &pattern,
-            NoDetector,
-            |_procs: &[Mixer], outputs: &[(ProcessId, u64)]| match outputs
-                .iter()
-                .find(|(_, acc)| *acc > bar)
-            {
-                Some((p, acc)) => Err(format!("{p} accumulated {acc} > {bar}")),
-                None => Ok(()),
-            },
-        );
+        let replayed = Replay::from_repro(&parsed)
+            .expect("explore-sourced repro builds a machine replay")
+            .run(
+                move || (0..2).map(|_| Mixer::family(seed)).collect::<Vec<_>>(),
+                vec![None, None],
+                &pattern,
+                NoDetector,
+                |_procs: &[Mixer], outputs: &[(ProcessId, u64)]| match outputs
+                    .iter()
+                    .find(|(_, acc)| *acc > bar)
+                {
+                    Some((p, acc)) => Err(format!("{p} accumulated {acc} > {bar}")),
+                    None => Ok(()),
+                },
+            );
         assert_eq!(
             replayed,
             Err(violation.message),

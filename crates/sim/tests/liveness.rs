@@ -4,8 +4,8 @@
 
 use wfd_sim::liveness::fixtures::{Decider, PingPong};
 use wfd_sim::{
-    check_liveness, replay_lasso, FailurePattern, LivenessConfig, LivenessVerdict, Ltl, NoDetector,
-    OracleSpec, ProcessId, Repro, ReproSource,
+    check_liveness, FailurePattern, LivenessConfig, LivenessVerdict, Ltl, NoDetector, OracleSpec,
+    ProcessId, Replay, Repro, ReproSource,
 };
 
 /// One scenario of the equivalence family, derived from a seed: protocol
@@ -66,10 +66,11 @@ fn verdict(fam: &Family, cfg: LivenessConfig) -> LivenessVerdict {
 }
 
 /// The ladder: over 40 seeded scenarios, the verdict must be invariant
-/// under symmetry canonicalization on/off, the (ignored) DPOR flag
-/// on/off, and worker thread count 1/2/4. Any divergence means a
-/// reduction or the parallel graph merge changed the model, not just its
-/// cost.
+/// under symmetry canonicalization on/off and worker thread count 1/2/4.
+/// Any divergence means a reduction or the parallel graph merge changed
+/// the model, not just its cost. DPOR is *not* a rung: requesting it is
+/// a configuration error (sleep-set reduction is unsound for cycle
+/// detection), asserted per seed below.
 #[test]
 fn verdicts_are_invariant_under_reductions_and_threads() {
     for seed in 0..40u64 {
@@ -83,22 +84,29 @@ fn verdicts_are_invariant_under_reductions_and_threads() {
         let baseline = verdict(&fam, base.clone().with_threads(1));
         assert_eq!(baseline, expected, "seed {seed}: baseline verdict");
         for symmetry in [false, true] {
-            for dpor in [false, true] {
-                for threads in [1usize, 2, 4] {
-                    let cfg = base
-                        .clone()
-                        .with_symmetry(symmetry)
-                        .with_dpor(dpor)
-                        .with_threads(threads);
-                    let got = verdict(&fam, cfg);
-                    assert_eq!(
-                        got, baseline,
-                        "seed {seed}: verdict changed under symmetry={symmetry} \
-                         dpor={dpor} threads={threads}"
-                    );
-                }
+            for threads in [1usize, 2, 4] {
+                let cfg = base.clone().with_symmetry(symmetry).with_threads(threads);
+                let got = verdict(&fam, cfg);
+                assert_eq!(
+                    got, baseline,
+                    "seed {seed}: verdict changed under symmetry={symmetry} \
+                     threads={threads}"
+                );
             }
         }
+        // The former dpor=true rung: the checker must refuse outright
+        // rather than silently ignore the flag.
+        let n = fam.n;
+        let err = check_liveness(
+            base.clone().with_dpor(true),
+            || PingPong::fleet(n),
+            vec![None; n],
+            &fam.pattern,
+            NoDetector,
+            &Ltl::prop("decided").eventually(),
+        )
+        .expect_err("DPOR must be rejected, not ignored");
+        assert!(err.contains("DPOR"), "seed {seed}: {err}");
     }
 }
 
@@ -181,16 +189,17 @@ fn lasso_repro_round_trips_byte_identically_and_replays() {
         .expect("liveness artifacts carry lasso decisions");
     assert_eq!(stem, lasso.stem.as_slice());
     assert_eq!(cycle, lasso.cycle.as_slice());
-    replay_lasso(
-        &cfg(),
-        || PingPong::fleet(n),
-        vec![None; n],
-        &pattern,
-        NoDetector,
-        stem,
-        cycle,
-    )
-    .expect("parsed artifact replays as a fair run");
+    let replay = Replay::from_repro(&parsed).expect("liveness artifacts build a lasso replay");
+    assert!(replay.is_lasso());
+    replay
+        .run_fair(
+            &cfg(),
+            || PingPong::fleet(n),
+            vec![None; n],
+            &pattern,
+            NoDetector,
+        )
+        .expect("parsed artifact replays as a fair run");
 }
 
 /// Corrupted artifacts must be rejected by the replayer, not panic it:
@@ -202,44 +211,44 @@ fn hostile_lassos_are_rejected_gracefully() {
     let cfg = LivenessConfig::new(2, 2, 0);
     let pattern = FailurePattern::failure_free(n);
     // Empty cycle: not an infinite run.
-    let err = replay_lasso(
-        &cfg,
-        || PingPong::fleet(n),
-        vec![None; n],
-        &pattern,
-        NoDetector,
-        &[],
-        &[],
-    )
-    .expect_err("empty cycle");
+    let err = Replay::lasso(vec![], vec![])
+        .run_fair(
+            &cfg,
+            || PingPong::fleet(n),
+            vec![None; n],
+            &pattern,
+            NoDetector,
+        )
+        .expect_err("empty cycle");
     assert!(err.contains("non-empty"), "{err}");
     // A cycle that exists but does not recur: one start step leaves the
     // initial configuration for good.
-    let err = replay_lasso(
-        &cfg,
-        || PingPong::fleet(n),
-        vec![None; n],
-        &pattern,
-        NoDetector,
-        &[],
-        &[(ProcessId(0), None)],
-    )
-    .expect_err("non-recurring cycle");
+    let err = Replay::lasso(vec![], vec![(ProcessId(0), None)])
+        .run_fair(
+            &cfg,
+            || PingPong::fleet(n),
+            vec![None; n],
+            &pattern,
+            NoDetector,
+        )
+        .expect_err("non-recurring cycle");
     assert!(err.contains("return"), "{err}");
     // An unfair decision: with G = 2, stepping the same process three
     // times in a row leaves the other overdue and forced.
-    let err = replay_lasso(
-        &cfg,
-        || PingPong::fleet(n),
-        vec![None; n],
-        &pattern,
-        NoDetector,
-        &[
+    let err = Replay::lasso(
+        vec![
             (ProcessId(0), None),
             (ProcessId(0), None),
             (ProcessId(0), None),
         ],
-        &[(ProcessId(0), None)],
+        vec![(ProcessId(0), None)],
+    )
+    .run_fair(
+        &cfg,
+        || PingPong::fleet(n),
+        vec![None; n],
+        &pattern,
+        NoDetector,
     )
     .expect_err("unfair stem");
     assert!(err.contains("fair"), "{err}");

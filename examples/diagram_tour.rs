@@ -1,0 +1,95 @@
+//! Diagram tour: draw the state space the checkers walk.
+//!
+//! The engine, the bounded explorer and the liveness checker all step the
+//! same pure `Machine` transition system (`wfd_sim::machine`). This
+//! example renders that shared state space for two paper targets as
+//! Mermaid state diagrams — nodes carry the protocol's observable
+//! properties, violating states are highlighted — and prints them to
+//! stdout, ready to paste into any Mermaid renderer (GitHub Markdown
+//! included).
+//!
+//! Two stops:
+//!
+//! 1. heartbeat-Ω on 2 processes with the initial leader crashed: the
+//!    highlighted states are the transient where the survivor still
+//!    announces the crashed leader — finitely many of them, exactly Ω's
+//!    contract;
+//! 2. (Ω, Σ) consensus on 2 processes with a crashed majority, checked
+//!    against "nobody ever decides": the highlighted frontier is where
+//!    termination happens.
+//!
+//! Run with: `cargo run --example diagram_tour`
+
+use weakest_failure_detectors::prelude::*;
+
+fn main() {
+    // ── 1. heartbeat-Ω: the transient, drawn ────────────────────────────
+    let n = 2;
+    let pattern = FailurePattern::failure_free(n).with_crash(ProcessId(0), 0);
+    let correct = |p: ProcessId| pattern.is_correct(p);
+    let omega = Diagram::walk(
+        &DiagramConfig::new("heartbeat-Ω, 2 processes, leader crashed at t=0")
+            .with_max_states(48)
+            .with_max_depth(8),
+        || (0..n).map(|_| HeartbeatOmega::new(n, 1)).collect(),
+        vec![None; n],
+        &pattern,
+        NoDetector,
+        |_procs: &[HeartbeatOmega], outputs: &[(ProcessId, ProcessId)]| {
+            for p in (0..n).map(ProcessId).filter(|&p| correct(p)) {
+                if let Some((_, leader)) = outputs.iter().rev().find(|(q, _)| *q == p) {
+                    if !correct(*leader) {
+                        return Err(format!("{p} announces crashed leader {leader}"));
+                    }
+                }
+            }
+            Ok(())
+        },
+    )
+    .expect("well-formed scenario");
+    assert!(omega.has_violation(), "the transient must be visible");
+    println!("```mermaid\n{}```\n", omega.to_mermaid());
+
+    // ── 2. (Ω, Σ) consensus: termination, drawn ─────────────────────────
+    let pattern = FailurePattern::failure_free(2).with_crash(ProcessId(1), 0);
+    let detector = PairOracle::new(
+        OmegaOracle::new(&pattern, 0, 1),
+        SigmaOracle::new(&pattern, 0, 1),
+    );
+    let consensus = Diagram::walk(
+        &DiagramConfig::new("(Ω,Σ)-consensus, 2 processes, majority crashed")
+            .with_max_states(48)
+            .with_max_depth(12),
+        || (0..2).map(|_| OmegaSigmaConsensus::<u64>::new()).collect(),
+        vec![Some(10), Some(20)],
+        &pattern,
+        detector,
+        |_procs: &[OmegaSigmaConsensus<u64>], outputs: &[(ProcessId, ConsensusOutput<u64>)]| {
+            match outputs.first() {
+                Some((p, ConsensusOutput::Decided(v))) => Err(format!("{p} decided {v}")),
+                _ => Ok(()),
+            }
+        },
+    )
+    .expect("well-formed scenario");
+    assert!(consensus.has_violation(), "a decision must be reached");
+    println!("```mermaid\n{}```\n", consensus.to_mermaid());
+
+    let decided = consensus
+        .nodes
+        .iter()
+        .filter(|nd| nd.violation.is_some())
+        .count();
+    println!(
+        "heartbeat-Ω: {} states ({} in the transient) · consensus: {} states ({} decided)",
+        omega.nodes.len(),
+        omega
+            .nodes
+            .iter()
+            .filter(|nd| nd.violation.is_some())
+            .count(),
+        consensus.nodes.len(),
+        decided
+    );
+    println!("same Machine the engine, explorer and liveness checker step — drawn, not re-derived");
+}

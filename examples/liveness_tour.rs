@@ -53,16 +53,15 @@ fn main() {
     // The witness is not just a trace claim — it replays as a fair
     // infinite run (stem reaches the loop head, cycle returns to it,
     // every decision legal under the fairness forcing rules).
-    replay_lasso(
-        &LivenessConfig::new(3, 3, 0),
-        || PingPong::fleet(n),
-        vec![None; n],
-        &pattern,
-        NoDetector,
-        &lasso.stem,
-        &lasso.cycle,
-    )
-    .expect("the witness replays");
+    Replay::lasso(lasso.stem.clone(), lasso.cycle.clone())
+        .run_fair(
+            &LivenessConfig::new(3, 3, 0),
+            || PingPong::fleet(n),
+            vec![None; n],
+            &pattern,
+            NoDetector,
+        )
+        .expect("the witness replays");
     println!("  replayed: the cycle is a real fair run\n");
 
     // ── 2. Ω stabilization ──────────────────────────────────────────────

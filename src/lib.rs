@@ -44,6 +44,10 @@ pub use wfd_sim as sim;
 /// [`Hasher`](wfd_sim::Hasher)), the liveness checker
 /// ([`check_liveness`](wfd_sim::check_liveness()),
 /// [`LivenessConfig`](wfd_sim::LivenessConfig), [`Ltl`](wfd_sim::Ltl)),
+/// the machine-layer replay entry point, reduction switches, and
+/// state-space diagrams ([`Replay`](wfd_sim::Replay),
+/// [`ReductionConfig`](wfd_sim::ReductionConfig),
+/// [`Diagram`](wfd_sim::Diagram)),
 /// the observability layer
 /// ([`Obs`](wfd_sim::Obs), [`EnvOverrides`](wfd_sim::EnvOverrides)), the
 /// theorem harnesses ([`theorems`](wfd_core::theorems)), and the ABD
@@ -53,8 +57,10 @@ pub mod prelude {
     pub use wfd_core::theorems::{self, RunSetup};
     pub use wfd_registers::abd::{op_history_from_trace, AbdOp};
     pub use wfd_sim::{
-        check_liveness, explore, replay_explore, replay_lasso, EnvOverrides, ExploreConfig, Hasher,
+        check_liveness, explore, Diagram, DiagramConfig, EnvOverrides, ExploreConfig, Hasher,
         LivenessConfig, LivenessReport, LivenessVerdict, Ltl, MetricsMode, NoDetector, Obs,
-        TraceMode,
+        ReductionConfig, Replay, TraceMode,
     };
+    #[allow(deprecated)] // re-exported until the deprecation cycle removes the shims
+    pub use wfd_sim::{replay_explore, replay_lasso};
 }

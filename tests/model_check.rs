@@ -174,10 +174,10 @@ fn psi_qc_never_quits_in_consensus_mode_in_every_interleaving() {
 
 /// The explore → repro bridge on the real target: force a "violation"
 /// with an impossible checker, serialize the counterexample branch as a
-/// `Repro`, and replay it through `replay_explore` to the same message.
+/// `Repro`, and replay it through [`Replay`] to the same message.
 #[test]
 fn explore_violations_round_trip_as_repro_artifacts() {
-    use weakest_failure_detectors::sim::{replay_explore, OracleSpec, Repro};
+    use weakest_failure_detectors::sim::{OracleSpec, Replay, Repro};
 
     let n = 2;
     let pattern = FailurePattern::failure_free(n);
@@ -242,15 +242,16 @@ fn explore_violations_round_trip_as_repro_artifacts() {
     let parsed = Repro::from_json(&repro.to_json()).expect("artifact round-trips");
     assert_eq!(parsed, repro);
 
-    let err = replay_explore(
-        parsed.decisions.as_explore().expect("explore-sourced"),
-        make_procs,
-        vec![Some(10), Some(20)],
-        &parsed.pattern(),
-        mk_detector(),
-        checker,
-    )
-    .expect_err("replay must reproduce the violation");
+    let err = Replay::from_repro(&parsed)
+        .expect("explore-sourced")
+        .run(
+            make_procs,
+            vec![Some(10), Some(20)],
+            &parsed.pattern(),
+            mk_detector(),
+            checker,
+        )
+        .expect_err("replay must reproduce the violation");
     assert_eq!(err, violation.message);
 }
 
