@@ -240,6 +240,7 @@ impl<V: Clone + Debug + PartialEq> Protocol for RegisterFromConsensus<V> {
         // A replicated register never quiesces: every step may drive a
         // consensus slot (messaging anyone) and complete a pending op
         // (emitting `Completed`), so the honest declaration is opaque.
+        // wfd-lint: allow(d7-footprint, every step may drive a consensus slot that broadcasts and completes ops; no step kind is effect-free)
         Footprint::opaque(n)
     }
 }

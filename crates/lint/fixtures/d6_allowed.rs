@@ -1,0 +1,12 @@
+//! Fixture: allowing the seed un-taints every caller — `decide` needs
+//! no allow of its own because the justified env read no longer seeds
+//! the taint propagation.
+
+pub fn decide() -> bool {
+    config_flag()
+}
+
+fn config_flag() -> bool {
+    // wfd-lint: allow(d6-taint, read once at startup and recorded into the Repro artifact)
+    std::env::var("WFD_FLAG").is_ok()
+}

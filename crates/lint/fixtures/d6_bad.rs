@@ -1,0 +1,12 @@
+//! Fixture: nondeterminism flows through the call graph. The env read
+//! is a direct d6 finding; `decide` never touches std itself but still
+//! reaches the primitive through `config_flag`, so it gets a chain
+//! finding at its call site.
+
+pub fn decide() -> bool {
+    config_flag()
+}
+
+fn config_flag() -> bool {
+    std::env::var("WFD_FLAG").is_ok()
+}

@@ -1,0 +1,27 @@
+//! Fixture: the two sanctioned shapes. `Declared` covers its send with
+//! a real capability arm and stays silent; `Escaped` uses the opaque
+//! escape hatch with a written justification.
+
+impl Protocol for Declared {
+    fn on_message(&mut self, ctx: &mut Ctx<Self>, from: ProcessId, msg: u64) {
+        ctx.send(from, msg);
+    }
+
+    fn footprint(&self, _me: ProcessId, _n: usize, step: StepKind<'_, Self>) -> Footprint {
+        match step {
+            StepKind::Deliver { from, .. } => Footprint::local().sends_to(from),
+            _ => Footprint::local(),
+        }
+    }
+}
+
+impl Protocol for Escaped {
+    fn on_tick(&mut self, ctx: &mut Ctx<Self>) {
+        ctx.broadcast(self.round);
+    }
+
+    fn footprint(&self, _me: ProcessId, n: usize, _step: StepKind<'_, Self>) -> Footprint {
+        // wfd-lint: allow(d7-footprint, fixture documents the opaque escape hatch carrying its mandatory justification)
+        Footprint::opaque(n)
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: an under-declared footprint. Both handlers have effects —
+//! `on_message` sends, `on_tick` outputs — but no arm of `footprint`
+//! declares either capability, so DPOR would treat the steps as local
+//! and prune interleavings that are not actually commutative.
+
+impl Protocol for UnderDeclared {
+    fn on_message(&mut self, ctx: &mut Ctx<Self>, from: ProcessId, msg: u64) {
+        self.pending += 1;
+        ctx.send(from, msg);
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<Self>) {
+        ctx.output(self.pending);
+    }
+
+    fn footprint(&self, _me: ProcessId, _n: usize, _step: StepKind<'_, Self>) -> Footprint {
+        Footprint::local()
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: the sanctioned clone-then-fill shape. The helper mutates
+//! only the fresh clone the caller just made, documented by its allow;
+//! the `out` vector parameter of `enabled_into` is the API's own
+//! out-param and never needs one.
+
+impl Machine for CloningMachine {
+    fn transition(&self, state: &State, action: &Action) -> StepResult<State> {
+        let mut next = state.clone();
+        fill(&mut next);
+        StepResult::Enabled(next)
+    }
+
+    fn enabled_into(&self, state: &State, out: &mut Vec<Action>) {
+        out.clear();
+    }
+}
+
+// wfd-lint: allow(d8-machine-purity, fills the fresh clone the caller just made; the source state is never touched)
+fn fill(dst: &mut State) {}

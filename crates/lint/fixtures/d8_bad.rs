@@ -1,0 +1,19 @@
+//! Fixture: impure Machine transitions. `transition` takes `&mut self`,
+//! reaches a helper that takes the *source* state by `&mut`, and
+//! `enabled_into` constructs an interior-mutability cell — each of the
+//! three ways a "pure" transition can smuggle state past replay.
+
+impl Machine for ImpureMachine {
+    fn transition(&mut self, state: &State, action: &Action) -> StepResult<State> {
+        scribble(state)
+    }
+
+    fn enabled_into(&self, state: &State, out: &mut Vec<Action>) {
+        let memo = RefCell::new(0u32);
+        out.clear();
+    }
+}
+
+fn scribble(dst: &mut State) -> StepResult<State> {
+    StepResult::Disabled
+}

@@ -1,0 +1,10 @@
+//! Fixture: the two survivable shapes at workspace version 0.7.0 — a
+//! deprecation stamped *this* cycle (its removal deadline is 0.8.0),
+//! and an overdue one explicitly re-justified with an allow.
+
+#[deprecated(since = "0.7.0", note = "replaced by explore_with; remove in 0.8.0")]
+pub fn fresh() {}
+
+// wfd-lint: allow(d9-deprecated, kept one extra cycle for the frozen artifact format; remove together with report v3)
+#[deprecated(since = "0.6.0", note = "frozen for artifact compatibility")]
+pub fn grandfathered() {}

@@ -1,0 +1,9 @@
+//! Fixture: deprecation-lifecycle violations at workspace version
+//! 0.7.0. `old_entry` was stamped for removal a cycle ago and is still
+//! here; `unstamped` cannot be audited at all.
+
+#[deprecated(since = "0.6.0", note = "use replay() instead")]
+pub fn old_entry() {}
+
+#[deprecated]
+pub fn unstamped() {}

@@ -1,6 +1,15 @@
 //! The lint driver: walk the workspace, run every rule in scope, apply
 //! suppressions, and collect findings plus stale/malformed suppressions.
 //!
+//! Linting runs in two phases. Phase one is per-file: lex, run the
+//! d1–d5 token matchers, apply inline allows, and parse the file into
+//! the item/fn skeleton the analysis passes need. Phase two is
+//! workspace-wide: build the [`crate::symbols::SymbolTable`] call graph
+//! over every parsed file and run the d6–d9 passes
+//! ([`crate::passes::run`]); their findings flow through the *same*
+//! allow tables, so phase-two suppressions keep phase-one stale
+//! detection honest and vice versa.
+//!
 //! Scope decisions live in three places, from coarse to fine:
 //! 1. the **walker** only visits library sources (`src/**` minus
 //!    `main.rs`/`src/bin/`) — binaries and integration tests may print,
@@ -11,8 +20,9 @@
 //!    tests assert on the deterministic core, they are not part of it.
 
 use crate::lexer::{lex, Tok, Token};
-use crate::rules::{all_rules, Rule};
-use crate::suppress;
+use crate::rules::{all_rules, rule_by_id, Rule};
+use crate::symbols::{FileSyms, SymbolTable};
+use crate::{parser, passes, suppress};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -33,6 +43,10 @@ pub struct Finding {
     pub help: &'static str,
     /// The trimmed source line, for humans and the JSON report.
     pub excerpt: String,
+    /// For `d6-taint`: the call chain from the reported fn down to the
+    /// nondeterminism primitive, one `name (file:line)` hop per entry.
+    /// Empty for every other rule.
+    pub chain: Vec<String>,
 }
 
 /// A finding that an inline `allow` silenced (kept for the audit trail).
@@ -104,101 +118,198 @@ impl Outcome {
             0
         }
     }
-
-    fn absorb(&mut self, other: Outcome) {
-        self.files_scanned += other.files_scanned;
-        self.findings.extend(other.findings);
-        self.suppressed.extend(other.suppressed);
-        self.stale.extend(other.stale);
-        self.errors.extend(other.errors);
-    }
 }
 
 /// Lint a single source text as if it lived at `rel_path`.
 ///
-/// This is the fixture-test entry point as well as the per-file worker
-/// of [`run_workspace`]; `rel_path` drives rule scoping exactly as it
-/// would for a real workspace file.
+/// This is the fixture-test entry point; it runs the full pipeline —
+/// token rules *and* the d6–d8 analysis passes — over the one file.
+/// The d9 deprecation-lifecycle pass needs a workspace version and
+/// stays off here; use [`lint_sources`] with a version to exercise it.
 pub fn lint_source(rel_path: &str, src: &str) -> Outcome {
-    let tokens = lex(src);
-    let code: Vec<Token> = tokens
-        .iter()
-        .filter(|t| !matches!(t.kind, Tok::Comment(_)))
-        .cloned()
-        .collect();
-    let exempt = test_regions(&code);
-    let in_tests = |line: u32| exempt.iter().any(|&(lo, hi)| (lo..=hi).contains(&line));
+    lint_sources(&[(rel_path.to_string(), src.to_string())], None)
+}
 
-    let (mut allows, malformed) = suppress::collect(&tokens);
-    allows.retain(|s| !in_tests(s.line));
-    let mut allow_used = vec![false; allows.len()];
+/// The token rules whose unsuppressed matches seed `d6-taint`. d4/d5
+/// police *output stability* (Debug formatting, stray printing); they
+/// are deliberately not data-nondeterminism seeds.
+const SEED_RULES: [&str; 3] = ["d1-hash-collections", "d2-wall-clock", "d3-atomics"];
 
-    let lines: Vec<&str> = src.lines().collect();
-    let excerpt_of = |line: u32| {
-        lines
-            .get(line.saturating_sub(1) as usize)
-            .map(|l| l.trim().to_string())
-            .unwrap_or_default()
-    };
+/// Per-file state phase two needs after the token phase ran.
+struct FileCtx {
+    rel: String,
+    lines: Vec<String>,
+    allows: Vec<suppress::Suppression>,
+    allow_used: Vec<bool>,
+    exempt: Vec<(u32, u32)>,
+}
 
+/// Lint a set of `(rel_path, source)` files as one workspace.
+///
+/// This is the real core: phase one runs the d1–d5 token rules per
+/// file and parses each file; phase two builds the cross-file symbol
+/// table and runs the d6–d9 analysis passes, whose findings go through
+/// the same per-file allow tables (so an `allow(d7-footprint, …)`
+/// suppresses and goes stale exactly like an `allow(d1-…, …)`).
+/// `workspace_version` enables d9; pass `None` to disable it.
+pub fn lint_sources(inputs: &[(String, String)], workspace_version: Option<[u64; 3]>) -> Outcome {
     let mut out = Outcome {
-        files_scanned: 1,
+        files_scanned: inputs.len(),
         ..Outcome::default()
     };
-    for e in malformed {
-        out.errors.push(HardError {
-            file: rel_path.to_string(),
-            line: e.line,
-            message: e.message,
+    let mut ctxs: Vec<FileCtx> = Vec::new();
+    let mut syms: Vec<FileSyms> = Vec::new();
+
+    for (rel, src) in inputs {
+        let tokens = lex(src);
+        let code: Vec<Token> = tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, Tok::Comment(_)))
+            .cloned()
+            .collect();
+        let exempt = test_regions(&code);
+        let in_tests = |line: u32| exempt.iter().any(|&(lo, hi)| (lo..=hi).contains(&line));
+
+        let (mut allows, malformed) = suppress::collect(&tokens);
+        allows.retain(|s| !in_tests(s.line));
+        let mut allow_used = vec![false; allows.len()];
+        for e in malformed {
+            out.errors.push(HardError {
+                file: rel.clone(),
+                line: e.line,
+                message: e.message,
+            });
+        }
+
+        let lines: Vec<String> = src.lines().map(|l| l.trim().to_string()).collect();
+        let mut seed_hits: Vec<(u32, String)> = Vec::new();
+        for rule in applicable_rules(rel) {
+            for matched in (rule.matcher)(&code) {
+                if in_tests(matched.line) {
+                    continue;
+                }
+                let allow = allows
+                    .iter()
+                    .position(|s| s.rule == rule.id && s.target_line == matched.line);
+                match allow {
+                    Some(idx) => {
+                        allow_used[idx] = true;
+                        out.suppressed.push(SuppressedFinding {
+                            file: rel.clone(),
+                            line: matched.line,
+                            rule: rule.id,
+                            reason: allows[idx].reason.clone(),
+                        });
+                    }
+                    None => {
+                        if SEED_RULES.contains(&rule.id) {
+                            seed_hits.push((matched.line, matched.what.clone()));
+                        }
+                        out.findings.push(Finding {
+                            file: rel.clone(),
+                            line: matched.line,
+                            col: matched.col,
+                            rule: rule.id,
+                            message: format!("{}: {}", rule.summary, matched.what),
+                            help: rule.help,
+                            excerpt: lines
+                                .get(matched.line.saturating_sub(1) as usize)
+                                .cloned()
+                                .unwrap_or_default(),
+                            chain: Vec::new(),
+                        });
+                    }
+                }
+            }
+        }
+
+        syms.push(FileSyms {
+            rel: rel.clone(),
+            parsed: parser::parse(&tokens),
+            seed_hits,
+            d6_allowed: allows
+                .iter()
+                .filter(|s| s.rule == "d6-taint")
+                .map(|s| s.target_line)
+                .collect(),
+        });
+        ctxs.push(FileCtx {
+            rel: rel.clone(),
+            lines,
+            allows,
+            allow_used,
+            exempt,
         });
     }
 
-    for rule in applicable_rules(rel_path) {
-        for matched in (rule.matcher)(&code) {
-            if in_tests(matched.line) {
-                continue;
+    // Phase two: workspace-wide analysis over the call graph.
+    let table = SymbolTable::build(syms);
+    for pf in passes::run(&table, workspace_version) {
+        let Some(ctx) = ctxs.iter_mut().find(|c| c.rel == pf.file) else {
+            continue;
+        };
+        // Passes skip `#[cfg(test)]` fns themselves; this guards the
+        // remaining anchors (call sites inside test helpers etc.).
+        if ctx
+            .exempt
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&pf.line))
+        {
+            continue;
+        }
+        let allow = ctx
+            .allows
+            .iter()
+            .position(|s| s.rule == pf.rule && s.target_line == pf.line);
+        match allow {
+            Some(idx) => {
+                ctx.allow_used[idx] = true;
+                out.suppressed.push(SuppressedFinding {
+                    file: pf.file,
+                    line: pf.line,
+                    rule: pf.rule,
+                    reason: ctx.allows[idx].reason.clone(),
+                });
             }
-            let allow = allows
-                .iter()
-                .position(|s| s.rule == rule.id && s.target_line == matched.line);
-            match allow {
-                Some(idx) => {
-                    allow_used[idx] = true;
-                    out.suppressed.push(SuppressedFinding {
-                        file: rel_path.to_string(),
-                        line: matched.line,
-                        rule: rule.id,
-                        reason: allows[idx].reason.clone(),
-                    });
-                }
-                None => out.findings.push(Finding {
-                    file: rel_path.to_string(),
-                    line: matched.line,
-                    col: matched.col,
-                    rule: rule.id,
-                    message: format!("{}: {}", rule.summary, matched.what),
+            None => {
+                let rule = rule_by_id(pf.rule).expect("pass rules are registered in RULES");
+                out.findings.push(Finding {
+                    file: pf.file,
+                    line: pf.line,
+                    col: pf.col,
+                    rule: pf.rule,
+                    message: format!("{}: {}", rule.summary, pf.what),
                     help: rule.help,
-                    excerpt: excerpt_of(matched.line),
-                }),
+                    excerpt: ctx
+                        .lines
+                        .get(pf.line.saturating_sub(1) as usize)
+                        .cloned()
+                        .unwrap_or_default(),
+                    chain: pf.chain,
+                });
             }
         }
     }
 
-    for (idx, used) in allow_used.iter().enumerate() {
-        if !used {
-            let s = &allows[idx];
-            out.stale.push(StaleSuppression {
-                file: rel_path.to_string(),
-                line: s.line,
-                rule: s.rule.clone(),
-                reason: s.reason.clone(),
-            });
+    for ctx in &ctxs {
+        for (idx, used) in ctx.allow_used.iter().enumerate() {
+            if !used {
+                let s = &ctx.allows[idx];
+                out.stale.push(StaleSuppression {
+                    file: ctx.rel.clone(),
+                    line: s.line,
+                    rule: s.rule.clone(),
+                    reason: s.reason.clone(),
+                });
+            }
         }
     }
 
-    out.findings
-        .sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
-    out.stale.sort_by_key(|s| s.line);
+    out.findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    out.stale
+        .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
     out
 }
 
@@ -392,20 +503,43 @@ fn collect_rs(
     Ok(())
 }
 
-/// Lint every library source under `root`.
+/// Read `version = "x.y.z"` from the `[workspace.package]` table of the
+/// root `Cargo.toml`; feeds the d9 deprecation-lifecycle pass.
+pub fn workspace_version(root: &Path) -> Option<[u64; 3]> {
+    let text = fs::read_to_string(root.join("Cargo.toml")).ok()?;
+    let mut in_pkg = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_pkg = line == "[workspace.package]";
+        } else if in_pkg {
+            if let Some(rest) = line.strip_prefix("version") {
+                let rest = rest.trim_start();
+                if let Some(value) = rest.strip_prefix('=') {
+                    return passes::parse_version(value.trim().trim_matches('"'));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Lint every library source under `root` as one workspace.
 pub fn run_workspace(root: &Path) -> std::io::Result<Outcome> {
-    let mut out = Outcome::default();
+    let mut read_errors = Vec::new();
+    let mut inputs: Vec<(String, String)> = Vec::new();
     for rel in workspace_files(root)? {
-        let abs = root.join(&rel);
-        match fs::read_to_string(&abs) {
-            Ok(src) => out.absorb(lint_source(&rel, &src)),
-            Err(e) => out.errors.push(HardError {
+        match fs::read_to_string(root.join(&rel)) {
+            Ok(src) => inputs.push((rel, src)),
+            Err(e) => read_errors.push(HardError {
                 file: rel,
                 line: 0,
                 message: format!("could not read file: {e}"),
             }),
         }
     }
+    let mut out = lint_sources(&inputs, workspace_version(root));
+    out.errors.extend(read_errors);
     Ok(out)
 }
 

@@ -26,13 +26,16 @@
 
 pub mod engine;
 pub mod lexer;
+pub mod parser;
+pub mod passes;
 pub mod report;
 pub mod rules;
 pub mod suppress;
+pub mod symbols;
 
 pub use engine::{
-    find_workspace_root, lint_source, run_workspace, workspace_files, Finding, HardError, Outcome,
-    StaleSuppression, SuppressedFinding,
+    find_workspace_root, lint_source, lint_sources, run_workspace, workspace_files,
+    workspace_version, Finding, HardError, Outcome, StaleSuppression, SuppressedFinding,
 };
-pub use report::{render_json, render_text, to_json};
+pub use report::{baseline_regressions, render_json, render_text, to_json};
 pub use rules::{all_rules, rule_by_id, Rule};

@@ -5,19 +5,32 @@
 //! cargo run -p wfd-lint -- --json        # embed the JSON report on stdout
 //! cargo run -p wfd-lint -- --json=R.json # also write the report to R.json
 //! cargo run -p wfd-lint -- --root DIR    # lint another workspace
+//! cargo run -p wfd-lint -- --baseline=LINT_BASELINE.json  # ratchet mode
 //! ```
 //!
 //! Exit codes: 0 clean, 1 unsuppressed findings or stale suppressions,
 //! 2 malformed suppressions or I/O errors.
+//!
+//! `--baseline=PATH` switches the pass/fail criterion to a *ratchet*:
+//! findings and stale suppressions already recorded in the committed
+//! baseline report are tolerated, but any finding or stale suppression
+//! **not** in the baseline fails the run. With a clean baseline (the
+//! committed `LINT_BASELINE.json`) this is equivalent to the plain run,
+//! and it stays actionable if a future change ever has to land with a
+//! recorded debt.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use wfd_lint::{find_workspace_root, render_json, render_text, run_workspace};
+use wfd_lint::{
+    baseline_regressions, find_workspace_root, render_json, render_text, run_workspace, Outcome,
+};
+use wfd_sim::json::Json;
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut json_path: Option<String> = None;
     let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -26,6 +39,8 @@ fn main() -> ExitCode {
         } else if let Some(path) = arg.strip_prefix("--json=") {
             json = true;
             json_path = Some(path.to_string());
+        } else if let Some(path) = arg.strip_prefix("--baseline=") {
+            baseline = Some(path.to_string());
         } else if arg == "--root" {
             match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
@@ -35,7 +50,10 @@ fn main() -> ExitCode {
                 }
             }
         } else {
-            eprintln!("unknown argument {arg}; usage: wfd-lint [--json[=PATH]] [--root DIR]");
+            eprintln!(
+                "unknown argument {arg}; usage: wfd-lint [--json[=PATH]] \
+                 [--baseline=PATH] [--root DIR]"
+            );
             return ExitCode::from(2);
         }
     }
@@ -76,5 +94,46 @@ fn main() -> ExitCode {
             None => println!("{rendered}"),
         }
     }
-    ExitCode::from(outcome.exit_code())
+
+    match baseline {
+        Some(path) => ratchet(&outcome, &path),
+        None => ExitCode::from(outcome.exit_code()),
+    }
+}
+
+/// Compare the fresh outcome against a committed baseline report and
+/// fail only on regressions (new findings / newly-stale suppressions).
+/// Malformed suppressions are never grandfathered: they stay exit 2.
+fn ratchet(outcome: &Outcome, path: &str) -> ExitCode {
+    if !outcome.errors.is_empty() {
+        return ExitCode::from(2);
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("wfd-lint: reading baseline {path} failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base = match Json::parse(&text) {
+        Ok(base) => base,
+        Err(e) => {
+            eprintln!("wfd-lint: baseline {path} is not valid JSON: {e:?}");
+            return ExitCode::from(2);
+        }
+    };
+    let regressions = baseline_regressions(outcome, &base);
+    if regressions.is_empty() {
+        println!("wfd-lint: no regressions vs baseline {path}");
+        ExitCode::SUCCESS
+    } else {
+        for r in &regressions {
+            eprintln!("wfd-lint: {r}");
+        }
+        eprintln!(
+            "wfd-lint: {} regression(s) vs baseline {path}",
+            regressions.len()
+        );
+        ExitCode::from(1)
+    }
 }

@@ -26,6 +26,13 @@ pub fn render_text(out: &Outcome) -> String {
         if !f.excerpt.is_empty() {
             s.push_str(&format!("    | {}\n", f.excerpt));
         }
+        for (i, hop) in f.chain.iter().enumerate() {
+            if i == 0 {
+                s.push_str(&format!("    chain: {hop}\n"));
+            } else {
+                s.push_str(&format!("         \u{2192} {hop}\n"));
+            }
+        }
         s.push_str(&format!("    help: {}\n", f.help));
     }
     for st in &out.stale {
@@ -110,6 +117,10 @@ pub fn to_json(out: &Outcome) -> Json {
                 ("message".into(), Json::str(&f.message)),
                 ("help".into(), Json::str(f.help)),
                 ("excerpt".into(), Json::str(&f.excerpt)),
+                (
+                    "chain".into(),
+                    Json::Arr(f.chain.iter().map(|h| Json::str(h)).collect()),
+                ),
             ])
         })
         .collect();
@@ -167,7 +178,7 @@ pub fn to_json(out: &Outcome) -> Json {
         .collect();
     Json::Obj(vec![
         ("tool".into(), Json::str("wfd-lint")),
-        ("format".into(), Json::str("wfd-lint-report-v1")),
+        ("format".into(), Json::str("wfd-lint-report-v2")),
         ("files_scanned".into(), Json::usize(out.files_scanned)),
         ("clean".into(), Json::bool(out.is_clean())),
         ("exit_code".into(), Json::u64(out.exit_code() as u64)),
@@ -177,6 +188,54 @@ pub fn to_json(out: &Outcome) -> Json {
         ("errors".into(), Json::Arr(errors)),
         ("rules".into(), Json::Arr(rules)),
     ])
+}
+
+/// Compare a fresh outcome against a parsed baseline report (the
+/// committed `LINT_BASELINE.json`): returns one human-readable line per
+/// **regression** — a finding or stale suppression the baseline does
+/// not record. Keys are `(file, rule, message)` — line numbers are
+/// deliberately excluded so unrelated edits that shift lines do not
+/// change what is being tolerated. An empty result means the ratchet
+/// holds.
+pub fn baseline_regressions(out: &Outcome, baseline: &Json) -> Vec<String> {
+    let base_findings = baseline_keys(baseline, "findings", "message");
+    let base_stale = baseline_keys(baseline, "stale_suppressions", "reason");
+    let mut regressions = Vec::new();
+    for f in &out.findings {
+        if !base_findings.contains(&format!("{}|{}|{}", f.file, f.rule, f.message)) {
+            regressions.push(format!(
+                "NEW finding not in baseline: {}:{}:{}  [{}]  {}",
+                f.file, f.line, f.col, f.rule, f.message
+            ));
+        }
+    }
+    for st in &out.stale {
+        if !base_stale.contains(&format!("{}|{}|{}", st.file, st.rule, st.reason)) {
+            regressions.push(format!(
+                "NEWLY STALE suppression not in baseline: {}:{}  allow({}, {})",
+                st.file, st.line, st.rule, st.reason
+            ));
+        }
+    }
+    regressions
+}
+
+/// Extract `file|rule|<detail>` keys from a baseline report array.
+fn baseline_keys(base: &Json, array: &str, detail: &str) -> Vec<String> {
+    base.get(array)
+        .and_then(Json::as_array)
+        .map(|entries| {
+            entries
+                .iter()
+                .filter_map(|e| {
+                    let file = e.get("file").and_then(Json::as_str)?;
+                    let rule = e.get("rule").and_then(Json::as_str)?;
+                    let d = e.get(detail).and_then(Json::as_str)?;
+                    Some(format!("{file}|{rule}|{d}"))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 #[cfg(test)]

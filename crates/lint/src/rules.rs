@@ -71,7 +71,7 @@ pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
     RULES.iter().find(|r| r.id == id)
 }
 
-static RULES: [Rule; 6] = [
+static RULES: [Rule; 10] = [
     Rule {
         id: "d1-hash-collections",
         summary: "HashMap/HashSet iteration order is nondeterministic",
@@ -179,7 +179,87 @@ static RULES: [Rule; 6] = [
         ]),
         matcher: match_unwrap,
     },
+    // d6–d9 are analysis passes (crate::passes): they need the whole
+    // workspace — a call graph, Protocol impls next to their footprints,
+    // the workspace version — so their matchers are empty and the engine
+    // invokes them after the per-file token phase. They are registered
+    // here so scope config, suppression-id validation, and the report's
+    // rule table treat them uniformly.
+    Rule {
+        id: "d6-taint",
+        summary: "nondeterminism reaches this fn through its call chain",
+        help: "the chain below ends at the primitive; either cut the edge, move \
+               the caller behind a sanctioned boundary, or allow the seed with \
+               a written reason (which un-taints every caller)",
+        excluded: &[
+            (
+                "crates/bench/",
+                "the harness reads wall-clock and env by contract; nothing \
+                 here feeds protocol decisions",
+            ),
+            (
+                "crates/sim/src/obs.rs",
+                "observability timers and counters live in a side table the \
+                 decision path never reads (proven by obs_invariance.rs)",
+            ),
+            (
+                "crates/sim/src/par.rs",
+                "the parallel runtime owns threads by design; determinism is \
+                 proven downstream by byte-identical report equivalence",
+            ),
+            (
+                "crates/sim/src/env.rs",
+                "the sanctioned env-override boundary: reads happen once at \
+                 startup and are recorded into the Repro artifact",
+            ),
+            (
+                "crates/sim/src/explore_baseline.rs",
+                "excluded from d1 as a differential anchor, so its HashMap \
+                 uses would seed spurious taint",
+            ),
+        ],
+        only: None,
+        matcher: match_nothing,
+    },
+    Rule {
+        id: "d7-footprint",
+        summary: "a Protocol handler's effects exceed what its footprint can declare",
+        help: "add the missing sends_to*/outputs capability to the footprint arm \
+               for that step kind — an under-declared footprint lets DPOR prune \
+               interleavings that are not actually commutative, silently \
+               unsoundening every certificate",
+        excluded: &[],
+        only: None,
+        matcher: match_nothing,
+    },
+    Rule {
+        id: "d8-machine-purity",
+        summary: "Machine::transition/enabled_into must be observationally pure",
+        help: "transitions build successors by cloning; helpers may mutate the \
+               fresh clone (never the source state) and carry an allow saying \
+               so — `&mut self`, `&mut State` sources, and interior-mutability \
+               types would let replay diverge from exploration",
+        excluded: &[],
+        only: None,
+        matcher: match_nothing,
+    },
+    Rule {
+        id: "d9-deprecated",
+        summary: "a deprecated item outlived its deprecation cycle",
+        help: "items are removed in the minor version after their \
+               #[deprecated(since)] stamp (the 0.7.0 replay-shim removal is \
+               the precedent); delete the item or re-justify it with an allow",
+        excluded: &[],
+        only: None,
+        matcher: match_nothing,
+    },
 ];
+
+/// Matcher for analysis-pass rules: the engine runs those via
+/// [`crate::passes::run`] after the token phase.
+fn match_nothing(_toks: &[Token]) -> Vec<Match> {
+    Vec::new()
+}
 
 fn ident(t: &Token) -> Option<&str> {
     match &t.kind {

@@ -52,6 +52,27 @@ const CASES: &[(&str, &str, &str, usize, &str)] = &[
         1,
         "crates/sim/src/engine.rs",
     ),
+    (
+        "d6_bad.rs",
+        "d6_allowed.rs",
+        "d6-taint",
+        2, // the direct env read plus the chain finding in its caller
+        "crates/registers/src/fixture.rs",
+    ),
+    (
+        "d7_bad.rs",
+        "d7_allowed.rs",
+        "d7-footprint",
+        2, // undeclared send and undeclared output
+        "crates/registers/src/fixture.rs",
+    ),
+    (
+        "d8_bad.rs",
+        "d8_allowed.rs",
+        "d8-machine-purity",
+        3, // `&mut self` entry point, `&mut State` helper, RefCell
+        "crates/registers/src/fixture.rs",
+    ),
 ];
 
 fn fixture(name: &str) -> String {
@@ -131,4 +152,85 @@ fn out_of_scope_label_silences_scoped_rules() {
         "bench is out of d2 scope: {:#?}",
         out.findings
     );
+    // The same env-tainted source is sanctioned inside the bench
+    // harness and the env-override boundary.
+    for label in ["crates/bench/src/harness.rs", "crates/sim/src/env.rs"] {
+        let out = lint_source(label, &fixture("d6_bad.rs"));
+        assert!(
+            out.findings.iter().all(|f| f.rule != "d6-taint"),
+            "{label} is out of d6 scope: {:#?}",
+            out.findings
+        );
+    }
+}
+
+#[test]
+fn d6_renders_the_full_tainted_chain() {
+    let out = lint_source("crates/registers/src/fixture.rs", &fixture("d6_bad.rs"));
+    let chained = out
+        .findings
+        .iter()
+        .find(|f| !f.chain.is_empty())
+        .expect("the caller gets a chain finding");
+    assert_eq!(
+        chained.chain.len(),
+        3,
+        "decide → config_flag → primitive: {:#?}",
+        chained.chain
+    );
+    assert!(chained.chain[0].starts_with("decide ("));
+    assert!(chained.chain[1].starts_with("config_flag ("));
+    assert_eq!(chained.chain[2], "std::env::var");
+
+    // The text report renders every hop; the JSON report carries the
+    // chain as an array.
+    let text = wfd_lint::render_text(&out);
+    assert!(text.contains("chain: decide ("), "text:\n{text}");
+    assert!(text.contains("\u{2192} config_flag ("), "text:\n{text}");
+    assert!(text.contains("\u{2192} std::env::var"), "text:\n{text}");
+    let back = wfd_sim::json::Json::parse(&wfd_lint::render_json(&out)).expect("valid JSON");
+    let findings = back
+        .get("findings")
+        .and_then(wfd_sim::json::Json::as_array)
+        .expect("findings");
+    assert!(findings.iter().any(|f| {
+        f.get("chain")
+            .and_then(wfd_sim::json::Json::as_array)
+            .is_some_and(|c| c.len() == 3)
+    }));
+}
+
+#[test]
+fn d9_fires_only_with_a_workspace_version() {
+    let files = [(
+        "crates/sim/src/fixture.rs".to_string(),
+        fixture("d9_bad.rs"),
+    )];
+    let out = wfd_lint::lint_sources(&files, Some([0, 7, 0]));
+    assert_eq!(out.findings.len(), 2, "{:#?}", out.findings);
+    assert!(out.findings.iter().all(|f| f.rule == "d9-deprecated"));
+    assert!(out.findings.iter().any(|f| f.message.contains("survived")));
+    assert!(out
+        .findings
+        .iter()
+        .any(|f| f.message.contains("without `since`")));
+
+    // Single-file mode has no workspace version: the lifecycle cannot
+    // be audited, so the pass stays off rather than guessing.
+    let out = wfd_lint::lint_sources(&files, None);
+    assert!(out.findings.is_empty(), "{:#?}", out.findings);
+}
+
+#[test]
+fn d9_tolerates_fresh_and_justified_deprecations() {
+    let files = [(
+        "crates/sim/src/fixture.rs".to_string(),
+        fixture("d9_allowed.rs"),
+    )];
+    let out = wfd_lint::lint_sources(&files, Some([0, 7, 0]));
+    assert!(out.findings.is_empty(), "{:#?}", out.findings);
+    assert_eq!(out.suppressed.len(), 1, "{:#?}", out.suppressed);
+    assert_eq!(out.suppressed[0].rule, "d9-deprecated");
+    assert!(out.stale.is_empty(), "{:#?}", out.stale);
+    assert_eq!(out.exit_code(), 0);
 }

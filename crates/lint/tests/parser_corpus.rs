@@ -1,0 +1,198 @@
+//! Adversarial parser corpus: the recursive-descent parser must never
+//! panic on any token stream, and must recover enough structure after
+//! garbage that the analysis passes keep seeing the healthy items.
+//! Every case here is a shape that broke (or would break) a naive
+//! token-window scanner.
+
+use wfd_lint::lexer::lex;
+use wfd_lint::parser::{parse, ParsedFile};
+
+fn parsed(src: &str) -> ParsedFile {
+    parse(&lex(src))
+}
+
+fn fn_names(src: &str) -> Vec<String> {
+    parsed(src).fns.iter().map(|f| f.name.clone()).collect()
+}
+
+fn calls_of<'a>(p: &'a ParsedFile, fn_name: &str) -> Vec<&'a str> {
+    p.fns
+        .iter()
+        .filter(|f| f.name == fn_name)
+        .flat_map(|f| f.calls.iter())
+        .filter_map(|c| c.path.last().map(String::as_str))
+        .collect()
+}
+
+#[test]
+fn shift_right_generic_closers() {
+    let p =
+        parsed("fn f(x: Vec<Vec<u32>>) -> BTreeMap<u32, Vec<Vec<u8>>> { g::<Vec<Vec<u8>>>(x) }");
+    assert_eq!(p.fns.len(), 1, "{:#?}", p.fns);
+    assert_eq!(p.fns[0].params.len(), 1);
+    assert!(
+        calls_of(&p, "f").contains(&"g"),
+        "the turbofish call must survive `>>` closers: {:#?}",
+        p.fns[0].calls
+    );
+}
+
+#[test]
+fn raw_strings_and_comments_do_not_spawn_items() {
+    let src = r####"
+fn real() {}
+const S: &str = r#"fn fake_in_raw() { Instant::now() }"#;
+// fn fake_in_comment() {}
+/* fn fake_in_block() {} */
+"####;
+    assert_eq!(fn_names(src), ["real"]);
+}
+
+#[test]
+fn macro_rules_bodies_are_opaque() {
+    // `macro_rules!` bodies are token soup, not items: a `fn` fragment
+    // inside must not become a symbol, and the file keeps parsing.
+    let src = "macro_rules! gen { () => { fn generated() {} }; }\nfn after() {}\n";
+    assert_eq!(fn_names(src), ["after"]);
+}
+
+#[test]
+fn macro_invocation_args_are_scanned_for_calls() {
+    // Over-approximation: calls inside macro args count as calls, so
+    // taint cannot hide behind `log!(…)`.
+    let p = parsed("fn f() { log!(\"x\", compute(x)); }");
+    assert!(calls_of(&p, "f").contains(&"compute"), "{:#?}", p.fns);
+}
+
+#[test]
+fn nested_items_in_bodies_are_first_class() {
+    let src = "\
+fn outer() {
+    fn inner() { leaf(); }
+    struct Local;
+    impl Local {
+        fn method(&self) {}
+    }
+    inner();
+}
+";
+    let names = fn_names(src);
+    for expected in ["outer", "inner", "method"] {
+        assert!(names.contains(&expected.to_string()), "{names:?}");
+    }
+    let p = parsed(src);
+    assert!(calls_of(&p, "outer").contains(&"inner"));
+    assert!(calls_of(&p, "inner").contains(&"leaf"));
+    let method = p.fns.iter().find(|f| f.name == "method").expect("method");
+    assert_eq!(
+        method.owner.as_ref().map(|o| o.self_ty.as_str()),
+        Some("Local")
+    );
+}
+
+#[test]
+fn where_clauses_and_qualifiers() {
+    let src = "\
+pub(crate) const fn a() {}
+async fn b() {}
+unsafe fn c() {}
+extern \"C\" fn d() {}
+fn e<T, U>(x: T, y: U) -> Option<T>
+where
+    T: Clone + Ord,
+    U: Into<T>,
+{
+    Some(x)
+}
+";
+    assert_eq!(fn_names(src), ["a", "b", "c", "d", "e"]);
+}
+
+#[test]
+fn comparison_lt_is_not_a_generic_opener() {
+    // `QUORUM < n` must not send the parser hunting for a `>`: the
+    // body's calls stay visible.
+    let p = parsed("fn f(n: usize) { if QUORUM < n { act(); } tally(); }");
+    let calls = calls_of(&p, "f");
+    assert!(calls.contains(&"act"), "{calls:?}");
+    assert!(calls.contains(&"tally"), "{calls:?}");
+}
+
+#[test]
+fn unbalanced_garbage_recovers_to_the_next_item() {
+    let src = "fn broken( { ) } }}} ;;; fn last() { ping(); }";
+    let p = parsed(src);
+    assert!(
+        p.fns.iter().any(|f| f.name == "last"),
+        "parse must recover past garbage: {:#?}",
+        p.fns
+    );
+    assert!(calls_of(&p, "last").contains(&"ping"));
+}
+
+#[test]
+fn half_written_sources_never_panic() {
+    for src in [
+        "fn tail(x: u32",
+        "impl Foo for",
+        "fn f() { let x = ",
+        "struct",
+        "#[deprecated(since = ",
+        "fn g<T: Iterator<Item = ",
+        "match x { Some(y) =>",
+        "r#\"unterminated raw",
+        "\"unterminated string",
+        "/* unterminated block comment",
+        "fn h() { x.collect::<Vec<_>>( }",
+        "trait T { fn sig(&self) -> u32; ",
+    ] {
+        let _ = parsed(src); // must return, not panic
+    }
+}
+
+#[test]
+fn every_workspace_file_parses_without_panic() {
+    // The ultimate corpus: the live tree itself. Parse every library
+    // source and require at least one fn from each non-trivial file.
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint lives two levels under the root")
+        .to_path_buf();
+    let files = wfd_lint::workspace_files(&root).expect("walk");
+    assert!(files.len() >= 70, "walker saw {} files", files.len());
+    let mut fns_total = 0usize;
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel)).expect("read");
+        fns_total += parsed(&src).fns.len();
+    }
+    assert!(
+        fns_total > 500,
+        "the workspace has far more than 500 fns; parser saw {fns_total}"
+    );
+}
+
+#[test]
+fn deprecated_attr_forms_are_extracted() {
+    let src = "\
+#[deprecated]
+fn bare() {}
+#[deprecated(since = \"0.1.0\", note = \"gone\")]
+fn stamped() {}
+#[deprecated = \"message form\"]
+fn message_form() {}
+";
+    let p = parsed(src);
+    assert_eq!(p.deprecations.len(), 3, "{:#?}", p.deprecations);
+    let stamped = p
+        .deprecations
+        .iter()
+        .find(|d| d.item == "stamped")
+        .expect("stamped");
+    assert_eq!(stamped.since.as_deref(), Some("0.1.0"));
+    assert!(p
+        .deprecations
+        .iter()
+        .filter(|d| d.item != "stamped")
+        .all(|d| d.since.is_none()));
+}

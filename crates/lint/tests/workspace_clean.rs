@@ -7,7 +7,7 @@
 //! the equivalence ladders ever run.
 
 use std::path::PathBuf;
-use wfd_lint::{render_json, render_text, run_workspace};
+use wfd_lint::{baseline_regressions, render_json, render_text, run_workspace, Finding};
 use wfd_sim::json::Json;
 
 fn workspace_root() -> PathBuf {
@@ -52,6 +52,37 @@ fn every_live_suppression_carries_a_justification() {
             s.reason
         );
     }
+}
+
+#[test]
+fn committed_baseline_matches_the_live_tree() {
+    let out = run_workspace(&workspace_root()).expect("workspace walk");
+    // Self-comparison is trivially regression-free.
+    let fresh = Json::parse(&render_json(&out)).expect("fresh report parses");
+    assert!(baseline_regressions(&out, &fresh).is_empty());
+    // The committed ratchet anchor must match the tree it ships with.
+    let committed = std::fs::read_to_string(workspace_root().join("LINT_BASELINE.json"))
+        .expect("LINT_BASELINE.json is committed at the workspace root");
+    let committed = Json::parse(&committed).expect("committed baseline parses");
+    assert!(
+        baseline_regressions(&out, &committed).is_empty(),
+        "regenerate with: cargo run -p wfd-lint -- --json=LINT_BASELINE.json"
+    );
+    // And a fresh finding that is not in the baseline is a regression.
+    let mut dirty = out.clone();
+    dirty.findings.push(Finding {
+        file: "crates/sim/src/engine.rs".into(),
+        line: 1,
+        col: 1,
+        rule: "d2-wall-clock",
+        message: "wall-clock time and OS entropy break replayability: Instant".into(),
+        help: "",
+        excerpt: "let t = Instant::now();".into(),
+        chain: Vec::new(),
+    });
+    let regressions = baseline_regressions(&dirty, &committed);
+    assert_eq!(regressions.len(), 1, "{regressions:#?}");
+    assert!(regressions[0].contains("NEW finding"), "{regressions:#?}");
 }
 
 #[test]

@@ -374,6 +374,7 @@ impl<V: Clone + Debug + PartialEq> Protocol for AbdRegister<V> {
             } => Footprint::local().sends_to(from),
             // Everything else funnels through `try_advance`, which may
             // launch a phase (broadcast) or complete an op (output).
+            // wfd-lint: allow(d7-footprint, try_advance may launch a phase broadcast or complete an op with an output on any non-server step)
             _ => Footprint::opaque(n),
         }
     }

@@ -300,6 +300,7 @@ impl<V: Clone + Debug + PartialEq> Protocol for MwmrFromSwmr<V> {
             }
             // Client-side completions drive the multi-writer stage
             // machine: new phases broadcast, finished ops output.
+            // wfd-lint: allow(d7-footprint, stage transitions broadcast new phases and completed operations output; only server probes are narrower)
             _ => Footprint::opaque(n),
         }
     }

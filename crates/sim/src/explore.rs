@@ -1801,40 +1801,6 @@ where
     }
 }
 
-/// Re-execute one decision list under [`explore`]'s step semantics.
-///
-/// Deprecated shim over the unified [`Replay`](crate::Replay) entry
-/// point: `replay_explore(d, ...)` is exactly
-/// `Replay::explore(d.to_vec()).run(...)` — same machine semantics
-/// ([`crate::machine::ProtocolMachine`]), same skip/clamp rules for
-/// mutated decision lists, same result — and the equivalence ladder in
-/// `tests/machine_equiv.rs` holds the two byte-identical until the shim
-/// is removed next cycle.
-#[deprecated(
-    since = "0.6.0",
-    note = "use wfd_sim::Replay::explore(decisions.to_vec()).run(...)"
-)]
-pub fn replay_explore<P, D>(
-    decisions: &[ExploreDecision],
-    make_procs: impl Fn() -> Vec<P>,
-    invocations: Vec<Option<P::Inv>>,
-    pattern: &FailurePattern,
-    detector: D,
-    safety: impl FnMut(&[P], &[(ProcessId, P::Output)]) -> Result<(), String>,
-) -> Result<(), String>
-where
-    P: Protocol + Clone + Debug,
-    D: FdOracle<Value = P::Fd>,
-{
-    crate::machine::Replay::explore(decisions.to_vec()).run(
-        make_procs,
-        invocations,
-        pattern,
-        detector,
-        safety,
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -87,16 +87,12 @@ mod trace;
 pub use diagram::{Diagram, DiagramConfig, DiagramNode};
 pub use engine::{RunOutcome, Sim, SimConfig, SimParts, StopReason};
 pub use env::{EnvOverrides, MetricsMode};
-#[allow(deprecated)] // the shim stays exported until the next cycle removes it
-pub use explore::replay_explore;
 pub use explore::{
     explore, explore_custom, seen_shard_width, ExactKeyHasher, ExploreConfig, ExploreDecision,
     ExploreReport, ExploreViolation, FingerprintHasher, Hasher, StateHasher,
 };
 pub use failure::{Environment, FailurePattern, PatternSampler};
 pub use id::{ProcessId, ProcessSet, Time};
-#[allow(deprecated)] // the shim stays exported until the next cycle removes it
-pub use liveness::replay_lasso;
 pub use liveness::{
     check_liveness, LassoWitness, LivenessConfig, LivenessReport, LivenessVerdict, Ltl,
 };

@@ -72,9 +72,7 @@ use crate::explore::{debug_fp, scenario_symmetry, SymPerm};
 use crate::failure::FailurePattern;
 use crate::id::{ProcessId, Time};
 use crate::json::Json;
-use crate::machine::{
-    node_eq, ExploreDecision, FairMachine, LiveNode, ReductionConfig, Replay, State,
-};
+use crate::machine::{node_eq, ExploreDecision, FairMachine, LiveNode, ReductionConfig, State};
 use crate::oracle::FdOracle;
 use crate::par::{explore_threads, par_map_with};
 use crate::protocol::{PropView, Protocol, SendBuf};
@@ -1368,39 +1366,6 @@ where
     Ok(report)
 }
 
-/// Verify a lasso counterexample against the fair model: every decision
-/// must be one the engine's fairness rules allow at its node, and the
-/// cycle must return the model to the structurally identical
-/// configuration (state, step-gap counters and message ages alike), so
-/// `stem · cycleʷ` really denotes a fair infinite run.
-#[deprecated(
-    since = "0.6.0",
-    note = "use wfd_sim::Replay::lasso(stem.to_vec(), cycle.to_vec()).run_fair(cfg, ...)"
-)]
-pub fn replay_lasso<P, D>(
-    cfg: &LivenessConfig,
-    make_procs: impl Fn() -> Vec<P>,
-    invocations: Vec<Option<P::Inv>>,
-    pattern: &FailurePattern,
-    detector: D,
-    stem: &[ExploreDecision],
-    cycle: &[ExploreDecision],
-) -> Result<(), String>
-where
-    P: Protocol + Clone + Debug + PartialEq,
-    P::Msg: PartialEq,
-    P::Inv: PartialEq,
-    D: FdOracle<Value = P::Fd>,
-{
-    Replay::lasso(stem.to_vec(), cycle.to_vec()).run_fair(
-        cfg,
-        make_procs,
-        invocations,
-        pattern,
-        detector,
-    )
-}
-
 // ---------------------------------------------------------------------------
 // Fixtures
 // ---------------------------------------------------------------------------
@@ -1504,6 +1469,7 @@ pub mod fixtures {
 mod tests {
     use super::fixtures::{Decider, PingPong};
     use super::*;
+    use crate::machine::Replay;
     use crate::oracle::NoDetector;
 
     fn cfg() -> LivenessConfig {

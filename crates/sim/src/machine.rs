@@ -29,8 +29,9 @@
 //! * [`Replay`] — the one replay entry point for recorded decision
 //!   lists: explorer counterexamples ([`Replay::explore`]), liveness
 //!   lassos ([`Replay::lasso`]) and [`Repro`](crate::Repro) artifacts
-//!   ([`Replay::from_repro`]), subsuming the deprecated free functions
-//!   `replay_explore` and `replay_lasso`.
+//!   ([`Replay::from_repro`]). The pre-0.7.0 free functions
+//!   `replay_explore`/`replay_lasso` were shims over this type and have
+//!   been removed.
 //! * [`ReductionConfig`] — the shared state-space-reduction knobs
 //!   consumed by both [`ExploreConfig`](crate::ExploreConfig) and
 //!   [`LivenessConfig`](crate::LivenessConfig) (which *rejects* the
@@ -240,6 +241,7 @@ impl<P: Protocol> State<P> {
     /// The sleep set and the expansion restriction are *not* copied —
     /// they are properties of the visit that created a state, set
     /// explicitly by the explorer's expansion and resolution passes.
+    // wfd-lint: allow(d8-machine-purity, mutates only the scratch successor the explorer is filling in; the source state is a shared borrow)
     pub(crate) fn copy_from(&mut self, src: &State<P>)
     where
         P: Clone,
@@ -387,6 +389,7 @@ pub(crate) struct StepEnv<'a> {
 /// under-declaration panics — a too-tight footprint must never silently
 /// prune a reachable violation.
 #[allow(clippy::too_many_arguments)] // one hot-path fn, each arg documented above
+                                     // wfd-lint: allow(d8-machine-purity, dst is the fresh clone being built into the successor; src stays a shared borrow for the whole step)
 pub(crate) fn apply_step_into<P>(
     env: &StepEnv<'_>,
     src: &State<P>,
@@ -936,8 +939,8 @@ enum ReplayMode {
 }
 
 /// The one replay entry point for recorded machine runs, subsuming the
-/// deprecated free functions `replay_explore` and `replay_lasso` and the
-/// fuzz campaign's explore-replay path.
+/// removed pre-0.7.0 free functions `replay_explore`/`replay_lasso` and
+/// the fuzz campaign's explore-replay path.
 ///
 /// * [`Replay::explore`] + [`Replay::run`] re-execute a safety
 ///   counterexample branch under [`ProtocolMachine`] semantics,

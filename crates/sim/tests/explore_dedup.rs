@@ -315,11 +315,6 @@ fn reductions_never_change_the_verdict() {
 /// reduced search: decisions and violations stay in *original* process
 /// ids (only the dedup key is canonicalized), so [`Replay::run`]
 /// reproduces the exact message.
-///
-/// This ladder doubles as the deprecation-equivalence proof for the
-/// `replay_explore` shim: on every violating seed, the shim and
-/// [`Replay::explore`] must return byte-identical results, so removing
-/// the shim next cycle changes nothing observable.
 #[test]
 fn reduced_violations_replay() {
     let mut replayed_some = false;
@@ -352,19 +347,6 @@ fn reduced_violations_replay() {
             replayed,
             Err(violation.message.clone()),
             "seed {seed}: reduced counterexample did not replay"
-        );
-        #[allow(deprecated)] // the shim must stay byte-equivalent until removal
-        let via_shim = wfd_sim::replay_explore(
-            &violation.decisions,
-            move || (0..2).map(|_| Mixer::family(seed)).collect::<Vec<_>>(),
-            vec![None, None],
-            &pattern,
-            NoDetector,
-            checker,
-        );
-        assert_eq!(
-            via_shim, replayed,
-            "seed {seed}: replay_explore shim diverged from Replay"
         );
         replayed_some = true;
     }

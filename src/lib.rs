@@ -61,6 +61,4 @@ pub mod prelude {
         LivenessConfig, LivenessReport, LivenessVerdict, Ltl, MetricsMode, NoDetector, Obs,
         ReductionConfig, Replay, TraceMode,
     };
-    #[allow(deprecated)] // re-exported until the deprecation cycle removes the shims
-    pub use wfd_sim::{replay_explore, replay_lasso};
 }
